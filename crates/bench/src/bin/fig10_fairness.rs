@@ -1,0 +1,68 @@
+//! Regenerates **Figure 10**: fairness of throughput allocation for
+//! hotspot traffic, in the paper's three allocations:
+//!
+//! * `equal` (Fig. 10a) — every flow gets the same reservation,
+//! * `diff4` (Fig. 10b) — four quadrant partitions with weights 8:6:6:3,
+//! * `diff2` (Fig. 10c) — two halves with weights 9:3.
+//!
+//! For each group of flows the table prints MAX/MIN/AVG/STDEV of the
+//! accepted per-flow throughput, exactly like the paper's inset
+//! tables. Run with an argument (`equal`, `diff4`, `diff2`) for one
+//! case or no argument for all three.
+
+use loft::LoftConfig;
+use loft_bench::{print_table, run_gsf, run_loft, SEED};
+use noc_gsf::GsfConfig;
+use noc_sim::RunConfig;
+use noc_traffic::Scenario;
+
+fn run_case(name: &str) {
+    // All sources inject far beyond the hotspot's capacity so the
+    // allocation, not the offered load, determines throughput.
+    let scenario = match name {
+        "equal" => Scenario::hotspot(0.05),
+        "diff4" => Scenario::hotspot_differentiated4(0.05),
+        "diff2" => Scenario::hotspot_differentiated2(0.05),
+        other => panic!("unknown fairness case {other:?} (use equal|diff4|diff2)"),
+    };
+    let run = RunConfig {
+        warmup: 10_000,
+        measure: 50_000,
+        drain: 20_000,
+    };
+    let loft = run_loft(&scenario, LoftConfig::default(), run, SEED);
+    let gsf = run_gsf(&scenario, GsfConfig::default(), run, SEED);
+
+    for (net, report) in [("LOFT", &loft), ("GSF", &gsf)] {
+        let rows: Vec<Vec<String>> = scenario
+            .groups
+            .iter()
+            .map(|(gname, flows)| {
+                let s = report.group_throughput(flows);
+                vec![
+                    gname.clone(),
+                    format!("{:.4}", s.max()),
+                    format!("{:.4}", s.min()),
+                    format!("{:.4}", s.mean()),
+                    format!("{:.1}%", 100.0 * s.cv()),
+                ]
+            })
+            .collect();
+        print_table(
+            &format!("Figure 10 ({name}) — {net} throughput per flow (flits/cycle)"),
+            &["group", "MAX", "MIN", "AVG", "STDEV/AVG"],
+            &rows,
+        );
+    }
+}
+
+fn main() {
+    match std::env::args().nth(1) {
+        Some(case) => run_case(&case),
+        None => {
+            for case in ["equal", "diff4", "diff2"] {
+                run_case(case);
+            }
+        }
+    }
+}

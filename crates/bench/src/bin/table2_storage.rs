@@ -1,0 +1,52 @@
+//! Regenerates **Table 2** of the paper: per-router storage
+//! requirements (bits) for GSF and LOFT, plus the McPAT-style
+//! area/power estimate for the 64-node LOFT NoC.
+
+use loft::LoftConfig;
+use loft_bench::{f1, print_table};
+use noc_gsf::GsfConfig;
+use noc_model::{power, storage};
+
+fn main() {
+    let gsf_cfg = GsfConfig::default();
+    let loft_cfg = LoftConfig::default();
+    let g = storage::gsf_router_bits(&gsf_cfg);
+    let l = storage::loft_router_bits(&loft_cfg);
+
+    print_table(
+        "Table 2 — GSF per-router storage (bits)",
+        &["component", "measured", "paper"],
+        &[
+            vec!["Source queue".into(), g.source_queue.to_string(), "256000".into()],
+            vec!["Virtual channels".into(), g.vc_buffers.to_string(), "15360".into()],
+            vec!["Bookkeeping".into(), g.bookkeeping.to_string(), "—".into()],
+            vec!["Total".into(), g.total().to_string(), "271379".into()],
+        ],
+    );
+
+    print_table(
+        "Table 2 — LOFT per-router storage (bits)",
+        &["component", "measured", "paper"],
+        &[
+            vec!["Input buffers".into(), l.input_buffers.to_string(), "139264".into()],
+            vec!["Reservation tables".into(), l.reservation_tables.to_string(), "40960".into()],
+            vec!["Flow state".into(), l.flow_state.to_string(), "2308".into()],
+            vec!["Look-ahead network".into(), l.lookahead.to_string(), "1536".into()],
+            vec!["Total".into(), l.total().to_string(), "184203".into()],
+        ],
+    );
+
+    let saving = 100.0 * (1.0 - l.total() as f64 / g.total() as f64);
+    println!("\nLOFT uses {saving:.1}% less storage than GSF (paper: 32%).");
+
+    let pe = power::loft_estimate(&loft_cfg);
+    let ge = power::gsf_estimate(&gsf_cfg);
+    print_table(
+        "Area/power estimate for the 64-node NoC (first-order model; paper's McPAT: 32 mm², 50 W for LOFT)",
+        &["network", "area mm^2", "power W"],
+        &[
+            vec!["LOFT".into(), f1(pe.area_mm2), f1(pe.power_w)],
+            vec!["GSF".into(), f1(ge.area_mm2), f1(ge.power_w)],
+        ],
+    );
+}

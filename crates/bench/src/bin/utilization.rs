@@ -1,0 +1,76 @@
+//! Link-utilization heatmap: renders per-link utilization of the data
+//! network as ASCII grids, making the Figure 1 story visible — under
+//! Case Study II, GSF leaves the stripped node's region idle while
+//! LOFT drives it at full speed.
+//!
+//! Usage: `utilization [uniform|hotspot|case2] [rate]` (default:
+//! case2 at 0.64).
+
+use loft::{LoftConfig, LoftNetwork};
+use loft_bench::SEED;
+use noc_gsf::{GsfConfig, GsfNetwork};
+use noc_sim::routing::Direction;
+use noc_sim::{Network, NodeId, TrafficSource};
+use noc_traffic::Scenario;
+
+const CYCLES: u64 = 30_000;
+
+fn drive<N: Network>(net: &mut N, scenario: &Scenario) {
+    let mut traffic = scenario.workload(SEED);
+    let mut fresh = Vec::new();
+    let mut out = Vec::new();
+    for cycle in 0..CYCLES {
+        fresh.clear();
+        traffic.generate(cycle, &mut fresh);
+        for p in fresh.drain(..) {
+            net.enqueue(p);
+        }
+        out.clear();
+        net.step(&mut out);
+    }
+}
+
+/// Renders one 8×8 grid; each cell shows the busiest outgoing link of
+/// that router as a utilization percentage.
+fn render(name: &str, flits: impl Fn(NodeId, Direction) -> u64) {
+    println!("\n{name}: peak outgoing link utilization per router (%)");
+    for y in 0..8u16 {
+        let row: Vec<String> = (0..8u16)
+            .map(|x| {
+                let node = NodeId::new((x + y * 8) as u32);
+                let peak = Direction::ALL
+                    .iter()
+                    .map(|&d| flits(node, d))
+                    .max()
+                    .unwrap_or(0);
+                format!("{:3.0}", 100.0 * peak as f64 / CYCLES as f64)
+            })
+            .collect();
+        println!("  {}", row.join(" "));
+    }
+}
+
+fn main() {
+    let pattern = std::env::args().nth(1).unwrap_or_else(|| "case2".into());
+    let rate: f64 = std::env::args()
+        .nth(2)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(0.64);
+    let scenario = match pattern.as_str() {
+        "uniform" => Scenario::uniform(rate),
+        "hotspot" => Scenario::hotspot(rate),
+        "case2" => Scenario::case_study_2(rate),
+        other => panic!("unknown pattern {other:?} (use uniform|hotspot|case2)"),
+    };
+    println!("workload: {}", scenario.name);
+
+    let cfg = LoftConfig::default();
+    let mut loft = LoftNetwork::new(cfg, &scenario.reservations(cfg.frame_size).expect("fits"));
+    drive(&mut loft, &scenario);
+    render("LOFT", |n, d| loft.link_flits(n, d));
+
+    let gcfg = GsfConfig::default();
+    let mut gsf = GsfNetwork::new(gcfg, &scenario.reservations(gcfg.frame_size).expect("fits"));
+    drive(&mut gsf, &scenario);
+    render("GSF", |n, d| gsf.link_flits(n, d));
+}

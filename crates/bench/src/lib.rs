@@ -1,0 +1,150 @@
+//! # loft-bench — experiment harness for the LOFT reproduction
+//!
+//! One binary per table/figure of the paper (see `src/bin/`), plus
+//! the shared machinery here: scenario runners for each network
+//! architecture, multi-threaded parameter sweeps, and plain-text
+//! table output.
+//!
+//! | Paper artifact | Binary |
+//! |----------------|--------|
+//! | Table 1 (setup) | `table1_setup` |
+//! | Table 2 (storage) + area/power | `table2_storage` |
+//! | §5.3.1 delay bounds | `delay_bounds` |
+//! | Figure 6 (flow-control timeline) | `fig6_flowcontrol` |
+//! | Figure 10 (fairness) | `fig10_fairness` |
+//! | Figure 11 (latency/throughput) | `fig11_performance` |
+//! | Figure 12 (Case Study I, DoS) | `fig12_case1` |
+//! | Figure 13 (Case Study II, pathological) | `fig13_case2` |
+
+use loft::{LoftConfig, LoftNetwork};
+use noc_gsf::{GsfConfig, GsfNetwork};
+use noc_sim::{RunConfig, SimReport, Simulation};
+use noc_traffic::Scenario;
+use noc_wormhole::{WormholeConfig, WormholeNetwork};
+
+/// Default seed for all experiments (fully deterministic runs).
+pub const SEED: u64 = 0xC0FFEE;
+
+/// Runs a scenario on a LOFT network.
+///
+/// # Panics
+///
+/// Panics if the scenario's reservations are infeasible for the
+/// configured frame size.
+pub fn run_loft(scenario: &Scenario, cfg: LoftConfig, run: RunConfig, seed: u64) -> SimReport {
+    let reservations = scenario
+        .reservations(cfg.frame_size)
+        .expect("scenario reservations must fit the LOFT frame");
+    let network = LoftNetwork::new(cfg, &reservations);
+    Simulation::new(network, scenario.workload(seed), run).run()
+}
+
+/// Runs a scenario on a GSF network.
+///
+/// # Panics
+///
+/// Panics if the scenario's reservations are infeasible for the
+/// configured frame size.
+pub fn run_gsf(scenario: &Scenario, cfg: GsfConfig, run: RunConfig, seed: u64) -> SimReport {
+    let reservations = scenario
+        .reservations(cfg.frame_size)
+        .expect("scenario reservations must fit the GSF frame");
+    let network = GsfNetwork::new(cfg, &reservations);
+    Simulation::new(network, scenario.workload(seed), run).run()
+}
+
+/// Runs a scenario on the baseline wormhole network (no QoS).
+pub fn run_wormhole(
+    scenario: &Scenario,
+    cfg: WormholeConfig,
+    run: RunConfig,
+    seed: u64,
+) -> SimReport {
+    let network = WormholeNetwork::new(cfg);
+    Simulation::new(network, scenario.workload(seed), run).run()
+}
+
+/// Maps `f` over `items` on one OS thread each (simulations are
+/// single-threaded and independent; sweeps parallelize trivially).
+pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send + 'static,
+    R: Send + 'static,
+    F: Fn(T) -> R + Send + Sync + Clone + 'static,
+{
+    let handles: Vec<_> = items
+        .into_iter()
+        .map(|item| {
+            let f = f.clone();
+            std::thread::spawn(move || f(item))
+        })
+        .collect();
+    handles
+        .into_iter()
+        .map(|h| h.join().expect("sweep worker panicked"))
+        .collect()
+}
+
+/// Prints a plain-text table: header row + rows, pipe-separated and
+/// column-aligned.
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let fmt_row = |cells: Vec<&str>| {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>w$}", c, w = widths[i]))
+            .collect::<Vec<_>>()
+            .join(" | ")
+    };
+    println!("{}", fmt_row(header.to_vec()));
+    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 3 * (widths.len() - 1)));
+    for row in rows {
+        println!("{}", fmt_row(row.iter().map(|s| s.as_str()).collect()));
+    }
+}
+
+/// Formats a float with 4 significant decimals.
+pub fn f4(x: f64) -> String {
+    format!("{x:.4}")
+}
+
+/// Formats a float with 1 decimal.
+pub fn f1(x: f64) -> String {
+    format!("{x:.1}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let out = parallel_map(vec![3u64, 1, 2], |x| x * 10);
+        assert_eq!(out, vec![30, 10, 20]);
+    }
+
+    #[test]
+    fn runners_produce_traffic() {
+        let s = Scenario::hotspot(0.01);
+        let run = RunConfig {
+            warmup: 500,
+            measure: 2_000,
+            drain: 2_000,
+        };
+        let loft = run_loft(&s, LoftConfig::default(), run, SEED);
+        let gsf = run_gsf(&s, GsfConfig::default(), run, SEED);
+        let worm = run_wormhole(&s, WormholeConfig::default(), run, SEED);
+        assert!(loft.flits_delivered > 0);
+        assert!(gsf.flits_delivered > 0);
+        assert!(worm.flits_delivered > 0);
+    }
+}

@@ -1,0 +1,217 @@
+//! Configuration of the LOFT network.
+
+use noc_sim::routing::Routing;
+use noc_sim::topology::Topology;
+
+/// Parameters of a [`crate::LoftNetwork`].
+///
+/// Defaults follow Table 1 of the paper:
+///
+/// * frame size `F` = 256 flits, frame window `WF` = 2,
+/// * data flits are moved as 2-flit *quanta* (one look-ahead flit per
+///   quantum), so the output reservation tables hold
+///   `F/2 × WF = 256` quantum slots,
+/// * the central (non-speculative) input buffer is as deep as one
+///   frame (256 flits), which eliminates the output scheduling
+///   anomaly (Theorem I of the paper),
+/// * the speculative buffer is 0–16 flits (the paper sweeps this),
+/// * both the look-ahead and the data routers have 3 pipeline stages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LoftConfig {
+    /// Topology to build.
+    pub topo: Topology,
+    /// Routing algorithm.
+    pub routing: Routing,
+    /// Frame size `F` in flits.
+    pub frame_size: u32,
+    /// Frame window `WF` (number of frames in flight per link).
+    pub frame_window: u32,
+    /// Flits per data quantum (each look-ahead flit schedules one
+    /// quantum in its entirety).
+    pub flits_per_quantum: u32,
+    /// Depth of the central non-speculative buffer per input port, in
+    /// flits. Must be at least `frame_size` for the paper's
+    /// anomaly-freedom guarantee.
+    pub nonspec_buffer: u32,
+    /// Depth of the speculative buffer per input port, in flits
+    /// (0 disables all Section 4.3 optimizations).
+    pub spec_buffer: u32,
+    /// Cycles for a data quantum to go from switch traversal at one
+    /// router to buffer availability at the next.
+    pub hop_latency: u64,
+    /// Cycles per hop on the look-ahead network (3-stage router).
+    pub la_hop_latency: u64,
+    /// Hardware capacity of each look-ahead router output port, in
+    /// look-ahead flits (3 VCs × 4 flits in Table 1). Used by the
+    /// storage model and Table 1 reporting; the simulator models the
+    /// equivalent per-flow virtual-channel windows via
+    /// [`LoftConfig::la_flow_window`] instead.
+    pub la_queue_capacity: usize,
+    /// Maximum look-ahead flits a single flow may have in flight in
+    /// the look-ahead network (its virtual-channel window). Bounds
+    /// per-flow pile-up at contended schedulers and provides source
+    /// throttling.
+    pub la_flow_window: u32,
+    /// Enable speculative flit switching (Section 4.3.1).
+    pub speculative_switching: bool,
+    /// Enable local status reset (Section 4.3.2).
+    pub local_status_reset: bool,
+}
+
+impl LoftConfig {
+    /// The default configuration on a custom topology.
+    pub fn on(topo: Topology) -> Self {
+        LoftConfig {
+            topo,
+            ..Self::default()
+        }
+    }
+
+    /// The paper's configuration with a given speculative buffer size
+    /// in flits (`spec=N` in Figure 11). `spec = 0` also turns off
+    /// speculative switching and local status reset, matching the
+    /// paper's statement that "setting the speculative buffer size to
+    /// 0 is equivalent to turning off all optimizations".
+    pub fn with_spec_buffer(spec_flits: u32) -> Self {
+        LoftConfig {
+            spec_buffer: spec_flits,
+            speculative_switching: spec_flits > 0,
+            local_status_reset: spec_flits > 0,
+            ..Self::default()
+        }
+    }
+
+    /// A scaled-down configuration for fast tests (4×4 mesh, 64-flit
+    /// frames).
+    pub fn small() -> Self {
+        LoftConfig {
+            topo: Topology::mesh(4, 4),
+            frame_size: 64,
+            nonspec_buffer: 64,
+            ..Self::default()
+        }
+    }
+
+    /// Frame size in quantum slots.
+    pub fn frame_quanta(&self) -> u32 {
+        self.frame_size / self.flits_per_quantum
+    }
+
+    /// Reservation-table size: quantum slots in the whole time window
+    /// (`F × WF / flits_per_quantum`; 256 with Table 1 values).
+    pub fn window_quanta(&self) -> u32 {
+        self.frame_quanta() * self.frame_window
+    }
+
+    /// Non-speculative buffer capacity in quanta.
+    pub fn nonspec_quanta(&self) -> u32 {
+        self.nonspec_buffer / self.flits_per_quantum
+    }
+
+    /// Speculative buffer capacity in quanta.
+    pub fn spec_quanta(&self) -> u32 {
+        self.spec_buffer / self.flits_per_quantum
+    }
+
+    /// Slots between a quantum's departure at one router and the
+    /// earliest slot it can depart the next router.
+    pub fn dep_offset(&self) -> u64 {
+        let q = self.flits_per_quantum as u64;
+        (self.hop_latency + q) / q
+    }
+
+    /// Checks internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frame size is not a positive multiple of the
+    /// quantum size, the window is empty, or the non-speculative
+    /// buffer is smaller than a frame (which would reintroduce the
+    /// output scheduling anomaly).
+    pub fn validate(&self) {
+        assert!(self.flits_per_quantum > 0, "quantum must hold flits");
+        assert!(
+            self.frame_size > 0 && self.frame_size.is_multiple_of(self.flits_per_quantum),
+            "frame size must be a positive multiple of the quantum size"
+        );
+        assert!(self.frame_window > 0, "frame window must be positive");
+        assert!(
+            self.nonspec_buffer >= self.frame_size,
+            "non-speculative buffer must cover a full frame (Theorem I)"
+        );
+        assert!(
+            self.spec_buffer.is_multiple_of(self.flits_per_quantum),
+            "speculative buffer must be a multiple of the quantum size"
+        );
+        assert!(self.hop_latency >= 1 && self.la_hop_latency >= 1);
+    }
+}
+
+impl Default for LoftConfig {
+    fn default() -> Self {
+        LoftConfig {
+            topo: Topology::mesh(8, 8),
+            routing: Routing::XY,
+            frame_size: 256,
+            frame_window: 2,
+            flits_per_quantum: 2,
+            nonspec_buffer: 256,
+            spec_buffer: 12,
+            hop_latency: 3,
+            la_hop_latency: 3,
+            la_queue_capacity: 12,
+            la_flow_window: 16,
+            speculative_switching: true,
+            local_status_reset: true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_table1() {
+        let c = LoftConfig::default();
+        c.validate();
+        assert_eq!(c.frame_size, 256);
+        assert_eq!(c.frame_window, 2);
+        assert_eq!(c.frame_quanta(), 128);
+        assert_eq!(c.window_quanta(), 256); // reservation table size
+        assert_eq!(c.nonspec_quanta(), 128);
+        assert_eq!(c.spec_quanta(), 6); // 12 flits
+    }
+
+    #[test]
+    fn spec_zero_disables_optimizations() {
+        let c = LoftConfig::with_spec_buffer(0);
+        c.validate();
+        assert!(!c.speculative_switching);
+        assert!(!c.local_status_reset);
+        let c = LoftConfig::with_spec_buffer(8);
+        assert!(c.speculative_switching);
+        assert!(c.local_status_reset);
+    }
+
+    #[test]
+    fn dep_offset_rounds_up() {
+        let c = LoftConfig::default();
+        assert_eq!(c.dep_offset(), 2); // (3 + 2) / 2
+        let c = LoftConfig {
+            hop_latency: 1,
+            ..LoftConfig::default()
+        };
+        assert_eq!(c.dep_offset(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "Theorem I")]
+    fn small_nonspec_buffer_rejected() {
+        LoftConfig {
+            nonspec_buffer: 128,
+            ..LoftConfig::default()
+        }
+        .validate();
+    }
+}

@@ -1,0 +1,161 @@
+//! Property-based tests of the LSF link scheduler — chiefly
+//! Theorem I of the paper: with a frame-sized buffer and
+//! Condition (1), virtual credits never go negative, no matter how
+//! adversarial the scheduling/return interleaving is.
+
+use loft::lsf::{LinkScheduler, LsfParams, PendingQuantum};
+use noc_sim::flit::FlowId;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Action {
+    /// Schedule a quantum for flow `i % flows`.
+    Schedule(u8),
+    /// Return the credit of the oldest outstanding arrival, `extra`
+    /// slots after its arrival.
+    ReturnOldest { extra: u8 },
+    /// Advance the current slot.
+    Advance,
+    /// Forward the earliest pending quantum (speculative completion).
+    CompleteFirst,
+    /// Local reset, if permitted.
+    TryReset,
+}
+
+fn action_strategy() -> impl Strategy<Value = Action> {
+    prop_oneof![
+        (0u8..8).prop_map(Action::Schedule),
+        (0u8..12).prop_map(|extra| Action::ReturnOldest { extra }),
+        Just(Action::Advance),
+        Just(Action::CompleteFirst),
+        Just(Action::TryReset),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Theorem I under arbitrary interleavings, plus structural
+    /// invariants: booked slots are unique and inside the window.
+    #[test]
+    fn theorem1_and_structural_invariants(
+        reservations in prop::collection::vec(1u32..6, 1..6),
+        actions in prop::collection::vec(action_strategy(), 1..400),
+    ) {
+        let params = LsfParams {
+            frame_quanta: 8,
+            frame_window: 3,
+            flits_per_quantum: 1,
+            buffer_quanta: 8,
+            sink: false,
+        };
+        // Keep the allocation feasible: ΣR ≤ F.
+        let total: u32 = reservations.iter().sum();
+        prop_assume!(total <= params.frame_quanta);
+        let mut s = LinkScheduler::new(params, &reservations);
+        let mut outstanding: Vec<u64> = Vec::new();
+        let mut qid = 0u64;
+        for a in actions {
+            match a {
+                Action::Schedule(i) => {
+                    let flow = FlowId::new(i as u32 % reservations.len() as u32);
+                    if let Some(slot) = s.schedule(
+                        flow,
+                        s.current_slot() + 1,
+                        PendingQuantum { flow, qid, in_port: 0 },
+                    ) {
+                        qid += 1;
+                        prop_assert!(slot > s.current_slot());
+                        prop_assert!(
+                            slot < s.current_slot() + params.window_quanta()
+                        );
+                        outstanding.push(slot);
+                    }
+                }
+                Action::ReturnOldest { extra } => {
+                    if !outstanding.is_empty() {
+                        let arr = outstanding.remove(0);
+                        s.return_credit(arr + 1 + extra as u64);
+                    }
+                }
+                Action::Advance => s.advance_slot(),
+                Action::CompleteFirst => {
+                    if let Some((slot, _)) = s.first_pending() {
+                        s.complete(slot);
+                    }
+                }
+                Action::TryReset => {
+                    if s.can_reset() && !s.is_fresh() {
+                        // A reset wipes the outstanding bookkeeping;
+                        // pending is empty so nothing is lost.
+                        s.local_reset();
+                        outstanding.clear();
+                    }
+                }
+            }
+            prop_assert!(s.min_credit() >= 0, "Theorem I violated");
+        }
+    }
+
+    /// Per-frame quota: a single flow can never book more quanta in
+    /// one frame than its reservation allows (without resets).
+    #[test]
+    fn quota_respected_per_frame(
+        r in 1u32..8,
+        requests in 1usize..64,
+    ) {
+        let params = LsfParams {
+            frame_quanta: 8,
+            frame_window: 2,
+            flits_per_quantum: 1,
+            buffer_quanta: 8,
+            sink: false,
+        };
+        let mut s = LinkScheduler::new(params, &[r]);
+        let flow = FlowId::new(0);
+        let mut per_frame = std::collections::HashMap::new();
+        for qid in 0..requests as u64 {
+            if let Some(slot) = s.schedule(
+                flow,
+                0,
+                PendingQuantum { flow, qid, in_port: 0 },
+            ) {
+                *per_frame.entry(slot / 8).or_insert(0u32) += 1;
+            }
+        }
+        for (&frame, &count) in &per_frame {
+            prop_assert!(
+                count <= r,
+                "frame {frame} got {count} quanta with R={r}"
+            );
+        }
+    }
+
+    /// The sink variant (ejection link) serializes at one quantum per
+    /// slot but never rejects for credits.
+    #[test]
+    fn sink_books_every_window_slot(r in 8u32..64) {
+        let params = LsfParams {
+            frame_quanta: 8,
+            frame_window: 2,
+            flits_per_quantum: 1,
+            buffer_quanta: 8,
+            sink: true,
+        };
+        let mut s = LinkScheduler::new(params, &[r]);
+        let flow = FlowId::new(0);
+        let mut slots = std::collections::HashSet::new();
+        for qid in 0..64u64 {
+            if let Some(slot) = s.schedule(
+                flow,
+                0,
+                PendingQuantum { flow, qid, in_port: 0 },
+            ) {
+                prop_assert!(slots.insert(slot), "slot {slot} double-booked");
+            }
+        }
+        // It can never book more than the window minus the current
+        // slot, and with r ≥ 8 it books at least one frame's worth.
+        prop_assert!(slots.len() >= (r.min(8) as usize));
+    }
+}

@@ -1,0 +1,848 @@
+//! The GSF network model.
+//!
+//! Structurally this is a credit-based VC wormhole network (see
+//! `noc-wormhole`) with three GSF-specific changes:
+//!
+//! 1. **Source framing** — each packet is stamped with the earliest
+//!    active frame in which its flow still has quota; a flow whose
+//!    quota is exhausted in every active frame stalls at the source.
+//! 2. **Frame-priority arbitration** — both VC allocation and switch
+//!    allocation prefer flits of older frames.
+//! 3. **Strict VC separation** — a virtual channel is reallocated
+//!    only after it has completely drained (credits fully returned),
+//!    so flits of different packets never share a VC. This models the
+//!    flow-control inefficiency the paper's Figure 6 attributes to
+//!    GSF.
+//!
+//! The head frame is recycled by a modeled barrier network: once no
+//! flit of the oldest frame remains in the network, the window slides
+//! after `barrier_delay` cycles. While the barrier is in flight the
+//! head frame is closed to new injections.
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+
+use noc_sim::flit::{FlitKind, FlowId, NodeId, Packet, PacketId};
+use noc_sim::routing::Direction;
+use noc_sim::Network;
+
+use crate::config::GsfConfig;
+
+const PORTS: usize = Direction::COUNT;
+const LOCAL: usize = 4;
+
+#[derive(Debug, Clone, Copy)]
+struct Flit {
+    id: PacketId,
+    dst: NodeId,
+    kind: FlitKind,
+    frame: u64,
+}
+
+#[derive(Debug, Default)]
+struct VcBuf {
+    q: VecDeque<Flit>,
+    route: Option<usize>,
+    out_vc: Option<usize>,
+}
+
+impl VcBuf {
+    fn frame(&self) -> Option<u64> {
+        self.q.front().map(|f| f.frame)
+    }
+}
+
+#[derive(Debug)]
+struct Router {
+    inputs: Vec<Vec<VcBuf>>,
+    /// Downstream VC ownership; `None` = free.
+    out_owner: Vec<Vec<Option<(usize, usize)>>>,
+    /// Tail already forwarded, VC still draining: not yet reusable.
+    out_draining: Vec<Vec<bool>>,
+    credits: Vec<Vec<u32>>,
+    rr_sa: [usize; PORTS],
+}
+
+impl Router {
+    fn new(num_vcs: usize, vc_capacity: usize) -> Self {
+        Router {
+            inputs: (0..PORTS)
+                .map(|_| (0..num_vcs).map(|_| VcBuf::default()).collect())
+                .collect(),
+            out_owner: vec![vec![None; num_vcs]; PORTS],
+            out_draining: vec![vec![false; num_vcs]; PORTS],
+            credits: vec![vec![vc_capacity as u32; num_vcs]; PORTS],
+            rr_sa: [0; PORTS],
+        }
+    }
+}
+
+/// Per-flow GSF injection state (quota tracking).
+#[derive(Debug, Clone)]
+struct FlowInj {
+    reservation: u32,
+    inject_frame: u64,
+    remaining: u32,
+}
+
+#[derive(Debug)]
+struct Nic {
+    /// Frame-tagged packets awaiting streaming, ordered by (frame,
+    /// arrival sequence) — GSF streams oldest frames first.
+    tagged: BTreeMap<(u64, u64), PacketId>,
+    /// Packets that could not be tagged yet (every active frame's
+    /// quota exhausted), per flow, FIFO.
+    untagged: HashMap<u32, VecDeque<PacketId>>,
+    current: Option<Streaming>,
+    credits: Vec<u32>,
+    owned: Vec<bool>,
+    draining: Vec<bool>,
+    rr: usize,
+    eject_progress: HashMap<PacketId, u16>,
+}
+
+#[derive(Debug)]
+struct Streaming {
+    id: PacketId,
+    dst: NodeId,
+    len: u16,
+    pos: u16,
+    vc: usize,
+    frame: u64,
+}
+
+/// The Globally-Synchronized Frames network.
+///
+/// Construct with [`GsfNetwork::new`], providing per-flow frame
+/// reservations in flits (usually from
+/// [`noc_traffic::Scenario::reservations`] with the configured
+/// [`GsfConfig::frame_size`]).
+#[derive(Debug)]
+pub struct GsfNetwork {
+    cfg: GsfConfig,
+    cycle: u64,
+    routers: Vec<Router>,
+    nics: Vec<Nic>,
+    flows: Vec<FlowInj>,
+    wires: Vec<VecDeque<(u64, usize, Flit)>>,
+    credit_events: VecDeque<(u64, usize, usize, usize)>,
+    inflight: HashMap<PacketId, Packet>,
+    /// Frame tag of every tagged, not-yet-fully-ejected packet.
+    packet_frame: HashMap<PacketId, u64>,
+    /// Flits alive (tagged and not yet ejected) per frame. The head
+    /// frame can only be recycled once this reaches zero — including
+    /// flits still waiting in source queues, which is what couples
+    /// the whole network to its slowest region.
+    frame_alive: HashMap<u64, u32>,
+    /// Arrival sequence counter for FIFO tie-breaks within a frame.
+    tag_seq: u64,
+    head_frame: u64,
+    barrier_due: Option<u64>,
+    /// Number of completed window shifts (for tests/diagnostics).
+    recycles: u64,
+    /// Flits forwarded per output link, index `node * 5 + port`.
+    forwarded: Vec<u64>,
+}
+
+impl GsfNetwork {
+    /// Builds the network for flows with the given per-frame
+    /// reservations (flits per frame, indexed by flow id).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any reservation is zero or exceeds the frame size.
+    pub fn new(cfg: GsfConfig, reservations: &[u32]) -> Self {
+        let n = cfg.topo.num_nodes();
+        let flows = reservations
+            .iter()
+            .map(|&r| {
+                assert!(r > 0, "reservations must be positive");
+                assert!(r <= cfg.frame_size, "reservation exceeds frame size");
+                FlowInj {
+                    reservation: r,
+                    inject_frame: 0,
+                    remaining: r,
+                }
+            })
+            .collect();
+        GsfNetwork {
+            routers: (0..n).map(|_| Router::new(cfg.num_vcs, cfg.vc_capacity)).collect(),
+            nics: (0..n)
+                .map(|_| Nic {
+                    tagged: BTreeMap::new(),
+                    untagged: HashMap::new(),
+                    current: None,
+                    credits: vec![cfg.vc_capacity as u32; cfg.num_vcs],
+                    owned: vec![false; cfg.num_vcs],
+                    draining: vec![false; cfg.num_vcs],
+                    rr: 0,
+                    eject_progress: HashMap::new(),
+                })
+                .collect(),
+            flows,
+            wires: vec![VecDeque::new(); n * PORTS],
+            credit_events: VecDeque::new(),
+            inflight: HashMap::new(),
+            packet_frame: HashMap::new(),
+            frame_alive: HashMap::new(),
+            tag_seq: 0,
+            head_frame: 0,
+            barrier_due: None,
+            recycles: 0,
+            forwarded: vec![0; n * PORTS],
+            cycle: 0,
+            cfg,
+        }
+    }
+
+    /// The configuration the network was built with.
+    pub fn config(&self) -> &GsfConfig {
+        &self.cfg
+    }
+
+    /// Current head (oldest active) frame number.
+    pub fn head_frame(&self) -> u64 {
+        self.head_frame
+    }
+
+    /// Completed global window shifts so far.
+    pub fn recycles(&self) -> u64 {
+        self.recycles
+    }
+
+    /// Flits forwarded so far on the output link `(node, dir)` —
+    /// divide by elapsed cycles for the link utilization.
+    pub fn link_flits(&self, node: NodeId, dir: Direction) -> u64 {
+        self.forwarded[node.index() * PORTS + dir.index()]
+    }
+
+    fn deliver_arrivals(&mut self, now: u64) {
+        for node in 0..self.routers.len() {
+            for port in 0..PORTS {
+                let wire = &mut self.wires[node * PORTS + port];
+                while wire.front().is_some_and(|&(t, _, _)| t <= now) {
+                    let (_, vc, flit) = wire.pop_front().expect("checked front");
+                    let buf = &mut self.routers[node].inputs[port][vc];
+                    debug_assert!(
+                        buf.q.len() < self.cfg.vc_capacity,
+                        "credit protocol violated: buffer overflow"
+                    );
+                    debug_assert!(
+                        buf.q.iter().all(|f| f.id == flit.id) || buf.q.is_empty(),
+                        "GSF forbids mixing packets in one VC"
+                    );
+                    buf.q.push_back(flit);
+                }
+            }
+        }
+    }
+
+    fn apply_credits(&mut self, now: u64) {
+        while self.credit_events.front().is_some_and(|&(t, ..)| t <= now) {
+            let (_, node, port, vc) = self.credit_events.pop_front().expect("checked front");
+            if port == LOCAL {
+                self.nics[node].credits[vc] += 1;
+                if self.nics[node].draining[vc]
+                    && self.nics[node].credits[vc] == self.cfg.vc_capacity as u32
+                {
+                    self.nics[node].draining[vc] = false;
+                    self.nics[node].owned[vc] = false;
+                }
+            } else {
+                let r = &mut self.routers[node];
+                r.credits[port][vc] += 1;
+                if r.out_draining[port][vc] && r.credits[port][vc] == self.cfg.vc_capacity as u32 {
+                    r.out_draining[port][vc] = false;
+                    r.out_owner[port][vc] = None;
+                }
+            }
+        }
+    }
+
+    /// Picks the frame for the next packet of `flow`, consuming quota.
+    /// Returns `None` when every active frame is exhausted (stall).
+    fn claim_frame(&mut self, flow: FlowId, len: u16) -> Option<u64> {
+        let head = self.head_frame;
+        let window = self.cfg.frame_window as u64;
+        // While the barrier is in flight the head frame is closed.
+        let earliest = if self.barrier_due.is_some() { head + 1 } else { head };
+        let st = &mut self.flows[flow.index()];
+        if st.inject_frame < earliest {
+            st.inject_frame = earliest;
+            st.remaining = st.reservation;
+        }
+        loop {
+            // A reservation smaller than one packet would deadlock the
+            // flow; allow a full-quota frame to emit one packet anyway.
+            let fits = st.remaining >= len as u32
+                || (st.remaining == st.reservation && st.reservation < len as u32);
+            if fits {
+                st.remaining = st.remaining.saturating_sub(len as u32);
+                return Some(st.inject_frame);
+            }
+            if st.inject_frame + 1 < head + window {
+                st.inject_frame += 1;
+                st.remaining = st.reservation;
+            } else {
+                return None;
+            }
+        }
+    }
+
+    /// Tags a freshly enqueued or previously untagged packet with the
+    /// earliest active frame that has quota, charging the flow's
+    /// reservation and registering its flits as alive in that frame.
+    fn tag_packet(&mut self, pid: PacketId) -> bool {
+        let (len, node) = {
+            let p = &self.inflight[&pid];
+            (p.len_flits, p.src.index())
+        };
+        let Some(frame) = self.claim_frame(pid.flow, len) else {
+            return false;
+        };
+        self.packet_frame.insert(pid, frame);
+        *self.frame_alive.entry(frame).or_insert(0) += len as u32;
+        let seq = self.tag_seq;
+        self.tag_seq += 1;
+        self.nics[node].tagged.insert((frame, seq), pid);
+        true
+    }
+
+    /// After a window shift, untagged backlog may fit the fresh frame.
+    fn retag_backlog(&mut self) {
+        for node in 0..self.nics.len() {
+            let flows: Vec<u32> = self.nics[node].untagged.keys().copied().collect();
+            for fid in flows {
+                loop {
+                    let Some(&pid) = self.nics[node]
+                        .untagged
+                        .get(&fid)
+                        .and_then(|q| q.front())
+                    else {
+                        break;
+                    };
+                    if !self.tag_packet(pid) {
+                        break;
+                    }
+                    let q = self.nics[node]
+                        .untagged
+                        .get_mut(&fid)
+                        .expect("queue exists");
+                    q.pop_front();
+                    if q.is_empty() {
+                        self.nics[node].untagged.remove(&fid);
+                    }
+                }
+            }
+        }
+    }
+
+    fn nic_inject(&mut self, now: u64) {
+        for node in 0..self.nics.len() {
+            if self.nics[node].current.is_none() {
+                let nic = &self.nics[node];
+                if let Some((&(frame, seq), &pid)) = nic.tagged.iter().next() {
+                    let vc = (0..self.cfg.num_vcs)
+                        .map(|k| (nic.rr + k) % self.cfg.num_vcs)
+                        .find(|&v| !nic.owned[v]);
+                    if let Some(vc) = vc {
+                        let (dst, len) = {
+                            let p = &self.inflight[&pid];
+                            (p.dst, p.len_flits)
+                        };
+                        let nic = &mut self.nics[node];
+                        nic.tagged.remove(&(frame, seq));
+                        nic.owned[vc] = true;
+                        nic.rr = (vc + 1) % self.cfg.num_vcs;
+                        nic.current = Some(Streaming {
+                            id: pid,
+                            dst,
+                            len,
+                            pos: 0,
+                            vc,
+                            frame,
+                        });
+                    }
+                }
+            }
+            let nic = &mut self.nics[node];
+            if let Some(cur) = &mut nic.current {
+                if nic.credits[cur.vc] > 0 {
+                    let kind = FlitKind::for_position(cur.pos, cur.len);
+                    let flit = Flit {
+                        id: cur.id,
+                        dst: cur.dst,
+                        kind,
+                        frame: cur.frame,
+                    };
+                    nic.credits[cur.vc] -= 1;
+                    if cur.pos == 0 {
+                        self.inflight
+                            .get_mut(&cur.id)
+                            .expect("streaming packet is in flight")
+                            .injected_at = Some(now);
+                    }
+                    cur.pos += 1;
+                    let vc = cur.vc;
+                    let done = cur.pos == cur.len;
+                    if done {
+                        nic.draining[vc] = true;
+                        nic.current = None;
+                    }
+                    self.routers[node].inputs[LOCAL][vc].q.push_back(flit);
+                }
+            }
+        }
+    }
+
+    fn route_compute(&mut self) {
+        let topo = self.cfg.topo;
+        let routing = self.cfg.routing;
+        for (node, router) in self.routers.iter_mut().enumerate() {
+            for port in router.inputs.iter_mut() {
+                for buf in port.iter_mut() {
+                    if buf.route.is_none() {
+                        if let Some(front) = buf.q.front() {
+                            if front.kind.is_head() {
+                                let dir = routing.next_hop(
+                                    &topo,
+                                    NodeId::new(node as u32),
+                                    front.dst,
+                                );
+                                buf.route = Some(dir.index());
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// VC allocation with frame priority: per output port, requests
+    /// are served oldest frame first.
+    fn vc_allocate(&mut self) {
+        let num_vcs = self.cfg.num_vcs;
+        for router in &mut self.routers {
+            for out in 0..PORTS {
+                let mut requests: Vec<(u64, usize, usize)> = Vec::new();
+                for in_port in 0..PORTS {
+                    for in_vc in 0..num_vcs {
+                        let buf = &router.inputs[in_port][in_vc];
+                        if buf.out_vc.is_none()
+                            && buf.route == Some(out)
+                            && buf.q.front().is_some_and(|f| f.kind.is_head())
+                        {
+                            requests.push((
+                                buf.frame().expect("nonempty"),
+                                in_port,
+                                in_vc,
+                            ));
+                        }
+                    }
+                }
+                requests.sort_unstable();
+                let mut free: VecDeque<usize> = (0..num_vcs)
+                    .filter(|&v| router.out_owner[out][v].is_none())
+                    .collect();
+                for (_, in_port, in_vc) in requests {
+                    let Some(v) = free.pop_front() else { break };
+                    router.out_owner[out][v] = Some((in_port, in_vc));
+                    router.inputs[in_port][in_vc].out_vc = Some(v);
+                }
+            }
+        }
+    }
+
+    /// Switch allocation with frame priority, then traversal.
+    fn switch_traverse(&mut self, now: u64, out: &mut Vec<Packet>) {
+        let num_vcs = self.cfg.num_vcs;
+        let topo = self.cfg.topo;
+        for node in 0..self.routers.len() {
+            for out_port in 0..PORTS {
+                let router = &self.routers[node];
+                let start = router.rr_sa[out_port];
+                let mut winner: Option<(u64, usize, usize, usize, usize)> = None;
+                for k in 0..PORTS * num_vcs {
+                    let slot = (start + k) % (PORTS * num_vcs);
+                    let (p, v) = (slot / num_vcs, slot % num_vcs);
+                    let buf = &router.inputs[p][v];
+                    if buf.route != Some(out_port) || buf.q.is_empty() {
+                        continue;
+                    }
+                    let Some(ov) = buf.out_vc else { continue };
+                    if out_port != LOCAL && router.credits[out_port][ov] == 0 {
+                        continue;
+                    }
+                    let frame = buf.frame().expect("nonempty");
+                    let better = match winner {
+                        None => true,
+                        Some((wf, ..)) => frame < wf,
+                    };
+                    if better {
+                        winner = Some((frame, p, v, ov, slot));
+                    }
+                }
+                let Some((_, p, v, ov, slot)) = winner else { continue };
+                self.forwarded[node * PORTS + out_port] += 1;
+                let router = &mut self.routers[node];
+                router.rr_sa[out_port] = (slot + 1) % (PORTS * num_vcs);
+                let flit = router.inputs[p][v].q.pop_front().expect("winner has a flit");
+                if flit.kind.is_tail() {
+                    if out_port == LOCAL {
+                        // Ejected flits leave no downstream buffer to
+                        // drain; release the ejection VC immediately.
+                        router.out_owner[out_port][ov] = None;
+                    } else {
+                        // GSF: the downstream VC stays owned until
+                        // drained (credits fully returned).
+                        router.out_draining[out_port][ov] = true;
+                    }
+                    router.inputs[p][v].route = None;
+                    router.inputs[p][v].out_vc = None;
+                }
+                if out_port != LOCAL {
+                    router.credits[out_port][ov] -= 1;
+                }
+                if p == LOCAL {
+                    self.credit_events
+                        .push_back((now + self.cfg.credit_delay, node, LOCAL, v));
+                } else {
+                    let dir = Direction::from_index(p);
+                    let upstream = topo
+                        .neighbor(NodeId::new(node as u32), dir)
+                        .expect("input port implies a neighbor");
+                    self.credit_events.push_back((
+                        now + self.cfg.credit_delay,
+                        upstream.index(),
+                        dir.opposite().index(),
+                        v,
+                    ));
+                }
+                if out_port == LOCAL {
+                    self.eject(node, flit, now, out);
+                } else {
+                    let dir = Direction::from_index(out_port);
+                    let next = topo
+                        .neighbor(NodeId::new(node as u32), dir)
+                        .expect("route leads to a neighbor");
+                    let in_port = dir.opposite().index();
+                    self.wires[next.index() * PORTS + in_port].push_back((
+                        now + self.cfg.hop_latency,
+                        ov,
+                        flit,
+                    ));
+                }
+            }
+        }
+    }
+
+    fn eject(&mut self, node: usize, flit: Flit, now: u64, out: &mut Vec<Packet>) {
+        let count = self
+            .frame_alive
+            .get_mut(&flit.frame)
+            .expect("ejected flit was counted");
+        *count -= 1;
+        if *count == 0 {
+            self.frame_alive.remove(&flit.frame);
+        }
+        let nic = &mut self.nics[node];
+        let seen = nic.eject_progress.entry(flit.id).or_insert(0);
+        *seen += 1;
+        let total = self.inflight[&flit.id].len_flits;
+        if *seen == total {
+            nic.eject_progress.remove(&flit.id);
+            let mut packet = self
+                .inflight
+                .remove(&flit.id)
+                .expect("ejecting packet is in flight");
+            self.packet_frame.remove(&flit.id);
+            packet.ejected_at = Some(now);
+            debug_assert_eq!(packet.dst.index(), node, "packet ejected at wrong node");
+            out.push(packet);
+        }
+    }
+
+    /// Barrier-based global frame recycling. The head frame retires
+    /// only when **no flit tagged with it remains anywhere** — in
+    /// routers *or in source queues*. This is the global coupling the
+    /// LOFT paper criticizes: one congested region holds the window
+    /// for every node.
+    fn recycle_frames(&mut self, now: u64) {
+        match self.barrier_due {
+            Some(due) => {
+                if now >= due {
+                    self.head_frame += 1;
+                    self.recycles += 1;
+                    self.barrier_due = None;
+                    self.retag_backlog();
+                }
+            }
+            None => {
+                let head_empty = !self.frame_alive.contains_key(&self.head_frame);
+                if head_empty {
+                    self.barrier_due = Some(now + self.cfg.barrier_delay);
+                }
+            }
+        }
+    }
+}
+
+impl Network for GsfNetwork {
+    fn num_nodes(&self) -> usize {
+        self.routers.len()
+    }
+
+    fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    fn enqueue(&mut self, packet: Packet) {
+        assert!(
+            packet.id.flow.index() < self.flows.len(),
+            "packet flow id outside configured reservations"
+        );
+        let node = packet.src.index();
+        let id = packet.id;
+        self.inflight.insert(id, packet);
+        // GSF tags packets with frames as they enter the source
+        // queue, consuming the flow's quota up-front; packets that
+        // find every active frame exhausted wait untagged.
+        let fid = id.flow.index() as u32;
+        let has_untagged = self.nics[node]
+            .untagged
+            .get(&fid)
+            .is_some_and(|q| !q.is_empty());
+        if has_untagged || !self.tag_packet(id) {
+            self.nics[node]
+                .untagged
+                .entry(fid)
+                .or_default()
+                .push_back(id);
+        }
+    }
+
+    fn step(&mut self, out: &mut Vec<Packet>) {
+        let now = self.cycle;
+        self.deliver_arrivals(now);
+        self.apply_credits(now);
+        self.recycle_frames(now);
+        self.nic_inject(now);
+        self.route_compute();
+        self.vc_allocate();
+        self.switch_traverse(now, out);
+        self.cycle = now + 1;
+    }
+
+    fn in_flight(&self) -> usize {
+        self.inflight.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noc_sim::flit::FlowId;
+
+    fn packet(flow: u32, seq: u64, src: u32, dst: u32, at: u64) -> Packet {
+        Packet::new(
+            PacketId { flow: FlowId::new(flow), seq },
+            NodeId::new(src),
+            NodeId::new(dst),
+            4,
+            at,
+        )
+    }
+
+    fn drain(net: &mut GsfNetwork, limit: u64) -> Vec<Packet> {
+        let mut out = Vec::new();
+        let mut guard = 0;
+        while net.in_flight() > 0 {
+            net.step(&mut out);
+            guard += 1;
+            assert!(guard < limit, "network failed to drain in {limit} cycles");
+        }
+        out
+    }
+
+    #[test]
+    fn single_packet_delivered() {
+        let mut net = GsfNetwork::new(GsfConfig::default(), &[100]);
+        net.enqueue(packet(0, 0, 0, 63, 0));
+        let out = drain(&mut net, 1_000);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].total_latency().unwrap() >= 14 * 3);
+    }
+
+    #[test]
+    fn quota_throttles_flow() {
+        // Reservation of 4 flits/frame = 1 packet per frame; with a
+        // window of 6 the source can burst 6 packets, then must wait
+        // for recycles.
+        let cfg = GsfConfig::default();
+        let mut net = GsfNetwork::new(cfg, &[4]);
+        for seq in 0..12 {
+            net.enqueue(packet(0, seq, 0, 1, 0));
+        }
+        let out = drain(&mut net, 100_000);
+        assert_eq!(out.len(), 12);
+        let recycles = net.recycles();
+        // 12 packets with 1/frame and a burst window of 6 requires at
+        // least 6 window shifts.
+        assert!(recycles >= 6, "only {recycles} recycles");
+    }
+
+    #[test]
+    fn frames_recycle_when_idle() {
+        let mut net = GsfNetwork::new(GsfConfig::default(), &[100]);
+        let mut out = Vec::new();
+        for _ in 0..200 {
+            net.step(&mut out);
+        }
+        // With an empty network the barrier fires continuously.
+        assert!(net.recycles() >= 5);
+    }
+
+    #[test]
+    fn older_frames_win_arbitration() {
+        // Two flows to the same destination; flow 0 has a tiny quota,
+        // flow 1 a huge one. Flow 1 floods first; flow 0's packet is
+        // tagged with the head frame and must not starve.
+        let cfg = GsfConfig::default();
+        let mut net = GsfNetwork::new(cfg, &[2000, 2000]);
+        for seq in 0..100 {
+            net.enqueue(packet(1, seq, 1, 9, 0));
+        }
+        net.enqueue(packet(0, 0, 0, 9, 0));
+        let out = drain(&mut net, 50_000);
+        let victim = out.iter().find(|p| p.id.flow == FlowId::new(0)).unwrap();
+        // All are frame 0; the victim shares the bandwidth instead of
+        // waiting behind the whole flood.
+        assert!(
+            victim.ejected_at.unwrap() < 350,
+            "victim finished at {}",
+            victim.ejected_at.unwrap()
+        );
+    }
+
+    #[test]
+    fn no_vc_sharing_between_packets() {
+        // The debug_assert in deliver_arrivals checks the invariant;
+        // run a congested workload to exercise it.
+        let mut net = GsfNetwork::new(GsfConfig::default(), &[500, 500, 500]);
+        for seq in 0..50 {
+            net.enqueue(packet(0, seq, 0, 63, 0));
+            net.enqueue(packet(1, seq, 48, 63, 0));
+            net.enqueue(packet(2, seq, 56, 63, 0));
+        }
+        let out = drain(&mut net, 100_000);
+        assert_eq!(out.len(), 150);
+    }
+
+    #[test]
+    fn deterministic() {
+        let run = || {
+            let mut net = GsfNetwork::new(GsfConfig::default(), &[500, 500]);
+            for seq in 0..30 {
+                net.enqueue(packet(0, seq, 0, 63, 0));
+                net.enqueue(packet(1, seq, 7, 56, 0));
+            }
+            drain(&mut net, 100_000)
+                .iter()
+                .map(|p| (p.id, p.ejected_at.unwrap()))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    #[should_panic(expected = "reservations must be positive")]
+    fn zero_reservation_rejected() {
+        let _ = GsfNetwork::new(GsfConfig::default(), &[0]);
+    }
+
+    #[test]
+    fn backlog_tags_up_front_and_drains_in_frame_order() {
+        // Quota of 8 flits = 2 packets per frame; a 30-packet backlog
+        // tags 12 packets (window of 6 frames), parks the rest
+        // untagged, and everything still delivers.
+        let mut net = GsfNetwork::new(GsfConfig::default(), &[8]);
+        for seq in 0..30 {
+            net.enqueue(packet(0, seq, 0, 1, 0));
+        }
+        let out = drain(&mut net, 200_000);
+        assert_eq!(out.len(), 30);
+        // Delivery respects enqueue order for a single flow (frames
+        // are claimed in order).
+        let mut ejects: Vec<(u64, u64)> = out
+            .iter()
+            .map(|p| (p.id.seq, p.ejected_at.unwrap()))
+            .collect();
+        ejects.sort_unstable();
+        for w in ejects.windows(2) {
+            assert!(w[0].1 <= w[1].1, "seq {} overtook {}", w[1].0, w[0].0);
+        }
+    }
+
+    #[test]
+    fn untagged_backlog_throttles_source_throughput() {
+        // With the head frame held open by a congested ejection link,
+        // the per-frame quota bounds a flow's accepted rate.
+        let mut net = GsfNetwork::new(GsfConfig::default(), &[40, 2000]);
+        // Flow 1 floods the destination, slowing frame recycling.
+        for seq in 0..300 {
+            net.enqueue(packet(1, seq, 8, 9, 0));
+        }
+        for seq in 0..100 {
+            net.enqueue(packet(0, seq, 0, 9, 0));
+        }
+        let out = drain(&mut net, 400_000);
+        assert_eq!(out.len(), 400);
+        // Flow 0's quota is 40 flits = 10 packets/frame: with ~2000
+        // flits of flow 1 per frame window ahead of it, flow 0 cannot
+        // finish before several window turns.
+        let last_f0 = out
+            .iter()
+            .filter(|p| p.id.flow == FlowId::new(0))
+            .map(|p| p.ejected_at.unwrap())
+            .max()
+            .unwrap();
+        assert!(last_f0 > 1_000, "flow 0 finished implausibly fast: {last_f0}");
+    }
+
+    #[test]
+    fn link_flits_probe_counts_traffic() {
+        use noc_sim::routing::Direction;
+        let mut net = GsfNetwork::new(GsfConfig::default(), &[100]);
+        net.enqueue(packet(0, 0, 0, 2, 0));
+        let _ = drain(&mut net, 10_000);
+        assert_eq!(net.link_flits(NodeId::new(0), Direction::East), 4);
+        assert_eq!(net.link_flits(NodeId::new(2), Direction::Local), 4);
+        assert_eq!(net.link_flits(NodeId::new(5), Direction::East), 0);
+    }
+
+    #[test]
+    fn barrier_delay_paces_idle_recycling() {
+        let fast = {
+            let mut net = GsfNetwork::new(
+                GsfConfig { barrier_delay: 1, ..GsfConfig::default() },
+                &[100],
+            );
+            let mut out = Vec::new();
+            for _ in 0..1_000 {
+                net.step(&mut out);
+            }
+            net.recycles()
+        };
+        let slow = {
+            let mut net = GsfNetwork::new(
+                GsfConfig { barrier_delay: 100, ..GsfConfig::default() },
+                &[100],
+            );
+            let mut out = Vec::new();
+            for _ in 0..1_000 {
+                net.step(&mut out);
+            }
+            net.recycles()
+        };
+        assert!(fast > 5 * slow, "barrier delay not respected: {fast} vs {slow}");
+    }
+}

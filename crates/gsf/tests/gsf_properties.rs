@@ -1,0 +1,102 @@
+//! Property tests for the GSF network: conservation, frame-quota
+//! enforcement, and recycling liveness under random workloads.
+
+use noc_gsf::{GsfConfig, GsfNetwork};
+use noc_sim::flit::{FlowId, NodeId, Packet, PacketId};
+use noc_sim::{Network, Topology};
+use proptest::prelude::*;
+
+fn small_cfg() -> GsfConfig {
+    GsfConfig {
+        topo: Topology::mesh(4, 4),
+        frame_size: 200,
+        ..GsfConfig::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn every_packet_delivered_exactly_once(
+        batch in prop::collection::vec((0u32..16, 0u32..16, 1u64..12), 1..30),
+    ) {
+        let mut flows: Vec<(u32, u32)> = Vec::new();
+        let mut next_seq: Vec<u64> = Vec::new();
+        let mut packets = Vec::new();
+        for &(a, b, count) in &batch {
+            if a == b {
+                continue;
+            }
+            let fid = flows.iter().position(|&p| p == (a, b)).unwrap_or_else(|| {
+                flows.push((a, b));
+                next_seq.push(0);
+                flows.len() - 1
+            });
+            for _ in 0..count {
+                let seq = next_seq[fid];
+                next_seq[fid] += 1;
+                packets.push(Packet::new(
+                    PacketId { flow: FlowId::new(fid as u32), seq },
+                    NodeId::new(a),
+                    NodeId::new(b),
+                    4,
+                    0,
+                ));
+            }
+        }
+        prop_assume!(!flows.is_empty());
+        let reservations = vec![20u32; flows.len()];
+        let mut net = GsfNetwork::new(small_cfg(), &reservations);
+        let expected = packets.len();
+        for p in packets {
+            net.enqueue(p);
+        }
+        let mut out = Vec::new();
+        let mut guard = 0;
+        while net.in_flight() > 0 {
+            net.step(&mut out);
+            guard += 1;
+            prop_assert!(guard < 1_000_000, "network failed to drain");
+        }
+        prop_assert_eq!(out.len(), expected);
+        let mut seen = std::collections::HashSet::new();
+        for p in &out {
+            prop_assert!(seen.insert(p.id));
+            let (_, dst) = flows[p.id.flow.index()];
+            prop_assert_eq!(p.dst, NodeId::new(dst));
+        }
+    }
+
+    /// The head frame always makes progress: recycles keep happening
+    /// as long as traffic drains (liveness of the barrier).
+    #[test]
+    fn recycling_is_live(backlog in 1u64..60) {
+        let mut net = GsfNetwork::new(small_cfg(), &[8]);
+        for seq in 0..backlog {
+            net.enqueue(Packet::new(
+                PacketId { flow: FlowId::new(0), seq },
+                NodeId::new(0),
+                NodeId::new(15),
+                4,
+                0,
+            ));
+        }
+        let mut out = Vec::new();
+        let mut guard = 0;
+        while net.in_flight() > 0 {
+            net.step(&mut out);
+            guard += 1;
+            prop_assert!(guard < 500_000);
+        }
+        // 8-flit quota = 2 packets per frame: a backlog of n packets
+        // needs at least n/2 - window shifts.
+        let min_recycles = (backlog / 2).saturating_sub(6);
+        prop_assert!(
+            net.recycles() >= min_recycles,
+            "only {} recycles for backlog {}",
+            net.recycles(),
+            backlog
+        );
+    }
+}

@@ -1,0 +1,289 @@
+//! The simulation driver: couples a traffic source to a network model
+//! and gathers statistics.
+//!
+//! Each network architecture in this workspace (wormhole, GSF, LOFT)
+//! implements [`Network`]; workload generators implement
+//! [`TrafficSource`]. [`Simulation::run`] then executes the standard
+//! methodology: warmup, a measurement window, and a bounded drain
+//! phase, producing a [`SimReport`].
+
+use crate::flit::Packet;
+use crate::stats::{SimReport, StatsCollector};
+
+/// A cycle-driven network model.
+///
+/// Implementations own their source queues: [`Network::enqueue`]
+/// places a freshly generated packet into the source NIC, and
+/// [`Network::step`] advances the whole network one cycle, appending
+/// any packets whose last flit reached its destination PE to
+/// `delivered` (with `injected_at`/`ejected_at` filled in).
+pub trait Network {
+    /// Number of nodes in the network.
+    fn num_nodes(&self) -> usize;
+
+    /// Current cycle (number of completed [`Network::step`] calls).
+    fn cycle(&self) -> u64;
+
+    /// Queues a packet in the source queue of `packet.src`.
+    ///
+    /// Source queues are unbounded, matching the methodology of the
+    /// paper (offered load beyond saturation accumulates at sources
+    /// and shows up as source-queue latency).
+    fn enqueue(&mut self, packet: Packet);
+
+    /// Advances one cycle; delivered packets are appended to `out`.
+    fn step(&mut self, out: &mut Vec<Packet>);
+
+    /// Number of packets currently inside the network or its source
+    /// queues (used to terminate the drain phase early).
+    fn in_flight(&self) -> usize;
+}
+
+/// A workload: generates packets cycle by cycle.
+pub trait TrafficSource {
+    /// Number of flows this source generates for (flow ids are dense
+    /// in `0..num_flows`).
+    fn num_flows(&self) -> usize;
+
+    /// Appends the packets generated at `cycle` to `out`, with
+    /// `created_at == cycle`.
+    fn generate(&mut self, cycle: u64, out: &mut Vec<Packet>);
+}
+
+/// Phases of a simulation run, in cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunConfig {
+    /// Cycles before measurement starts (network reaches steady state).
+    pub warmup: u64,
+    /// Length of the measurement window.
+    pub measure: u64,
+    /// Maximum extra cycles after the window during which traffic
+    /// keeps being generated and in-flight packets may still complete
+    /// (bounds latency samples for packets created late in the
+    /// window).
+    pub drain: u64,
+}
+
+impl RunConfig {
+    /// A short configuration suitable for unit tests.
+    pub fn short() -> Self {
+        RunConfig {
+            warmup: 1_000,
+            measure: 5_000,
+            drain: 5_000,
+        }
+    }
+
+    /// The paper-scale configuration used by the experiment harness.
+    pub fn paper() -> Self {
+        RunConfig {
+            warmup: 20_000,
+            measure: 100_000,
+            drain: 50_000,
+        }
+    }
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig::short()
+    }
+}
+
+/// Drives one network with one traffic source.
+///
+/// # Example
+///
+/// See the `noc-wormhole`, `noc-gsf`, and `loft` crates for concrete
+/// networks; each of their crate-level docs contains a full
+/// `Simulation` example.
+#[derive(Debug)]
+pub struct Simulation<N, T> {
+    network: N,
+    traffic: T,
+    config: RunConfig,
+}
+
+impl<N: Network, T: TrafficSource> Simulation<N, T> {
+    /// Creates a simulation.
+    pub fn new(network: N, traffic: T, config: RunConfig) -> Self {
+        Simulation {
+            network,
+            traffic,
+            config,
+        }
+    }
+
+    /// Runs warmup + measurement + drain and returns the report.
+    ///
+    /// During warmup and measurement the traffic source is consulted
+    /// every cycle; during drain it continues to run (keeping the
+    /// network in steady state) but newly created packets no longer
+    /// fall inside the measurement window. The drain phase ends early
+    /// once the network is empty.
+    pub fn run(mut self) -> SimReport {
+        let mut stats = StatsCollector::new(
+            self.traffic.num_flows(),
+            self.network.num_nodes(),
+            self.config.warmup,
+            self.config.measure,
+        );
+        let mut fresh = Vec::new();
+        let mut delivered = Vec::new();
+        let horizon = self.config.warmup + self.config.measure;
+        for cycle in 0..horizon + self.config.drain {
+            if cycle >= horizon && self.network.in_flight() == 0 {
+                break;
+            }
+            fresh.clear();
+            self.traffic.generate(cycle, &mut fresh);
+            for p in fresh.drain(..) {
+                debug_assert_eq!(p.created_at, cycle);
+                stats.on_generated(&p);
+                self.network.enqueue(p);
+            }
+            delivered.clear();
+            self.network.step(&mut delivered);
+            for p in delivered.drain(..) {
+                stats.on_delivered(&p);
+            }
+        }
+        stats.finish()
+    }
+
+    /// Consumes the simulation, returning the network (for
+    /// inspection in tests).
+    pub fn into_network(self) -> N {
+        self.network
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flit::{FlowId, NodeId, Packet, PacketId};
+
+    /// A trivial network: fixed 10-cycle pipeline per packet.
+    #[derive(Debug, Default)]
+    struct DelayLine {
+        cycle: u64,
+        queue: Vec<Packet>,
+    }
+
+    impl Network for DelayLine {
+        fn num_nodes(&self) -> usize {
+            2
+        }
+        fn cycle(&self) -> u64 {
+            self.cycle
+        }
+        fn enqueue(&mut self, mut packet: Packet) {
+            packet.injected_at = Some(self.cycle);
+            self.queue.push(packet);
+        }
+        fn step(&mut self, out: &mut Vec<Packet>) {
+            self.cycle += 1;
+            let cycle = self.cycle;
+            let mut i = 0;
+            while i < self.queue.len() {
+                if cycle >= self.queue[i].created_at + 10 {
+                    let mut p = self.queue.swap_remove(i);
+                    p.ejected_at = Some(cycle);
+                    out.push(p);
+                } else {
+                    i += 1;
+                }
+            }
+        }
+        fn in_flight(&self) -> usize {
+            self.queue.len()
+        }
+    }
+
+    /// One packet every `period` cycles on flow 0.
+    #[derive(Debug)]
+    struct Periodic {
+        period: u64,
+        seq: u64,
+    }
+
+    impl TrafficSource for Periodic {
+        fn num_flows(&self) -> usize {
+            1
+        }
+        fn generate(&mut self, cycle: u64, out: &mut Vec<Packet>) {
+            if cycle.is_multiple_of(self.period) {
+                out.push(Packet::new(
+                    PacketId { flow: FlowId::new(0), seq: self.seq },
+                    NodeId::new(0),
+                    NodeId::new(1),
+                    4,
+                    cycle,
+                ));
+                self.seq += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn delay_line_latency_is_ten() {
+        let sim = Simulation::new(
+            DelayLine::default(),
+            Periodic { period: 20, seq: 0 },
+            RunConfig { warmup: 100, measure: 1_000, drain: 100 },
+        );
+        let report = sim.run();
+        assert_eq!(report.avg_latency(), 10.0);
+        assert_eq!(report.total_latency.count(), 50);
+        // 50 packets * 4 flits / 1000 cycles / 2 nodes
+        assert!((report.throughput_per_node() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn drain_bound_is_respected() {
+        // A network that never delivers must still terminate at the
+        // drain bound.
+        #[derive(Debug, Default)]
+        struct BlackHole {
+            cycle: u64,
+            swallowed: usize,
+        }
+        impl Network for BlackHole {
+            fn num_nodes(&self) -> usize {
+                1
+            }
+            fn cycle(&self) -> u64 {
+                self.cycle
+            }
+            fn enqueue(&mut self, _p: Packet) {
+                self.swallowed += 1;
+            }
+            fn step(&mut self, _out: &mut Vec<Packet>) {
+                self.cycle += 1;
+            }
+            fn in_flight(&self) -> usize {
+                self.swallowed
+            }
+        }
+        let report = Simulation::new(
+            BlackHole::default(),
+            Periodic { period: 10, seq: 0 },
+            RunConfig { warmup: 0, measure: 100, drain: 50 },
+        )
+        .run();
+        assert_eq!(report.total_latency.count(), 0);
+        assert_eq!(report.flits_delivered, 0);
+    }
+
+    #[test]
+    fn drain_stops_when_empty() {
+        let sim = Simulation::new(
+            DelayLine::default(),
+            Periodic { period: 1_000_000, seq: 0 },
+            RunConfig { warmup: 0, measure: 10, drain: 1_000_000 },
+        );
+        // Must terminate promptly despite the huge drain bound.
+        let report = sim.run();
+        assert_eq!(report.total_latency.count(), 1);
+    }
+}

@@ -1,0 +1,51 @@
+//! # noc-sim — cycle-accurate network-on-chip simulation substrate
+//!
+//! This crate is the foundation of the LOFT reproduction (Ouyang & Xie,
+//! MICRO 2010). It provides everything a flit-level, cycle-driven NoC
+//! simulator needs and that every network model in this workspace
+//! (wormhole baseline, GSF, LOFT) shares:
+//!
+//! * [`topology`] — mesh / torus / ring topologies with a fixed
+//!   five-port router model (N/E/S/W/Local),
+//! * [`routing`] — deterministic dimension-order routing,
+//! * [`flit`] — packets, flits, flow identifiers,
+//! * [`flow`] — QoS flow specifications and frame-reservation
+//!   assignment (the `R_ij` of the paper),
+//! * [`stats`] — latency/throughput statistics with warmup handling,
+//! * [`rng`] — small deterministic RNGs so every run is reproducible,
+//! * [`engine`] — the [`engine::Network`] trait every network model
+//!   implements plus the [`engine::Simulation`] driver that ties a
+//!   traffic source, a network, and statistics together.
+//!
+//! # Example
+//!
+//! ```
+//! use noc_sim::topology::Topology;
+//! use noc_sim::routing::{Routing, Direction};
+//!
+//! let mesh = Topology::mesh(8, 8);
+//! let route = Routing::XY;
+//! // Node 0 is (0,0); node 63 is (7,7): XY routing goes East first.
+//! let dir = route.next_hop(&mesh, mesh.node(0, 0), mesh.node(7, 7));
+//! assert_eq!(dir, Direction::East);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod engine;
+pub mod error;
+pub mod flit;
+pub mod flow;
+pub mod rng;
+pub mod routing;
+pub mod stats;
+pub mod topology;
+
+pub use engine::{Network, RunConfig, Simulation, TrafficSource};
+pub use error::ConfigError;
+pub use flit::{FlowId, NodeId, Packet, PacketId};
+pub use flow::{FlowSet, FlowSpec};
+pub use routing::{Direction, Routing};
+pub use stats::SimReport;
+pub use topology::Topology;

@@ -1,0 +1,318 @@
+//! Deterministic routing algorithms.
+//!
+//! The paper evaluates LOFT with dimension-order (XY) routing on an
+//! 8×8 mesh. We also provide YX order; both are deadlock-free on
+//! meshes. Routing is *deterministic*: the paper relies on every flow
+//! using the same path for all its traffic so that per-link frame
+//! reservations are meaningful.
+
+use crate::flit::NodeId;
+use crate::topology::Topology;
+
+/// One of a router's five ports.
+///
+/// `Local` is the port facing the processing element (injection on the
+/// input side, ejection on the output side).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Direction {
+    /// Towards decreasing y.
+    North,
+    /// Towards increasing x.
+    East,
+    /// Towards increasing y.
+    South,
+    /// Towards decreasing x.
+    West,
+    /// The processing-element port.
+    Local,
+}
+
+impl Direction {
+    /// The four router-to-router directions, in index order.
+    pub const CARDINALS: [Direction; 4] = [
+        Direction::North,
+        Direction::East,
+        Direction::South,
+        Direction::West,
+    ];
+
+    /// All five ports, in index order (`Local` last).
+    pub const ALL: [Direction; 5] = [
+        Direction::North,
+        Direction::East,
+        Direction::South,
+        Direction::West,
+        Direction::Local,
+    ];
+
+    /// Number of ports on a router.
+    pub const COUNT: usize = 5;
+
+    /// Returns the opposite direction.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called on [`Direction::Local`], which has no
+    /// opposite.
+    pub fn opposite(self) -> Direction {
+        match self {
+            Direction::North => Direction::South,
+            Direction::South => Direction::North,
+            Direction::East => Direction::West,
+            Direction::West => Direction::East,
+            Direction::Local => panic!("the local port has no opposite"),
+        }
+    }
+
+    /// Stable index in `0..5` for array-indexed port state.
+    pub fn index(self) -> usize {
+        match self {
+            Direction::North => 0,
+            Direction::East => 1,
+            Direction::South => 2,
+            Direction::West => 3,
+            Direction::Local => 4,
+        }
+    }
+
+    /// Inverse of [`Direction::index`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= 5`.
+    pub fn from_index(idx: usize) -> Direction {
+        Direction::ALL[idx]
+    }
+}
+
+impl std::fmt::Display for Direction {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Direction::North => "N",
+            Direction::East => "E",
+            Direction::South => "S",
+            Direction::West => "W",
+            Direction::Local => "L",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A deterministic routing algorithm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Routing {
+    /// Dimension-order routing, x dimension first (the paper's choice).
+    #[default]
+    XY,
+    /// Dimension-order routing, y dimension first.
+    YX,
+}
+
+impl Routing {
+    /// Returns the output port taken at the router of `current` for a
+    /// packet headed to `dst`.
+    ///
+    /// Returns [`Direction::Local`] when `current == dst` (the packet
+    /// ejects). On tori the shorter wrap direction is chosen, ties
+    /// resolved towards East/South.
+    pub fn next_hop(self, topo: &Topology, current: NodeId, dst: NodeId) -> Direction {
+        let (cx, cy) = topo.coords(current);
+        let (dx, dy) = topo.coords(dst);
+        match self {
+            Routing::XY => {
+                if cx != dx {
+                    Self::x_step(topo, cx, dx)
+                } else if cy != dy {
+                    Self::y_step(topo, cy, dy)
+                } else {
+                    Direction::Local
+                }
+            }
+            Routing::YX => {
+                if cy != dy {
+                    Self::y_step(topo, cy, dy)
+                } else if cx != dx {
+                    Self::x_step(topo, cx, dx)
+                } else {
+                    Direction::Local
+                }
+            }
+        }
+    }
+
+    fn x_step(topo: &Topology, cx: u16, dx: u16) -> Direction {
+        let w = topo.width() as i32;
+        let diff = dx as i32 - cx as i32;
+        if matches!(topo, Topology::Torus { .. }) {
+            // Choose the shorter wrap direction; ties go East.
+            let east = diff.rem_euclid(w);
+            if east <= w - east {
+                Direction::East
+            } else {
+                Direction::West
+            }
+        } else if diff > 0 {
+            Direction::East
+        } else {
+            Direction::West
+        }
+    }
+
+    fn y_step(topo: &Topology, cy: u16, dy: u16) -> Direction {
+        let h = topo.height() as i32;
+        let diff = dy as i32 - cy as i32;
+        if matches!(topo, Topology::Torus { .. }) {
+            let south = diff.rem_euclid(h);
+            if south <= h - south {
+                Direction::South
+            } else {
+                Direction::North
+            }
+        } else if diff > 0 {
+            Direction::South
+        } else {
+            Direction::North
+        }
+    }
+
+    /// Returns the full path of a packet as the list of nodes visited,
+    /// starting with `src` and ending with `dst` (inclusive).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use noc_sim::topology::Topology;
+    /// use noc_sim::routing::Routing;
+    ///
+    /// let m = Topology::mesh(8, 8);
+    /// let path = Routing::XY.path(&m, m.node(0, 0), m.node(2, 1));
+    /// let ids: Vec<u32> = path.iter().map(|n| n.index() as u32).collect();
+    /// assert_eq!(ids, vec![0, 1, 2, 10]);
+    /// ```
+    pub fn path(self, topo: &Topology, src: NodeId, dst: NodeId) -> Vec<NodeId> {
+        let mut nodes = vec![src];
+        let mut cur = src;
+        while cur != dst {
+            let dir = self.next_hop(topo, cur, dst);
+            cur = topo
+                .neighbor(cur, dir)
+                .expect("routing stepped off the topology");
+            nodes.push(cur);
+            assert!(
+                nodes.len() <= topo.num_nodes() + 1,
+                "routing loop detected"
+            );
+        }
+        nodes
+    }
+
+    /// Returns the sequence of (router, output direction) pairs a
+    /// packet traverses, ending with the ejection `(dst, Local)` hop.
+    pub fn port_path(self, topo: &Topology, src: NodeId, dst: NodeId) -> Vec<(NodeId, Direction)> {
+        let mut hops = Vec::new();
+        let mut cur = src;
+        loop {
+            let dir = self.next_hop(topo, cur, dst);
+            hops.push((cur, dir));
+            if dir == Direction::Local {
+                return hops;
+            }
+            cur = topo
+                .neighbor(cur, dir)
+                .expect("routing stepped off the topology");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn direction_roundtrip() {
+        for d in Direction::ALL {
+            assert_eq!(Direction::from_index(d.index()), d);
+        }
+    }
+
+    #[test]
+    fn opposite_is_involution() {
+        for d in Direction::CARDINALS {
+            assert_eq!(d.opposite().opposite(), d);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no opposite")]
+    fn local_has_no_opposite() {
+        let _ = Direction::Local.opposite();
+    }
+
+    #[test]
+    fn xy_goes_x_first() {
+        let m = Topology::mesh(8, 8);
+        let path = Routing::XY.path(&m, m.node(0, 0), m.node(3, 2));
+        // x sweep then y sweep.
+        let coords: Vec<(u16, u16)> = path.iter().map(|&n| m.coords(n)).collect();
+        assert_eq!(
+            coords,
+            vec![(0, 0), (1, 0), (2, 0), (3, 0), (3, 1), (3, 2)]
+        );
+    }
+
+    #[test]
+    fn yx_goes_y_first() {
+        let m = Topology::mesh(8, 8);
+        let path = Routing::YX.path(&m, m.node(0, 0), m.node(2, 2));
+        let coords: Vec<(u16, u16)> = path.iter().map(|&n| m.coords(n)).collect();
+        assert_eq!(
+            coords,
+            vec![(0, 0), (0, 1), (0, 2), (1, 2), (2, 2)]
+        );
+    }
+
+    #[test]
+    fn path_length_matches_hop_distance() {
+        let m = Topology::mesh(8, 8);
+        for a in [0u32, 5, 17, 63] {
+            for b in [0u32, 9, 42, 63] {
+                let (a, b) = (NodeId::new(a), NodeId::new(b));
+                let path = Routing::XY.path(&m, a, b);
+                assert_eq!(path.len() as u32 - 1, m.hop_distance(a, b));
+            }
+        }
+    }
+
+    #[test]
+    fn port_path_ends_at_local() {
+        let m = Topology::mesh(4, 4);
+        let hops = Routing::XY.port_path(&m, m.node(0, 0), m.node(3, 3));
+        assert_eq!(hops.last(), Some(&(m.node(3, 3), Direction::Local)));
+        assert_eq!(hops.len(), 7); // 6 link hops + ejection
+    }
+
+    #[test]
+    fn self_route_is_immediate_ejection() {
+        let m = Topology::mesh(4, 4);
+        let n = m.node(2, 2);
+        assert_eq!(Routing::XY.next_hop(&m, n, n), Direction::Local);
+        assert_eq!(Routing::XY.path(&m, n, n), vec![n]);
+    }
+
+    #[test]
+    fn torus_prefers_shorter_wrap() {
+        let t = Topology::torus(8, 8);
+        // 0 -> 7 on a ring of 8 is 1 hop West via wrap.
+        assert_eq!(
+            Routing::XY.next_hop(&t, t.node(0, 0), t.node(7, 0)),
+            Direction::West
+        );
+        // 0 -> 3 is 3 hops East.
+        assert_eq!(
+            Routing::XY.next_hop(&t, t.node(0, 0), t.node(3, 0)),
+            Direction::East
+        );
+        let path = Routing::XY.path(&t, t.node(0, 0), t.node(7, 7));
+        assert_eq!(path.len(), 3); // wrap west + wrap north
+    }
+}

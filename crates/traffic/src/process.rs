@@ -1,0 +1,195 @@
+//! Packet injection processes.
+//!
+//! A process decides, cycle by cycle, whether a flow generates a new
+//! packet. Rates are expressed in **flits/cycle** (the paper's unit),
+//! so a flow of 4-flit packets at rate 0.2 generates a packet every
+//! 20 cycles on average.
+
+use noc_sim::rng::Xoshiro256;
+
+/// How a flow injects packets over time.
+#[derive(Debug, Clone, PartialEq)]
+pub enum InjectionProcess {
+    /// Memoryless injection: each cycle a packet is generated with
+    /// probability `rate / packet_len`. This is the standard NoC
+    /// load-sweep process.
+    Bernoulli {
+        /// Offered load in flits/cycle.
+        rate: f64,
+    },
+    /// Deterministic, evenly spaced injection — the "regulated flow"
+    /// of Case Study I, which never exceeds its allocated rate.
+    Regulated {
+        /// Offered load in flits/cycle.
+        rate: f64,
+    },
+    /// Two-state Markov (bursty) injection: while *on*, packets are
+    /// generated at `rate_on`; while *off*, none. State transitions
+    /// occur each cycle with the given probabilities.
+    OnOff {
+        /// Offered load while in the on state, flits/cycle.
+        rate_on: f64,
+        /// Per-cycle probability of switching on → off.
+        p_on_to_off: f64,
+        /// Per-cycle probability of switching off → on.
+        p_off_to_on: f64,
+    },
+}
+
+impl InjectionProcess {
+    /// Long-run average offered load in flits/cycle.
+    pub fn mean_rate(&self) -> f64 {
+        match *self {
+            InjectionProcess::Bernoulli { rate } | InjectionProcess::Regulated { rate } => rate,
+            InjectionProcess::OnOff {
+                rate_on,
+                p_on_to_off,
+                p_off_to_on,
+            } => {
+                let on_fraction = p_off_to_on / (p_off_to_on + p_on_to_off);
+                rate_on * on_fraction
+            }
+        }
+    }
+
+    /// Creates the per-flow runtime state for this process.
+    pub(crate) fn start(&self, packet_len: u16) -> ProcessState {
+        match *self {
+            InjectionProcess::Bernoulli { rate } => ProcessState::Bernoulli {
+                p: rate / packet_len as f64,
+            },
+            InjectionProcess::Regulated { rate } => ProcessState::Regulated {
+                credit: 0.0,
+                per_cycle: rate / packet_len as f64,
+            },
+            InjectionProcess::OnOff {
+                rate_on,
+                p_on_to_off,
+                p_off_to_on,
+            } => ProcessState::OnOff {
+                p: rate_on / packet_len as f64,
+                p_on_to_off,
+                p_off_to_on,
+                on: true,
+            },
+        }
+    }
+}
+
+/// Runtime state of a flow's injection process.
+#[derive(Debug, Clone)]
+pub(crate) enum ProcessState {
+    Bernoulli {
+        p: f64,
+    },
+    Regulated {
+        credit: f64,
+        per_cycle: f64,
+    },
+    OnOff {
+        p: f64,
+        p_on_to_off: f64,
+        p_off_to_on: f64,
+        on: bool,
+    },
+}
+
+impl ProcessState {
+    /// Returns how many packets to generate this cycle (0 or 1 for
+    /// rates below one packet/cycle, which is all the paper uses).
+    pub(crate) fn tick(&mut self, rng: &mut Xoshiro256) -> u32 {
+        match self {
+            ProcessState::Bernoulli { p } => u32::from(rng.bernoulli(*p)),
+            ProcessState::Regulated { credit, per_cycle } => {
+                *credit += *per_cycle;
+                if *credit >= 1.0 {
+                    *credit -= 1.0;
+                    1
+                } else {
+                    0
+                }
+            }
+            ProcessState::OnOff {
+                p,
+                p_on_to_off,
+                p_off_to_on,
+                on,
+            } => {
+                let fire = if *on { u32::from(rng.bernoulli(*p)) } else { 0 };
+                // Transition after the emission decision.
+                if *on {
+                    if rng.bernoulli(*p_on_to_off) {
+                        *on = false;
+                    }
+                } else if rng.bernoulli(*p_off_to_on) {
+                    *on = true;
+                }
+                fire
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_rate(process: InjectionProcess, cycles: u64, packet_len: u16) -> f64 {
+        let mut st = process.start(packet_len);
+        let mut rng = Xoshiro256::seed_from(99);
+        let mut packets = 0u64;
+        for _ in 0..cycles {
+            packets += st.tick(&mut rng) as u64;
+        }
+        packets as f64 * packet_len as f64 / cycles as f64
+    }
+
+    #[test]
+    fn bernoulli_hits_target_rate() {
+        let r = run_rate(InjectionProcess::Bernoulli { rate: 0.2 }, 200_000, 4);
+        assert!((r - 0.2).abs() < 0.01, "measured {r}");
+    }
+
+    #[test]
+    fn regulated_is_exact_and_even() {
+        let p = InjectionProcess::Regulated { rate: 0.2 };
+        let mut st = p.start(4);
+        let mut rng = Xoshiro256::seed_from(1);
+        let mut gaps = Vec::new();
+        let mut last = None;
+        for cycle in 0..10_000u64 {
+            if st.tick(&mut rng) > 0 {
+                if let Some(l) = last {
+                    gaps.push(cycle - l);
+                }
+                last = Some(cycle);
+            }
+        }
+        // rate 0.2 flits/cycle, 4-flit packets => one packet / 20 cycles.
+        assert!(gaps.iter().all(|&g| g == 20), "gaps {gaps:?}");
+    }
+
+    #[test]
+    fn on_off_mean_rate_formula() {
+        let p = InjectionProcess::OnOff {
+            rate_on: 0.8,
+            p_on_to_off: 0.01,
+            p_off_to_on: 0.03,
+        };
+        assert!((p.mean_rate() - 0.6).abs() < 1e-12);
+        let measured = run_rate(p, 2_000_000, 4);
+        assert!((measured - 0.6).abs() < 0.03, "measured {measured}");
+    }
+
+    #[test]
+    fn zero_rate_emits_nothing() {
+        assert_eq!(run_rate(InjectionProcess::Bernoulli { rate: 0.0 }, 10_000, 4), 0.0);
+        assert_eq!(run_rate(InjectionProcess::Regulated { rate: 0.0 }, 10_000, 4), 0.0);
+    }
+
+    #[test]
+    fn full_rate_saturates_one_packet_per_packet_time() {
+        let r = run_rate(InjectionProcess::Regulated { rate: 1.0 }, 10_000, 4);
+        assert!((r - 1.0).abs() < 1e-3, "measured {r}");
+    }
+}

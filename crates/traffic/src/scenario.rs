@@ -1,0 +1,606 @@
+//! Ready-made workload scenarios from the paper's evaluation
+//! (Section 6), plus a few classic synthetic patterns.
+//!
+//! A [`Scenario`] bundles the flow endpoints, relative QoS weights,
+//! injection processes, and named flow groups (for Figure 10-style
+//! per-group statistics). It can instantiate a [`Workload`] for any
+//! seed and compute reservations for any frame capacity, so the same
+//! scenario drives both GSF (frame of 2000 flits) and LOFT (frame of
+//! 256 flits).
+
+use crate::process::InjectionProcess;
+use crate::workload::{DestRule, Workload};
+use noc_sim::flit::{FlowId, NodeId};
+use noc_sim::flow::FlowSet;
+use noc_sim::routing::Routing;
+use noc_sim::topology::Topology;
+use noc_sim::ConfigError;
+
+/// One flow of a scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioFlow {
+    /// Source node.
+    pub src: NodeId,
+    /// Destination rule.
+    pub dest: DestRule,
+    /// Injection process.
+    pub process: InjectionProcess,
+    /// Relative weight used when scaling reservations to the most
+    /// contended link.
+    pub weight: f64,
+    /// Explicit share of the frame (0..1], overriding weight-based
+    /// scaling — used by Case Study I, where each flow is allocated
+    /// exactly 1/4 of the link bandwidth.
+    pub share: Option<f64>,
+}
+
+/// A named, reusable experiment workload.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Human-readable name (used by the harness output).
+    pub name: String,
+    /// Topology the scenario runs on.
+    pub topo: Topology,
+    /// Routing algorithm (the paper uses XY everywhere).
+    pub routing: Routing,
+    /// Packet length in flits.
+    pub packet_len: u16,
+    /// The flows, id order.
+    pub flows: Vec<ScenarioFlow>,
+    /// Named groups of flows for per-group reporting (Figure 10's
+    /// partitions, Case Study groups, etc.).
+    pub groups: Vec<(String, Vec<FlowId>)>,
+}
+
+impl Scenario {
+    /// Number of flows.
+    pub fn num_flows(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Builds the runtime workload for a seed.
+    pub fn workload(&self, seed: u64) -> Workload {
+        let mut w = Workload::new(self.packet_len, seed);
+        for f in &self.flows {
+            w.add_flow(f.src, f.dest.clone(), f.process.clone());
+        }
+        w
+    }
+
+    /// Computes per-flow reservations in frame slots for a frame of
+    /// `frame_capacity` slots.
+    ///
+    /// * Flows with an explicit [`ScenarioFlow::share`] get
+    ///   `floor(share × capacity)`.
+    /// * Otherwise, if every flow has a fixed destination, weights are
+    ///   scaled so the most contended link is exactly filled
+    ///   ([`FlowSet::assign_reservations`]).
+    /// * If any flow uses random destinations (uniform traffic), the
+    ///   whole frame is split in proportion to weights across *all*
+    ///   flows, since any link may be shared by all of them.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any flow would end up with a zero
+    /// reservation at this capacity.
+    pub fn reservations(&self, frame_capacity: u32) -> Result<Vec<u32>, ConfigError> {
+        if self.flows.is_empty() {
+            return Err(ConfigError::new("scenario has no flows"));
+        }
+        if self.flows.iter().all(|f| f.share.is_some()) {
+            let mut out = Vec::with_capacity(self.flows.len());
+            for (i, f) in self.flows.iter().enumerate() {
+                let share = f.share.expect("checked above");
+                if !(0.0..=1.0).contains(&share) {
+                    return Err(ConfigError::new(format!(
+                        "flow f{i} share {share} outside (0, 1]"
+                    )));
+                }
+                let r = (share * frame_capacity as f64).floor() as u32;
+                if r == 0 {
+                    return Err(ConfigError::new(format!(
+                        "flow f{i} share {share} rounds to zero slots"
+                    )));
+                }
+                out.push(r);
+            }
+            return Ok(out);
+        }
+        let any_random = self
+            .flows
+            .iter()
+            .any(|f| matches!(f.dest, DestRule::UniformRandom { .. }));
+        if any_random {
+            let total: f64 = self.flows.iter().map(|f| f.weight).sum();
+            let mut out = Vec::with_capacity(self.flows.len());
+            for (i, f) in self.flows.iter().enumerate() {
+                let r = (f.weight / total * frame_capacity as f64).floor() as u32;
+                if r == 0 {
+                    return Err(ConfigError::new(format!(
+                        "flow f{i} weight {} too small for capacity {frame_capacity}",
+                        f.weight
+                    )));
+                }
+                out.push(r);
+            }
+            Ok(out)
+        } else {
+            self.flow_set()
+                .expect("all destinations fixed")
+                .assign_reservations(frame_capacity)
+        }
+    }
+
+    /// The [`FlowSet`] of this scenario, if every flow has a fixed
+    /// destination (needed for path-based reservation math).
+    pub fn flow_set(&self) -> Option<FlowSet> {
+        let mut fs = FlowSet::new(self.topo, self.routing);
+        for f in &self.flows {
+            match f.dest {
+                DestRule::Fixed(d) => {
+                    fs.add(f.src, d, f.weight);
+                }
+                DestRule::UniformRandom { .. } => return None,
+            }
+        }
+        Some(fs)
+    }
+
+    /// Looks up a flow group by name.
+    pub fn group(&self, name: &str) -> Option<&[FlowId]> {
+        self.groups
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, g)| g.as_slice())
+    }
+
+    // ----- paper scenarios --------------------------------------------
+
+    /// The paper's default 8×8 mesh.
+    pub fn default_topology() -> Topology {
+        Topology::mesh(8, 8)
+    }
+
+    /// **Uniform** traffic (Figure 11a): every node is one flow
+    /// sending `rate` flits/cycle to uniformly random destinations,
+    /// with equal QoS weights.
+    pub fn uniform(rate: f64) -> Scenario {
+        let topo = Self::default_topology();
+        let n = topo.num_nodes() as u32;
+        let flows: Vec<ScenarioFlow> = topo
+            .nodes()
+            .map(|src| ScenarioFlow {
+                src,
+                dest: DestRule::UniformRandom { num_nodes: n },
+                process: InjectionProcess::Bernoulli { rate },
+                weight: 1.0,
+                share: None,
+            })
+            .collect();
+        let all: Vec<FlowId> = (0..flows.len() as u32).map(FlowId::new).collect();
+        Scenario {
+            name: format!("uniform(rate={rate})"),
+            topo,
+            routing: Routing::XY,
+            packet_len: 4,
+            flows,
+            groups: vec![("all".to_string(), all)],
+        }
+    }
+
+    /// **Hotspot** traffic (Figures 10a and 11b): all other 63 nodes
+    /// send to node 63 at `rate` flits/cycle with equal weights.
+    pub fn hotspot(rate: f64) -> Scenario {
+        Self::hotspot_weighted(rate, |_| 1.0, "hotspot")
+    }
+
+    /// Hotspot with per-source weights derived from the node id.
+    fn hotspot_weighted(
+        rate: f64,
+        weight_of: impl Fn(NodeId) -> f64,
+        name: &str,
+    ) -> Scenario {
+        let topo = Self::default_topology();
+        let hotspot = NodeId::new(63);
+        let mut flows = Vec::new();
+        for src in topo.nodes() {
+            if src == hotspot {
+                continue;
+            }
+            flows.push(ScenarioFlow {
+                src,
+                dest: DestRule::Fixed(hotspot),
+                process: InjectionProcess::Bernoulli { rate },
+                weight: weight_of(src),
+                share: None,
+            });
+        }
+        let all: Vec<FlowId> = (0..flows.len() as u32).map(FlowId::new).collect();
+        Scenario {
+            name: format!("{name}(rate={rate})"),
+            topo,
+            routing: Routing::XY,
+            packet_len: 4,
+            flows,
+            groups: vec![("all".to_string(), all)],
+        }
+    }
+
+    /// **Differentiated allocation #1** (Figure 10b): the mesh is
+    /// divided into four 4×4 quadrants R1..R4 with weights 8:6:6:3;
+    /// R4 (bottom-right) contains the hotspot.
+    pub fn hotspot_differentiated4(rate: f64) -> Scenario {
+        let weights = [8.0, 6.0, 6.0, 3.0];
+        let topo = Self::default_topology();
+        let quadrant = |n: NodeId| -> usize {
+            let (x, y) = topo.coords(n);
+            match (x < 4, y < 4) {
+                (true, true) => 0,   // R1: top-left
+                (true, false) => 1,  // R2: bottom-left
+                (false, true) => 2,  // R3: top-right
+                (false, false) => 3, // R4: bottom-right (hotspot)
+            }
+        };
+        let mut s = Self::hotspot_weighted(rate, |n| weights[quadrant(n)], "hotspot-diff4");
+        s.groups = (0..4)
+            .map(|q| {
+                let ids = s
+                    .flows
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, f)| quadrant(f.src) == q)
+                    .map(|(i, _)| FlowId::new(i as u32))
+                    .collect();
+                (format!("R{}", q + 1), ids)
+            })
+            .collect();
+        s
+    }
+
+    /// **Differentiated allocation #2** (Figure 10c): two halves with
+    /// weights 9:3; R2 (bottom half) contains the hotspot.
+    pub fn hotspot_differentiated2(rate: f64) -> Scenario {
+        let topo = Self::default_topology();
+        let half = |n: NodeId| -> usize { usize::from(topo.coords(n).1 >= 4) };
+        let weights = [9.0, 3.0];
+        let mut s = Self::hotspot_weighted(rate, |n| weights[half(n)], "hotspot-diff2");
+        s.groups = (0..2)
+            .map(|h| {
+                let ids = s
+                    .flows
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, f)| half(f.src) == h)
+                    .map(|(i, _)| FlowId::new(i as u32))
+                    .collect();
+                (format!("R{}", h + 1), ids)
+            })
+            .collect();
+        s
+    }
+
+    /// **Case Study I** (Figure 12): denial-of-service. Nodes 0, 48,
+    /// and 56 send to hotspot node 63; each flow is allocated 1/4 of
+    /// the link bandwidth. Flow 0→63 is regulated at 0.2 flits/cycle;
+    /// the two aggressors inject (Bernoulli) at `aggressor_rate`,
+    /// possibly far beyond their allocation.
+    ///
+    /// Groups: `"victim"` (flow 0) and `"aggressors"` (flows 1, 2).
+    pub fn case_study_1(aggressor_rate: f64) -> Scenario {
+        let topo = Self::default_topology();
+        let hotspot = NodeId::new(63);
+        let mk = |src: u32, process: InjectionProcess| ScenarioFlow {
+            src: NodeId::new(src),
+            dest: DestRule::Fixed(hotspot),
+            process,
+            weight: 1.0,
+            share: Some(0.25),
+        };
+        let flows = vec![
+            mk(0, InjectionProcess::Regulated { rate: 0.2 }),
+            mk(48, InjectionProcess::Bernoulli { rate: aggressor_rate }),
+            mk(56, InjectionProcess::Bernoulli { rate: aggressor_rate }),
+        ];
+        Scenario {
+            name: format!("case-study-1(aggr={aggressor_rate})"),
+            topo,
+            routing: Routing::XY,
+            packet_len: 4,
+            flows,
+            groups: vec![
+                ("victim".to_string(), vec![FlowId::new(0)]),
+                (
+                    "aggressors".to_string(),
+                    vec![FlowId::new(1), FlowId::new(2)],
+                ),
+            ],
+        }
+    }
+
+    /// **Case Study II** (Figures 1 and 13): the pathological GSF
+    /// scenario. The eight *grey* nodes of column 0 all send to the
+    /// central hotspot (4,4); the *stripped* node (6,4) sends to its
+    /// nearest neighbor (7,4). All flows inject at `rate` and — with
+    /// no prior knowledge of the pattern — every flow gets the same
+    /// equal share of 1/64 of a frame.
+    ///
+    /// Groups: `"grey"` and `"stripped"`.
+    pub fn case_study_2(rate: f64) -> Scenario {
+        let topo = Self::default_topology();
+        let center = topo.node(4, 4);
+        let mut flows = Vec::new();
+        for y in 0..8 {
+            flows.push(ScenarioFlow {
+                src: topo.node(0, y),
+                dest: DestRule::Fixed(center),
+                process: InjectionProcess::Bernoulli { rate },
+                weight: 1.0,
+                share: Some(1.0 / 9.0),
+            });
+        }
+        flows.push(ScenarioFlow {
+            src: topo.node(6, 4),
+            dest: DestRule::Fixed(topo.node(7, 4)),
+            process: InjectionProcess::Bernoulli { rate },
+            weight: 1.0,
+            share: Some(1.0 / 9.0),
+        });
+        let grey: Vec<FlowId> = (0..8).map(FlowId::new).collect();
+        Scenario {
+            name: format!("case-study-2(rate={rate})"),
+            topo,
+            routing: Routing::XY,
+            packet_len: 4,
+            flows,
+            groups: vec![
+                ("grey".to_string(), grey),
+                ("stripped".to_string(), vec![FlowId::new(8)]),
+            ],
+        }
+    }
+
+    /// **Bursty hotspot**: like [`Scenario::hotspot`], but sources
+    /// inject with an on/off (two-state Markov) process — `rate_on`
+    /// while bursting, with mean burst and idle lengths of
+    /// `burst_len` and `idle_len` cycles. The frame window (`WF`)
+    /// is what absorbs such bursts without breaking guarantees.
+    pub fn bursty_hotspot(rate_on: f64, burst_len: f64, idle_len: f64) -> Scenario {
+        let mut s = Self::hotspot_weighted(0.0, |_| 1.0, "bursty-hotspot");
+        for f in s.flows.iter_mut() {
+            f.process = InjectionProcess::OnOff {
+                rate_on,
+                p_on_to_off: 1.0 / burst_len,
+                p_off_to_on: 1.0 / idle_len,
+            };
+        }
+        s.name = format!("bursty-hotspot(on={rate_on},burst={burst_len},idle={idle_len})");
+        s
+    }
+
+    // ----- classic extra patterns -------------------------------------
+
+    /// Transpose traffic: node (x, y) sends to (y, x). Nodes on the
+    /// diagonal stay silent.
+    pub fn transpose(rate: f64) -> Scenario {
+        let topo = Self::default_topology();
+        let mut flows = Vec::new();
+        for src in topo.nodes() {
+            let (x, y) = topo.coords(src);
+            if x == y {
+                continue;
+            }
+            flows.push(ScenarioFlow {
+                src,
+                dest: DestRule::Fixed(topo.node(y, x)),
+                process: InjectionProcess::Bernoulli { rate },
+                weight: 1.0,
+                share: None,
+            });
+        }
+        let all: Vec<FlowId> = (0..flows.len() as u32).map(FlowId::new).collect();
+        Scenario {
+            name: format!("transpose(rate={rate})"),
+            topo,
+            routing: Routing::XY,
+            packet_len: 4,
+            flows,
+            groups: vec![("all".to_string(), all)],
+        }
+    }
+
+    /// Bit-complement traffic: node `i` sends to `!i & 63`.
+    pub fn bit_complement(rate: f64) -> Scenario {
+        let topo = Self::default_topology();
+        let n = topo.num_nodes() as u32;
+        let mut flows = Vec::new();
+        for src in topo.nodes() {
+            let dst = NodeId::new(!(src.index() as u32) & (n - 1));
+            flows.push(ScenarioFlow {
+                src,
+                dest: DestRule::Fixed(dst),
+                process: InjectionProcess::Bernoulli { rate },
+                weight: 1.0,
+                share: None,
+            });
+        }
+        let all: Vec<FlowId> = (0..flows.len() as u32).map(FlowId::new).collect();
+        Scenario {
+            name: format!("bit-complement(rate={rate})"),
+            topo,
+            routing: Routing::XY,
+            packet_len: 4,
+            flows,
+            groups: vec![("all".to_string(), all)],
+        }
+    }
+
+    /// Nearest-neighbor traffic: every node sends East (wrapping to
+    /// the row start), the lightest-possible permutation.
+    pub fn nearest_neighbor(rate: f64) -> Scenario {
+        let topo = Self::default_topology();
+        let mut flows = Vec::new();
+        for src in topo.nodes() {
+            let (x, y) = topo.coords(src);
+            let dst = topo.node((x + 1) % 8, y);
+            flows.push(ScenarioFlow {
+                src,
+                dest: DestRule::Fixed(dst),
+                process: InjectionProcess::Bernoulli { rate },
+                weight: 1.0,
+                share: None,
+            });
+        }
+        let all: Vec<FlowId> = (0..flows.len() as u32).map(FlowId::new).collect();
+        Scenario {
+            name: format!("nearest-neighbor(rate={rate})"),
+            topo,
+            routing: Routing::XY,
+            packet_len: 4,
+            flows,
+            groups: vec![("all".to_string(), all)],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_has_64_flows_equal_split() {
+        let s = Scenario::uniform(0.1);
+        assert_eq!(s.num_flows(), 64);
+        let r = s.reservations(256).unwrap();
+        assert!(r.iter().all(|&x| x == 4)); // 256 / 64
+        assert!(s.flow_set().is_none());
+    }
+
+    #[test]
+    fn hotspot_reservations_fill_ejection_link() {
+        let s = Scenario::hotspot(0.02);
+        let r = s.reservations(256).unwrap();
+        assert_eq!(r.len(), 63);
+        assert!(r.iter().all(|&x| x == 4)); // 256/63 floored
+        let fs = s.flow_set().unwrap();
+        fs.check_reservations(&r, 256).unwrap();
+    }
+
+    #[test]
+    fn differentiated4_weights_ordered() {
+        let s = Scenario::hotspot_differentiated4(0.05);
+        assert_eq!(s.groups.len(), 4);
+        let r = s.reservations(256).unwrap();
+        let avg = |name: &str| {
+            let g = s.group(name).unwrap();
+            g.iter().map(|f| r[f.index()] as f64).sum::<f64>() / g.len() as f64
+        };
+        assert!(avg("R1") > avg("R2"));
+        assert!((avg("R2") - avg("R3")).abs() < 1e-9);
+        assert!(avg("R3") > avg("R4"));
+        // R4 contains 15 senders (hotspot itself does not send).
+        assert_eq!(s.group("R4").unwrap().len(), 15);
+        assert_eq!(s.num_flows(), 63);
+    }
+
+    #[test]
+    fn differentiated2_halves() {
+        let s = Scenario::hotspot_differentiated2(0.05);
+        assert_eq!(s.group("R1").unwrap().len(), 32);
+        assert_eq!(s.group("R2").unwrap().len(), 31);
+        let r = s.reservations(256).unwrap();
+        let r1 = r[s.group("R1").unwrap()[0].index()];
+        let r2 = r[s.group("R2").unwrap()[0].index()];
+        assert!(r1 > 2 * r2, "r1={r1} r2={r2}");
+    }
+
+    #[test]
+    fn case_study_1_shares() {
+        let s = Scenario::case_study_1(0.8);
+        assert_eq!(s.num_flows(), 3);
+        let r = s.reservations(256).unwrap();
+        assert_eq!(r, vec![64, 64, 64]); // 1/4 of the frame each
+        assert_eq!(s.group("victim").unwrap().len(), 1);
+        assert_eq!(s.group("aggressors").unwrap().len(), 2);
+        // The victim is regulated, aggressors are Bernoulli.
+        assert!(matches!(
+            s.flows[0].process,
+            InjectionProcess::Regulated { .. }
+        ));
+    }
+
+    #[test]
+    fn case_study_2_topology() {
+        let s = Scenario::case_study_2(0.5);
+        assert_eq!(s.num_flows(), 9);
+        let r = s.reservations(256).unwrap();
+        assert!(r.iter().all(|&x| x == 28)); // 1/9 of 256, floored
+        // The stripped flow's path is disjoint from the grey paths.
+        let fs = s.flow_set().unwrap();
+        let stripped_links = fs.links(FlowId::new(8));
+        for g in 0..8u32 {
+            let grey_links = fs.links(FlowId::new(g));
+            for l in &stripped_links {
+                assert!(!grey_links.contains(l), "paths must be disjoint");
+            }
+        }
+    }
+
+    #[test]
+    fn transpose_diagonal_silent() {
+        let s = Scenario::transpose(0.1);
+        assert_eq!(s.num_flows(), 56); // 64 - 8 diagonal nodes
+    }
+
+    #[test]
+    fn bit_complement_is_an_involution() {
+        let s = Scenario::bit_complement(0.1);
+        assert_eq!(s.num_flows(), 64);
+        for f in &s.flows {
+            if let DestRule::Fixed(d) = f.dest {
+                assert_eq!(!(d.index() as u32) & 63, f.src.index() as u32);
+            }
+        }
+    }
+
+    #[test]
+    fn workload_rate_matches_process() {
+        use noc_sim::TrafficSource;
+        let s = Scenario::hotspot(0.04);
+        let mut w = s.workload(5);
+        let mut out = Vec::new();
+        for cycle in 0..50_000 {
+            w.generate(cycle, &mut out);
+        }
+        // 63 flows * 0.04 flits/cycle / 4 flits/packet * 50_000 cycles
+        let expect = 63.0 * 0.04 / 4.0 * 50_000.0;
+        let got = out.len() as f64;
+        assert!((got - expect).abs() / expect < 0.05, "got {got}, expect {expect}");
+    }
+
+    #[test]
+    fn reservation_share_out_of_range_rejected() {
+        let mut s = Scenario::case_study_1(0.5);
+        s.flows[0].share = Some(1.5);
+        assert!(s.reservations(256).is_err());
+    }
+
+    #[test]
+    fn bursty_hotspot_mean_rate() {
+        let s = Scenario::bursty_hotspot(0.4, 100.0, 300.0);
+        assert_eq!(s.num_flows(), 63);
+        // Mean rate = rate_on × burst/(burst+idle) = 0.4 × 0.25 = 0.1.
+        for f in &s.flows {
+            assert!((f.process.mean_rate() - 0.1).abs() < 1e-9);
+        }
+        // Same reservations as the steady hotspot.
+        let r = s.reservations(256).unwrap();
+        assert!(r.iter().all(|&x| x == 4));
+    }
+
+    #[test]
+    fn nearest_neighbor_wraps_row() {
+        let s = Scenario::nearest_neighbor(0.2);
+        let f = &s.flows[7]; // node (7,0)
+        assert_eq!(f.dest, DestRule::Fixed(NodeId::new(0)));
+    }
+}

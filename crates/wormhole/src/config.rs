@@ -1,0 +1,77 @@
+//! Configuration of the baseline wormhole network.
+
+use noc_sim::routing::Routing;
+use noc_sim::topology::Topology;
+
+/// Parameters of a [`crate::WormholeNetwork`].
+///
+/// The defaults model a generic 3-stage VC router on the paper's
+/// 8×8 mesh: 4 virtual channels of 4 flits per input port and a
+/// combined per-hop latency of 3 cycles (router pipeline + link).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WormholeConfig {
+    /// Topology to build.
+    pub topo: Topology,
+    /// Routing algorithm.
+    pub routing: Routing,
+    /// Virtual channels per input port.
+    pub num_vcs: usize,
+    /// Buffer depth of each virtual channel, in flits.
+    pub vc_capacity: usize,
+    /// Cycles from switch traversal at one router to buffer write at
+    /// the next (router pipeline + link traversal).
+    pub hop_latency: u64,
+    /// Cycles for a credit to return upstream.
+    pub credit_delay: u64,
+}
+
+impl WormholeConfig {
+    /// Validates invariants shared by all constructors.
+    fn validated(self) -> Self {
+        assert!(self.num_vcs > 0, "need at least one virtual channel");
+        assert!(self.vc_capacity > 0, "VC buffers must hold at least one flit");
+        assert!(self.hop_latency >= 1, "hops take at least one cycle");
+        self
+    }
+
+    /// The default configuration on a custom topology.
+    pub fn on(topo: Topology) -> Self {
+        WormholeConfig {
+            topo,
+            ..Self::default()
+        }
+        .validated()
+    }
+}
+
+impl Default for WormholeConfig {
+    fn default() -> Self {
+        WormholeConfig {
+            topo: Topology::mesh(8, 8),
+            routing: Routing::XY,
+            num_vcs: 4,
+            vc_capacity: 4,
+            hop_latency: 3,
+            credit_delay: 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_paper_mesh() {
+        let c = WormholeConfig::default();
+        assert_eq!(c.topo.num_nodes(), 64);
+        assert_eq!(c.num_vcs, 4);
+    }
+
+    #[test]
+    fn on_changes_topology_only() {
+        let c = WormholeConfig::on(Topology::mesh(4, 4));
+        assert_eq!(c.topo.num_nodes(), 16);
+        assert_eq!(c.vc_capacity, WormholeConfig::default().vc_capacity);
+    }
+}

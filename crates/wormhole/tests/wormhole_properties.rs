@@ -1,0 +1,76 @@
+//! Property tests for the wormhole baseline: conservation and
+//! correct delivery under random batches and configurations.
+
+use noc_sim::flit::{FlowId, NodeId, Packet, PacketId};
+use noc_sim::{Network, Topology};
+use noc_wormhole::{WormholeConfig, WormholeNetwork};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn every_packet_delivered_exactly_once(
+        batch in prop::collection::vec((0u32..16, 0u32..16), 1..120),
+        num_vcs in 1usize..5,
+        vc_capacity in 2usize..8,
+    ) {
+        let cfg = WormholeConfig {
+            topo: Topology::mesh(4, 4),
+            num_vcs,
+            vc_capacity,
+            ..WormholeConfig::default()
+        };
+        let mut net = WormholeNetwork::new(cfg);
+        let mut expected = Vec::new();
+        for (i, &(a, b)) in batch.iter().enumerate() {
+            if a == b {
+                continue;
+            }
+            let id = PacketId { flow: FlowId::new(i as u32), seq: 0 };
+            net.enqueue(Packet::new(id, NodeId::new(a), NodeId::new(b), 4, 0));
+            expected.push((id, b));
+        }
+        prop_assume!(!expected.is_empty());
+        let mut out = Vec::new();
+        let mut guard = 0;
+        while net.in_flight() > 0 {
+            net.step(&mut out);
+            guard += 1;
+            prop_assert!(guard < 500_000, "network failed to drain");
+        }
+        prop_assert_eq!(out.len(), expected.len());
+        for (id, dst) in expected {
+            let p = out.iter().find(|p| p.id == id).expect("delivered");
+            prop_assert_eq!(p.dst, NodeId::new(dst));
+            prop_assert!(p.created_at <= p.injected_at.unwrap());
+            prop_assert!(p.injected_at.unwrap() <= p.ejected_at.unwrap());
+        }
+    }
+
+    /// Latency lower bound: no packet beats the physical minimum of
+    /// its path (hops × hop latency + serialization).
+    #[test]
+    fn latency_never_beats_physics(
+        a in 0u32..16,
+        b in 0u32..16,
+    ) {
+        prop_assume!(a != b);
+        let cfg = WormholeConfig::on(Topology::mesh(4, 4));
+        let mut net = WormholeNetwork::new(cfg);
+        net.enqueue(Packet::new(
+            PacketId { flow: FlowId::new(0), seq: 0 },
+            NodeId::new(a),
+            NodeId::new(b),
+            4,
+            0,
+        ));
+        let mut out = Vec::new();
+        while net.in_flight() > 0 {
+            net.step(&mut out);
+        }
+        let hops = cfg.topo.hop_distance(NodeId::new(a), NodeId::new(b)) as u64;
+        let physical_min = hops * cfg.hop_latency + 4 - 1;
+        prop_assert!(out[0].total_latency().unwrap() >= physical_min);
+    }
+}

@@ -1,0 +1,47 @@
+//! Denial-of-service protection: a latency-critical flow keeps its
+//! guaranteed bandwidth and flat latency while a malicious neighbor
+//! floods the same destination (the paper's Case Study I).
+//!
+//! ```text
+//! cargo run --release -p loft-examples --bin dos_protection
+//! ```
+
+use loft::LoftConfig;
+use loft::LoftNetwork;
+use noc_sim::{FlowId, RunConfig, Simulation};
+use noc_traffic::Scenario;
+
+fn run(aggressor_rate: f64) -> (f64, f64) {
+    let scenario = Scenario::case_study_1(aggressor_rate);
+    let cfg = LoftConfig::default();
+    let reservations = scenario.reservations(cfg.frame_size).expect("valid shares");
+    let network = LoftNetwork::new(cfg, &reservations);
+    let report = Simulation::new(
+        network,
+        scenario.workload(11),
+        RunConfig {
+            warmup: 5_000,
+            measure: 25_000,
+            drain: 15_000,
+        },
+    )
+    .run();
+    let victim = FlowId::new(0);
+    (
+        report.flows[victim.index()].total_latency.mean(),
+        report.flow_throughput(victim),
+    )
+}
+
+fn main() {
+    println!("victim: regulated 0.2 flits/cycle with a 1/4 link allocation\n");
+    println!("aggressor rate | victim latency | victim throughput");
+    for rate in [0.1, 0.4, 0.8] {
+        let (lat, tput) = run(rate);
+        println!("{rate:>14.1} | {lat:>14.1} | {tput:>17.4}");
+    }
+    println!(
+        "\nThe victim's latency and throughput stay flat no matter how hard \
+         the aggressors push — LOFT's per-link frames isolate it."
+    );
+}

@@ -1,0 +1,1 @@
+//! Runnable examples for the LOFT reproduction live in the package root as `[[bin]]` targets.

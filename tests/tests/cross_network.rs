@@ -1,0 +1,171 @@
+//! Integration tests comparing the three network implementations on
+//! identical workloads: conservation, sanity orderings, and the
+//! flow-control ranking of the paper's Figure 6.
+
+use loft::{LoftConfig, LoftNetwork};
+use noc_gsf::{GsfConfig, GsfNetwork};
+use noc_sim::flit::{FlowId, NodeId, Packet, PacketId};
+use noc_sim::{Network, RunConfig, Simulation, Topology};
+use noc_traffic::Scenario;
+use noc_wormhole::{WormholeConfig, WormholeNetwork};
+
+fn short() -> RunConfig {
+    RunConfig {
+        warmup: 2_000,
+        measure: 8_000,
+        drain: 8_000,
+    }
+}
+
+/// Every packet injected at low load is delivered by every network —
+/// no loss, no duplication (conservation).
+#[test]
+fn all_networks_conserve_packets_at_low_load() {
+    let s = Scenario::uniform(0.05);
+    let run = short();
+    let expected_range = 5_000..8_000; // 0.05/4 pkts/cy × 64 nodes × 8k-cycle window
+
+    let l = {
+        let cfg = LoftConfig::default();
+        let r = s.reservations(cfg.frame_size).expect("fits");
+        Simulation::new(LoftNetwork::new(cfg, &r), s.workload(1), run).run()
+    };
+    let g = {
+        let cfg = GsfConfig::default();
+        let r = s.reservations(cfg.frame_size).expect("fits");
+        Simulation::new(GsfNetwork::new(cfg, &r), s.workload(1), run).run()
+    };
+    let w = Simulation::new(
+        WormholeNetwork::new(WormholeConfig::default()),
+        s.workload(1),
+        run,
+    )
+    .run();
+    // Identical seeds → identical offered packets. Flit counts are
+    // windowed, so delivery timing at the window edges may shift a
+    // few packets in or out; allow a 1% tolerance.
+    let close = |a: u64, b: u64| (a as f64 - b as f64).abs() / (a as f64) < 0.01;
+    assert!(close(l.flits_delivered, g.flits_delivered), "{} vs {}", l.flits_delivered, g.flits_delivered);
+    assert!(close(l.flits_delivered, w.flits_delivered), "{} vs {}", l.flits_delivered, w.flits_delivered);
+    let packets = l.flits_delivered / 4;
+    assert!(
+        expected_range.contains(&packets),
+        "unexpected packet count {packets}"
+    );
+}
+
+/// Low-load latency sanity: wormhole (no scheduling) is fastest; LOFT
+/// pays a small look-ahead lead; everyone stays within a small factor.
+#[test]
+fn low_load_latency_ordering() {
+    let s = Scenario::uniform(0.05);
+    let run = short();
+    let lat = |r: noc_sim::SimReport| r.network_latency.mean();
+
+    let cfg = LoftConfig::default();
+    let r = s.reservations(cfg.frame_size).expect("fits");
+    let l = lat(Simulation::new(LoftNetwork::new(cfg, &r), s.workload(2), run).run());
+    let w = lat(Simulation::new(
+        WormholeNetwork::new(WormholeConfig::default()),
+        s.workload(2),
+        run,
+    )
+    .run());
+    assert!(w < l, "wormhole {w:.1} should beat LOFT {l:.1} at low load");
+    assert!(l < 4.0 * w, "LOFT {l:.1} too slow vs wormhole {w:.1}");
+}
+
+/// The Figure 6 ranking holds on a minimal two-node link: FRS (LOFT)
+/// streams back-to-back packets faster than GSF under tight buffers.
+#[test]
+fn frs_beats_gsf_on_back_to_back_stream() {
+    fn makespan<N: Network>(mut net: N, packets: u64) -> u64 {
+        for seq in 0..packets {
+            net.enqueue(Packet::new(
+                PacketId { flow: FlowId::new(0), seq },
+                NodeId::new(0),
+                NodeId::new(1),
+                4,
+                0,
+            ));
+        }
+        let mut out = Vec::new();
+        let mut guard = 0;
+        while net.in_flight() > 0 {
+            net.step(&mut out);
+            guard += 1;
+            assert!(guard < 50_000);
+        }
+        out.iter().map(|p| p.ejected_at.unwrap()).max().unwrap()
+    }
+    let topo = Topology::mesh(2, 1);
+    let gsf = makespan(
+        GsfNetwork::new(
+            GsfConfig {
+                topo,
+                num_vcs: 1,
+                vc_capacity: 3,
+                credit_delay: 2,
+                ..GsfConfig::default()
+            },
+            &[2000],
+        ),
+        32,
+    );
+    let loft = makespan(
+        LoftNetwork::new(
+            LoftConfig {
+                topo,
+                frame_size: 64,
+                nonspec_buffer: 64,
+                ..LoftConfig::default()
+            },
+            &[64],
+        ),
+        32,
+    );
+    assert!(
+        loft * 2 < gsf,
+        "FRS should be at least 2x faster: LOFT {loft}, GSF {gsf}"
+    );
+}
+
+/// The storage model agrees with the simulator's configuration types
+/// end-to-end (Table 2 headline).
+#[test]
+fn storage_headline_holds_for_default_configs() {
+    let gsf = noc_model::storage::gsf_router_bits(&GsfConfig::default());
+    let loft = noc_model::storage::loft_router_bits(&LoftConfig::default());
+    let saving = 1.0 - loft.total() as f64 / gsf.total() as f64;
+    assert!(saving > 0.25, "LOFT should save >25% storage, got {saving:.2}");
+}
+
+/// Scenario reservations are feasible on both frame sizes used in the
+/// paper, for every paper scenario.
+#[test]
+fn all_paper_scenarios_have_feasible_reservations() {
+    let scenarios = [
+        Scenario::uniform(0.1),
+        Scenario::hotspot(0.01),
+        Scenario::hotspot_differentiated4(0.01),
+        Scenario::hotspot_differentiated2(0.01),
+        Scenario::case_study_1(0.5),
+        Scenario::case_study_2(0.5),
+        Scenario::transpose(0.1),
+        Scenario::bit_complement(0.1),
+        Scenario::nearest_neighbor(0.1),
+    ];
+    for s in &scenarios {
+        for frame in [256u32, 2000] {
+            let r = s
+                .reservations(frame)
+                .unwrap_or_else(|e| panic!("{}: {e}", s.name));
+            assert_eq!(r.len(), s.num_flows());
+            assert!(r.iter().all(|&x| x > 0));
+            if let Some(fs) = s.flow_set() {
+                fs.check_reservations(&r, frame)
+                    .unwrap_or_else(|e| panic!("{}: {e}", s.name));
+            }
+        }
+    }
+}
