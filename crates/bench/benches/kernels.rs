@@ -1,15 +1,19 @@
 //! Microbenchmarks of the simulator's hot kernels: the LSF scheduler
 //! (Algorithms 1–3), per-cycle network stepping, and routing.
+//!
+//! Runs with `cargo bench -p loft-bench --bench kernels`. Timing uses
+//! the std-only harness in `loft_bench` (the workspace builds
+//! offline, so no external benchmarking framework is used).
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use loft::lsf::{LinkScheduler, LsfParams, PendingQuantum};
 use loft::{LoftConfig, LoftNetwork};
+use loft_bench::bench_report;
 use noc_sim::flit::FlowId;
+use noc_sim::TrafficSource;
 use noc_sim::{Network, NodeId, Routing, Topology};
 use noc_traffic::Scenario;
-use noc_sim::TrafficSource;
 
-fn lsf_schedule(c: &mut Criterion) {
+fn lsf_schedule() {
     let params = LsfParams {
         frame_quanta: 128,
         frame_window: 2,
@@ -18,94 +22,74 @@ fn lsf_schedule(c: &mut Criterion) {
         sink: false,
     };
     let reservations = vec![4u32; 64];
-    let mut g = c.benchmark_group("lsf");
-    g.bench_function("schedule_until_exhausted", |b| {
-        b.iter_batched(
-            || LinkScheduler::new(params, &reservations),
-            |mut s| {
-                let mut booked = 0u32;
-                let mut qid = 0;
-                'outer: for f in 0..64u32 {
-                    let flow = FlowId::new(f);
-                    loop {
-                        let entry = PendingQuantum { flow, qid, in_port: 0 };
-                        match s.schedule(flow, 1, entry) {
-                            Some(_) => {
-                                booked += 1;
-                                qid += 1;
-                            }
-                            None => continue 'outer,
-                        }
+    bench_report("lsf/schedule_until_exhausted", 200, || {
+        let mut s = LinkScheduler::new(params, &reservations);
+        let mut booked = 0u32;
+        let mut qid = 0;
+        'outer: for f in 0..64u32 {
+            let flow = FlowId::new(f);
+            loop {
+                let entry = PendingQuantum { flow, qid, in_port: 0 };
+                match s.schedule(flow, 1, entry) {
+                    Some(_) => {
+                        booked += 1;
+                        qid += 1;
                     }
-                }
-                booked
-            },
-            BatchSize::SmallInput,
-        )
-    });
-    g.bench_function("advance_slot_x1024", |b| {
-        b.iter_batched(
-            || LinkScheduler::new(params, &reservations),
-            |mut s| {
-                for _ in 0..1024 {
-                    s.advance_slot();
-                }
-                s.current_slot()
-            },
-            BatchSize::SmallInput,
-        )
-    });
-    g.finish();
-}
-
-fn network_step(c: &mut Criterion) {
-    let mut g = c.benchmark_group("network_step");
-    g.sample_size(20);
-    g.bench_function("loft_64node_1k_cycles_uniform_0.3", |b| {
-        b.iter_batched(
-            || {
-                let s = Scenario::uniform(0.3);
-                let cfg = LoftConfig::default();
-                let r = s.reservations(cfg.frame_size).expect("fits");
-                (LoftNetwork::new(cfg, &r), s.workload(1))
-            },
-            |(mut net, mut traffic)| {
-                let mut fresh = Vec::new();
-                let mut out = Vec::new();
-                for cycle in 0..1_000 {
-                    fresh.clear();
-                    traffic.generate(cycle, &mut fresh);
-                    for p in fresh.drain(..) {
-                        net.enqueue(p);
-                    }
-                    net.step(&mut out);
-                }
-                out.len()
-            },
-            BatchSize::SmallInput,
-        )
-    });
-    g.finish();
-}
-
-fn routing(c: &mut Criterion) {
-    let topo = Topology::mesh(8, 8);
-    c.bench_function("routing_all_pairs_xy", |b| {
-        b.iter(|| {
-            let mut hops = 0usize;
-            for a in 0..64u32 {
-                for d in 0..64u32 {
-                    if a != d {
-                        hops += Routing::XY
-                            .port_path(&topo, NodeId::new(a), NodeId::new(d))
-                            .len();
-                    }
+                    None => continue 'outer,
                 }
             }
-            hops
-        })
+        }
+        booked
+    });
+    bench_report("lsf/advance_slot_x1024", 200, || {
+        let mut s = LinkScheduler::new(params, &reservations);
+        for _ in 0..1024 {
+            s.advance_slot();
+        }
+        s.current_slot()
     });
 }
 
-criterion_group!(benches, lsf_schedule, network_step, routing);
-criterion_main!(benches);
+fn network_step() {
+    bench_report("network_step/loft_64node_1k_cycles_uniform_0.3", 20, || {
+        let s = Scenario::uniform(0.3);
+        let cfg = LoftConfig::default();
+        let r = s.reservations(cfg.frame_size).expect("fits");
+        let mut net = LoftNetwork::new(cfg, &r);
+        let mut traffic = s.workload(1);
+        let mut fresh = Vec::new();
+        let mut out = Vec::new();
+        for cycle in 0..1_000 {
+            fresh.clear();
+            traffic.generate(cycle, &mut fresh);
+            for p in fresh.drain(..) {
+                net.enqueue(p);
+            }
+            net.step(&mut out);
+        }
+        out.len()
+    });
+}
+
+fn routing() {
+    let topo = Topology::mesh(8, 8);
+    bench_report("routing_all_pairs_xy", 100, || {
+        let mut hops = 0usize;
+        for a in 0..64u32 {
+            for d in 0..64u32 {
+                if a != d {
+                    hops += Routing::XY
+                        .port_path(&topo, NodeId::new(a), NodeId::new(d))
+                        .len();
+                }
+            }
+        }
+        hops
+    });
+}
+
+fn main() {
+    lsf_schedule();
+    network_step();
+    routing();
+}

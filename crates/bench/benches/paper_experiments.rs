@@ -1,12 +1,11 @@
-//! Criterion benches: one group per table/figure of the paper, at a
-//! reduced cycle count so `cargo bench` completes quickly. These time
-//! the simulator while exercising exactly the code paths the
-//! full-scale harness binaries (`src/bin/fig*.rs`) use; the binaries
-//! are what regenerate the paper's numbers.
+//! Reduced-cycle benches: one group per table/figure of the paper, so
+//! `cargo bench` completes quickly. These time the simulator while
+//! exercising exactly the code paths the full-scale harness binaries
+//! (`src/bin/fig*.rs`) use; the binaries are what regenerate the
+//! paper's numbers. Timing uses the std-only harness in `loft_bench`.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use loft::LoftConfig;
-use loft_bench::{run_gsf, run_loft, run_wormhole, SEED};
+use loft_bench::{bench_report, run_gsf, run_loft, run_wormhole, SEED};
 use noc_gsf::GsfConfig;
 use noc_sim::RunConfig;
 use noc_traffic::Scenario;
@@ -21,114 +20,92 @@ fn tiny() -> RunConfig {
 }
 
 /// Figure 10: fairness under hotspot traffic (equal allocation).
-fn fig10_fairness(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig10_fairness");
-    g.sample_size(10);
-    g.bench_function("loft_hotspot_equal", |b| {
-        b.iter(|| run_loft(&Scenario::hotspot(0.05), LoftConfig::default(), tiny(), SEED))
+fn fig10_fairness() {
+    bench_report("fig10_fairness/loft_hotspot_equal", 10, || {
+        run_loft(&Scenario::hotspot(0.05), LoftConfig::default(), tiny(), SEED)
     });
-    g.bench_function("loft_hotspot_diff4", |b| {
-        b.iter(|| {
-            run_loft(
-                &Scenario::hotspot_differentiated4(0.05),
-                LoftConfig::default(),
-                tiny(),
-                SEED,
-            )
-        })
+    bench_report("fig10_fairness/loft_hotspot_diff4", 10, || {
+        run_loft(
+            &Scenario::hotspot_differentiated4(0.05),
+            LoftConfig::default(),
+            tiny(),
+            SEED,
+        )
     });
-    g.finish();
 }
 
 /// Figure 11: uniform and hotspot load points for each network.
-fn fig11_performance(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig11_performance");
-    g.sample_size(10);
-    g.bench_function("loft_uniform_0.2", |b| {
-        b.iter(|| run_loft(&Scenario::uniform(0.2), LoftConfig::default(), tiny(), SEED))
+fn fig11_performance() {
+    bench_report("fig11_performance/loft_uniform_0.2", 10, || {
+        run_loft(&Scenario::uniform(0.2), LoftConfig::default(), tiny(), SEED)
     });
-    g.bench_function("gsf_uniform_0.2", |b| {
-        b.iter(|| run_gsf(&Scenario::uniform(0.2), GsfConfig::default(), tiny(), SEED))
+    bench_report("fig11_performance/gsf_uniform_0.2", 10, || {
+        run_gsf(&Scenario::uniform(0.2), GsfConfig::default(), tiny(), SEED)
     });
-    g.bench_function("wormhole_uniform_0.2", |b| {
-        b.iter(|| {
-            run_wormhole(
-                &Scenario::uniform(0.2),
-                WormholeConfig::default(),
-                tiny(),
-                SEED,
-            )
-        })
+    bench_report("fig11_performance/wormhole_uniform_0.2", 10, || {
+        run_wormhole(
+            &Scenario::uniform(0.2),
+            WormholeConfig::default(),
+            tiny(),
+            SEED,
+        )
     });
-    g.bench_function("loft_hotspot_0.01", |b| {
-        b.iter(|| run_loft(&Scenario::hotspot(0.01), LoftConfig::default(), tiny(), SEED))
+    bench_report("fig11_performance/loft_hotspot_0.01", 10, || {
+        run_loft(&Scenario::hotspot(0.01), LoftConfig::default(), tiny(), SEED)
     });
-    g.bench_function("gsf_hotspot_0.01", |b| {
-        b.iter(|| run_gsf(&Scenario::hotspot(0.01), GsfConfig::default(), tiny(), SEED))
+    bench_report("fig11_performance/gsf_hotspot_0.01", 10, || {
+        run_gsf(&Scenario::hotspot(0.01), GsfConfig::default(), tiny(), SEED)
     });
-    g.finish();
 }
 
 /// Figure 12: the DoS case study (one aggressor rate).
-fn fig12_case1(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig12_case1");
-    g.sample_size(10);
-    g.bench_function("loft", |b| {
-        b.iter(|| run_loft(&Scenario::case_study_1(0.8), LoftConfig::default(), tiny(), SEED))
+fn fig12_case1() {
+    bench_report("fig12_case1/loft", 10, || {
+        run_loft(&Scenario::case_study_1(0.8), LoftConfig::default(), tiny(), SEED)
     });
-    g.bench_function("gsf", |b| {
-        b.iter(|| run_gsf(&Scenario::case_study_1(0.8), GsfConfig::default(), tiny(), SEED))
+    bench_report("fig12_case1/gsf", 10, || {
+        run_gsf(&Scenario::case_study_1(0.8), GsfConfig::default(), tiny(), SEED)
     });
-    g.finish();
 }
 
 /// Figure 13: the pathological case study (one rate).
-fn fig13_case2(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig13_case2");
-    g.sample_size(10);
-    g.bench_function("loft", |b| {
-        b.iter(|| run_loft(&Scenario::case_study_2(0.64), LoftConfig::default(), tiny(), SEED))
+fn fig13_case2() {
+    bench_report("fig13_case2/loft", 10, || {
+        run_loft(&Scenario::case_study_2(0.64), LoftConfig::default(), tiny(), SEED)
     });
-    g.bench_function("gsf", |b| {
-        b.iter(|| run_gsf(&Scenario::case_study_2(0.64), GsfConfig::default(), tiny(), SEED))
+    bench_report("fig13_case2/gsf", 10, || {
+        run_gsf(&Scenario::case_study_2(0.64), GsfConfig::default(), tiny(), SEED)
     });
-    g.finish();
 }
 
 /// Table 2 + §5.3.1: the analytic models (cheap, but benched so the
 /// whole paper surface is covered).
-fn table2_and_bounds(c: &mut Criterion) {
-    let mut g = c.benchmark_group("table2_delay_bounds");
-    g.bench_function("storage_model", |b| {
-        b.iter(|| {
-            let gsf = noc_model::storage::gsf_router_bits(&GsfConfig::default());
-            let loft = noc_model::storage::loft_router_bits(&LoftConfig::default());
-            (gsf.total(), loft.total())
-        })
+fn table2_and_bounds() {
+    bench_report("table2_delay_bounds/storage_model", 1000, || {
+        let gsf = noc_model::storage::gsf_router_bits(&GsfConfig::default());
+        let loft = noc_model::storage::loft_router_bits(&LoftConfig::default());
+        (gsf.total(), loft.total())
     });
-    g.bench_function("delay_bounds_all_pairs", |b| {
-        let cfg = LoftConfig::default();
-        b.iter(|| {
-            let mut acc = 0u64;
-            for a in 0..64u32 {
-                for d in 0..64u32 {
-                    if a != d {
-                        acc += noc_model::delay::loft_worst_case_for(
-                            &cfg,
-                            noc_sim::NodeId::new(a),
-                            noc_sim::NodeId::new(d),
-                        );
-                    }
+    let cfg = LoftConfig::default();
+    bench_report("table2_delay_bounds/delay_bounds_all_pairs", 100, || {
+        let mut acc = 0u64;
+        for a in 0..64u32 {
+            for d in 0..64u32 {
+                if a != d {
+                    acc += noc_model::delay::loft_worst_case_for(
+                        &cfg,
+                        noc_sim::NodeId::new(a),
+                        noc_sim::NodeId::new(d),
+                    );
                 }
             }
-            acc
-        })
+        }
+        acc
     });
-    g.finish();
 }
 
 /// Figure 6: back-to-back stream on a two-node link.
-fn fig6_flowcontrol(c: &mut Criterion) {
+fn fig6_flowcontrol() {
     use loft::LoftNetwork;
     use noc_gsf::GsfNetwork;
     use noc_sim::flit::{FlowId, NodeId, Packet, PacketId};
@@ -152,51 +129,35 @@ fn fig6_flowcontrol(c: &mut Criterion) {
     }
 
     let topo = Topology::mesh(2, 1);
-    let mut g = c.benchmark_group("fig6_flowcontrol");
-    g.bench_function("frs_stream", |b| {
-        b.iter_batched(
-            || {
-                LoftNetwork::new(
-                    LoftConfig {
-                        topo,
-                        frame_size: 64,
-                        nonspec_buffer: 64,
-                        ..LoftConfig::default()
-                    },
-                    &[64],
-                )
+    bench_report("fig6_flowcontrol/frs_stream", 50, || {
+        stream(LoftNetwork::new(
+            LoftConfig {
+                topo,
+                frame_size: 64,
+                nonspec_buffer: 64,
+                ..LoftConfig::default()
             },
-            stream,
-            BatchSize::SmallInput,
-        )
+            &[64],
+        ))
     });
-    g.bench_function("gsf_stream", |b| {
-        b.iter_batched(
-            || {
-                GsfNetwork::new(
-                    GsfConfig {
-                        topo,
-                        num_vcs: 1,
-                        vc_capacity: 3,
-                        ..GsfConfig::default()
-                    },
-                    &[2000],
-                )
+    bench_report("fig6_flowcontrol/gsf_stream", 50, || {
+        stream(GsfNetwork::new(
+            GsfConfig {
+                topo,
+                num_vcs: 1,
+                vc_capacity: 3,
+                ..GsfConfig::default()
             },
-            stream,
-            BatchSize::SmallInput,
-        )
+            &[2000],
+        ))
     });
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    fig10_fairness,
-    fig11_performance,
-    fig12_case1,
-    fig13_case2,
-    table2_and_bounds,
-    fig6_flowcontrol
-);
-criterion_main!(benches);
+fn main() {
+    fig10_fairness();
+    fig11_performance();
+    fig12_case1();
+    fig13_case2();
+    table2_and_bounds();
+    fig6_flowcontrol();
+}

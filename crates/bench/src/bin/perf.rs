@@ -1,0 +1,90 @@
+//! Hot-loop throughput benchmark: simulated cycles/second and
+//! delivered packets/second for each network architecture, at a low
+//! load point and near saturation.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release -p loft-bench --bin perf
+//! ```
+//!
+//! Each measurement prints one machine-readable JSON line:
+//!
+//! ```text
+//! {"net":"loft","scenario":"uniform","load":0.05,"sim_cycles":24000,
+//!  "wall_secs":0.0123,"cycles_per_sec":1951219.5,
+//!  "packets_delivered":730,"packets_per_sec":59349.6,
+//!  "flits_delivered":2920,"avg_latency":27.41}
+//! ```
+//!
+//! `cycles_per_sec` is the headline number for hot-path optimization
+//! work: compare it across commits at the same load point (the
+//! simulations are fully deterministic, so the simulated work is
+//! identical and only the wall clock moves).
+
+use loft::LoftConfig;
+use loft_bench::{run_gsf, run_loft, run_wormhole, SEED};
+use noc_gsf::GsfConfig;
+use noc_sim::{RunConfig, SimReport};
+use noc_traffic::Scenario;
+use noc_wormhole::WormholeConfig;
+
+/// Measurement-window sizing: long enough that per-run overhead
+/// (network construction, warmup) is amortized, short enough that the
+/// whole matrix finishes in seconds.
+fn run() -> RunConfig {
+    RunConfig {
+        warmup: 1_000,
+        measure: 20_000,
+        drain: 3_000,
+    }
+}
+
+fn measure(net: &str, scenario: &str, load: f64, iters: u32, f: impl Fn() -> SimReport) {
+    // One untimed warmup run, then the mean of `iters` timed runs.
+    let report = f();
+    let start = std::time::Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(f());
+    }
+    let wall = start.elapsed().as_secs_f64() / f64::from(iters);
+
+    let cfg = run();
+    let sim_cycles = cfg.warmup + cfg.measure + cfg.drain;
+    let packets = report.total_latency.count();
+    println!(
+        "{{\"net\":\"{net}\",\"scenario\":\"{scenario}\",\"load\":{load},\
+         \"sim_cycles\":{sim_cycles},\"wall_secs\":{wall:.6},\
+         \"cycles_per_sec\":{:.1},\"packets_delivered\":{packets},\
+         \"packets_per_sec\":{:.1},\"flits_delivered\":{},\
+         \"avg_latency\":{:.4}}}",
+        sim_cycles as f64 / wall,
+        packets as f64 / wall,
+        report.flits_delivered,
+        report.avg_latency(),
+    );
+}
+
+fn main() {
+    // Low load: the hot loop is dominated by per-cycle scans over
+    // mostly-idle state — exactly what active-set worklists target.
+    // Near saturation: dominated by real queue/allocator work.
+    let points: &[(&str, f64)] = &[("low", 0.05), ("sat", 0.60)];
+    for &(label, load) in points {
+        let _ = label;
+        measure("loft", "uniform", load, 5, || {
+            run_loft(&Scenario::uniform(load), LoftConfig::default(), run(), SEED)
+        });
+        measure("gsf", "uniform", load, 5, || {
+            run_gsf(&Scenario::uniform(load), GsfConfig::default(), run(), SEED)
+        });
+        measure("wormhole", "uniform", load, 5, || {
+            run_wormhole(
+                &Scenario::uniform(load),
+                WormholeConfig::default(),
+                run(),
+                SEED,
+            )
+        });
+    }
+}

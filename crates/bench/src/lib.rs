@@ -64,25 +64,89 @@ pub fn run_wormhole(
     Simulation::new(network, scenario.workload(seed), run).run()
 }
 
-/// Maps `f` over `items` on one OS thread each (simulations are
-/// single-threaded and independent; sweeps parallelize trivially).
+/// Maps `f` over `items` on a bounded pool of scoped worker threads,
+/// preserving input order in the output.
+///
+/// Simulations are single-threaded and independent, so sweeps
+/// parallelize trivially — but a 40-point sweep must not spawn 40 OS
+/// threads on a 4-core box. The pool holds
+/// [`std::thread::available_parallelism`] workers (capped by the item
+/// count); workers pull the next unclaimed item off a shared atomic
+/// cursor, so long points pipeline with short ones instead of
+/// oversubscribing the machine.
 pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
 where
-    T: Send + 'static,
-    R: Send + 'static,
-    F: Fn(T) -> R + Send + Sync + Clone + 'static,
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Send + Sync,
 {
-    let handles: Vec<_> = items
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(n);
+    // Each slot starts as Some(input) and ends as the output; the
+    // cursor hands every index to exactly one worker, so the per-slot
+    // mutexes are never contended.
+    let inputs: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let outputs: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = inputs[i]
+                    .lock()
+                    .expect("input slot poisoned")
+                    .take()
+                    .expect("item claimed twice");
+                let result = f(item);
+                *outputs[i].lock().expect("output slot poisoned") = Some(result);
+            });
+        }
+    });
+    outputs
         .into_iter()
-        .map(|item| {
-            let f = f.clone();
-            std::thread::spawn(move || f(item))
+        .map(|m| {
+            m.into_inner()
+                .expect("sweep worker panicked")
+                .expect("worker finished without a result")
         })
-        .collect();
-    handles
-        .into_iter()
-        .map(|h| h.join().expect("sweep worker panicked"))
         .collect()
+}
+
+/// Times `f` over `iters` iterations after one untimed warmup call,
+/// returning the mean wall-clock seconds per iteration. The minimal
+/// stand-in for an external benchmarking framework (this workspace
+/// builds offline, dependency-free).
+pub fn time_iterations<R>(iters: u32, mut f: impl FnMut() -> R) -> f64 {
+    assert!(iters > 0, "need at least one iteration");
+    std::hint::black_box(f());
+    let start = std::time::Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(f());
+    }
+    start.elapsed().as_secs_f64() / iters as f64
+}
+
+/// Runs `f` as a named microbenchmark and prints one aligned line
+/// with the mean time per iteration.
+pub fn bench_report<R>(name: &str, iters: u32, f: impl FnMut() -> R) {
+    let secs = time_iterations(iters, f);
+    if secs < 1e-3 {
+        println!("{name:<48} {:>10.2} µs/iter", secs * 1e6);
+    } else {
+        println!("{name:<48} {:>10.3} ms/iter", secs * 1e3);
+    }
 }
 
 /// Prints a plain-text table: header row + rows, pipe-separated and

@@ -1,13 +1,16 @@
-//! Property-based tests of the LSF link scheduler — chiefly
+//! Randomized invariant tests of the LSF link scheduler — chiefly
 //! Theorem I of the paper: with a frame-sized buffer and
 //! Condition (1), virtual credits never go negative, no matter how
 //! adversarial the scheduling/return interleaving is.
+//!
+//! Cases are drawn from the workspace's deterministic RNG so the
+//! suite needs no external crates and failures replay exactly.
 
 use loft::lsf::{LinkScheduler, LsfParams, PendingQuantum};
 use noc_sim::flit::FlowId;
-use proptest::prelude::*;
+use noc_sim::rng::Xoshiro256;
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 enum Action {
     /// Schedule a quantum for flow `i % flows`.
     Schedule(u8),
@@ -22,26 +25,24 @@ enum Action {
     TryReset,
 }
 
-fn action_strategy() -> impl Strategy<Value = Action> {
-    prop_oneof![
-        (0u8..8).prop_map(Action::Schedule),
-        (0u8..12).prop_map(|extra| Action::ReturnOldest { extra }),
-        Just(Action::Advance),
-        Just(Action::CompleteFirst),
-        Just(Action::TryReset),
-    ]
+fn random_action(rng: &mut Xoshiro256) -> Action {
+    match rng.next_below(5) {
+        0 => Action::Schedule(rng.next_below(8) as u8),
+        1 => Action::ReturnOldest {
+            extra: rng.next_below(12) as u8,
+        },
+        2 => Action::Advance,
+        3 => Action::CompleteFirst,
+        _ => Action::TryReset,
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Theorem I under arbitrary interleavings, plus structural
-    /// invariants: booked slots are unique and inside the window.
-    #[test]
-    fn theorem1_and_structural_invariants(
-        reservations in prop::collection::vec(1u32..6, 1..6),
-        actions in prop::collection::vec(action_strategy(), 1..400),
-    ) {
+/// Theorem I under arbitrary interleavings, plus structural
+/// invariants: booked slots are unique and inside the window.
+#[test]
+fn theorem1_and_structural_invariants() {
+    let mut rng = Xoshiro256::seed_from(0x15F_0001);
+    for _case in 0..64 {
         let params = LsfParams {
             frame_quanta: 8,
             frame_window: 3,
@@ -50,13 +51,26 @@ proptest! {
             sink: false,
         };
         // Keep the allocation feasible: ΣR ≤ F.
-        let total: u32 = reservations.iter().sum();
-        prop_assume!(total <= params.frame_quanta);
+        let mut reservations: Vec<u32> = Vec::new();
+        let flows = 1 + rng.next_below(5) as usize;
+        let mut total = 0;
+        for _ in 0..flows {
+            let r = 1 + rng.next_below(5) as u32;
+            if total + r > params.frame_quanta {
+                break;
+            }
+            total += r;
+            reservations.push(r);
+        }
+        if reservations.is_empty() {
+            reservations.push(1);
+        }
+        let steps = 1 + rng.next_below(399) as usize;
         let mut s = LinkScheduler::new(params, &reservations);
         let mut outstanding: Vec<u64> = Vec::new();
         let mut qid = 0u64;
-        for a in actions {
-            match a {
+        for _ in 0..steps {
+            match random_action(&mut rng) {
                 Action::Schedule(i) => {
                     let flow = FlowId::new(i as u32 % reservations.len() as u32);
                     if let Some(slot) = s.schedule(
@@ -65,10 +79,8 @@ proptest! {
                         PendingQuantum { flow, qid, in_port: 0 },
                     ) {
                         qid += 1;
-                        prop_assert!(slot > s.current_slot());
-                        prop_assert!(
-                            slot < s.current_slot() + params.window_quanta()
-                        );
+                        assert!(slot > s.current_slot());
+                        assert!(slot < s.current_slot() + params.window_quanta());
                         outstanding.push(slot);
                     }
                 }
@@ -93,17 +105,19 @@ proptest! {
                     }
                 }
             }
-            prop_assert!(s.min_credit() >= 0, "Theorem I violated");
+            assert!(s.min_credit() >= 0, "Theorem I violated");
         }
     }
+}
 
-    /// Per-frame quota: a single flow can never book more quanta in
-    /// one frame than its reservation allows (without resets).
-    #[test]
-    fn quota_respected_per_frame(
-        r in 1u32..8,
-        requests in 1usize..64,
-    ) {
+/// Per-frame quota: a single flow can never book more quanta in
+/// one frame than its reservation allows (without resets).
+#[test]
+fn quota_respected_per_frame() {
+    let mut rng = Xoshiro256::seed_from(0x15F_0002);
+    for _case in 0..64 {
+        let r = 1 + rng.next_below(7) as u32;
+        let requests = 1 + rng.next_below(63) as usize;
         let params = LsfParams {
             frame_quanta: 8,
             frame_window: 2,
@@ -115,26 +129,23 @@ proptest! {
         let flow = FlowId::new(0);
         let mut per_frame = std::collections::HashMap::new();
         for qid in 0..requests as u64 {
-            if let Some(slot) = s.schedule(
-                flow,
-                0,
-                PendingQuantum { flow, qid, in_port: 0 },
-            ) {
+            if let Some(slot) = s.schedule(flow, 0, PendingQuantum { flow, qid, in_port: 0 }) {
                 *per_frame.entry(slot / 8).or_insert(0u32) += 1;
             }
         }
         for (&frame, &count) in &per_frame {
-            prop_assert!(
-                count <= r,
-                "frame {frame} got {count} quanta with R={r}"
-            );
+            assert!(count <= r, "frame {frame} got {count} quanta with R={r}");
         }
     }
+}
 
-    /// The sink variant (ejection link) serializes at one quantum per
-    /// slot but never rejects for credits.
-    #[test]
-    fn sink_books_every_window_slot(r in 8u32..64) {
+/// The sink variant (ejection link) serializes at one quantum per
+/// slot but never rejects for credits.
+#[test]
+fn sink_books_every_window_slot() {
+    let mut rng = Xoshiro256::seed_from(0x15F_0003);
+    for _case in 0..64 {
+        let r = 8 + rng.next_below(56) as u32;
         let params = LsfParams {
             frame_quanta: 8,
             frame_window: 2,
@@ -146,16 +157,12 @@ proptest! {
         let flow = FlowId::new(0);
         let mut slots = std::collections::HashSet::new();
         for qid in 0..64u64 {
-            if let Some(slot) = s.schedule(
-                flow,
-                0,
-                PendingQuantum { flow, qid, in_port: 0 },
-            ) {
-                prop_assert!(slots.insert(slot), "slot {slot} double-booked");
+            if let Some(slot) = s.schedule(flow, 0, PendingQuantum { flow, qid, in_port: 0 }) {
+                assert!(slots.insert(slot), "slot {slot} double-booked");
             }
         }
         // It can never book more than the window minus the current
         // slot, and with r ≥ 8 it books at least one frame's worth.
-        prop_assert!(slots.len() >= (r.min(8) as usize));
+        assert!(slots.len() >= (r.min(8) as usize));
     }
 }

@@ -1,10 +1,11 @@
-//! Property tests for the GSF network: conservation, frame-quota
-//! enforcement, and recycling liveness under random workloads.
+//! Randomized tests for the GSF network: conservation, frame-quota
+//! enforcement, and recycling liveness under random workloads (cases
+//! drawn from the workspace's deterministic RNG).
 
 use noc_gsf::{GsfConfig, GsfNetwork};
 use noc_sim::flit::{FlowId, NodeId, Packet, PacketId};
+use noc_sim::rng::Xoshiro256;
 use noc_sim::{Network, Topology};
-use proptest::prelude::*;
 
 fn small_cfg() -> GsfConfig {
     GsfConfig {
@@ -14,17 +15,18 @@ fn small_cfg() -> GsfConfig {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn every_packet_delivered_exactly_once(
-        batch in prop::collection::vec((0u32..16, 0u32..16, 1u64..12), 1..30),
-    ) {
+#[test]
+fn every_packet_delivered_exactly_once() {
+    let mut rng = Xoshiro256::seed_from(0x65F_0001);
+    for _case in 0..48 {
+        let entries = 1 + rng.next_below(29) as usize;
         let mut flows: Vec<(u32, u32)> = Vec::new();
         let mut next_seq: Vec<u64> = Vec::new();
         let mut packets = Vec::new();
-        for &(a, b, count) in &batch {
+        for _ in 0..entries {
+            let a = rng.next_below(16) as u32;
+            let b = rng.next_below(16) as u32;
+            let count = 1 + rng.next_below(11);
             if a == b {
                 continue;
             }
@@ -45,7 +47,9 @@ proptest! {
                 ));
             }
         }
-        prop_assume!(!flows.is_empty());
+        if flows.is_empty() {
+            continue;
+        }
         let reservations = vec![20u32; flows.len()];
         let mut net = GsfNetwork::new(small_cfg(), &reservations);
         let expected = packets.len();
@@ -57,21 +61,25 @@ proptest! {
         while net.in_flight() > 0 {
             net.step(&mut out);
             guard += 1;
-            prop_assert!(guard < 1_000_000, "network failed to drain");
+            assert!(guard < 1_000_000, "network failed to drain");
         }
-        prop_assert_eq!(out.len(), expected);
+        assert_eq!(out.len(), expected);
         let mut seen = std::collections::HashSet::new();
         for p in &out {
-            prop_assert!(seen.insert(p.id));
+            assert!(seen.insert(p.id));
             let (_, dst) = flows[p.id.flow.index()];
-            prop_assert_eq!(p.dst, NodeId::new(dst));
+            assert_eq!(p.dst, NodeId::new(dst));
         }
     }
+}
 
-    /// The head frame always makes progress: recycles keep happening
-    /// as long as traffic drains (liveness of the barrier).
-    #[test]
-    fn recycling_is_live(backlog in 1u64..60) {
+/// The head frame always makes progress: recycles keep happening
+/// as long as traffic drains (liveness of the barrier).
+#[test]
+fn recycling_is_live() {
+    let mut rng = Xoshiro256::seed_from(0x65F_0002);
+    for _case in 0..24 {
+        let backlog = 1 + rng.next_below(59);
         let mut net = GsfNetwork::new(small_cfg(), &[8]);
         for seq in 0..backlog {
             net.enqueue(Packet::new(
@@ -87,12 +95,12 @@ proptest! {
         while net.in_flight() > 0 {
             net.step(&mut out);
             guard += 1;
-            prop_assert!(guard < 500_000);
+            assert!(guard < 500_000);
         }
         // 8-flit quota = 2 packets per frame: a backlog of n packets
         // needs at least n/2 - window shifts.
         let min_recycles = (backlog / 2).saturating_sub(6);
-        prop_assert!(
+        assert!(
             net.recycles() >= min_recycles,
             "only {} recycles for backlog {}",
             net.recycles(),

@@ -1,4 +1,9 @@
-//! Property-based tests for the simulation substrate.
+//! Randomized invariant tests for the simulation substrate.
+//!
+//! These were originally `proptest` properties; they now draw their
+//! cases from the workspace's own deterministic [`Xoshiro256`] so the
+//! test suite has no external dependencies and every failure is
+//! reproducible from the fixed seed.
 
 use noc_sim::flit::NodeId;
 use noc_sim::flow::FlowSet;
@@ -6,128 +11,164 @@ use noc_sim::rng::Xoshiro256;
 use noc_sim::routing::{Direction, Routing};
 use noc_sim::stats::RunningStats;
 use noc_sim::topology::Topology;
-use proptest::prelude::*;
 
-proptest! {
-    /// Routing always terminates at the destination with exactly the
-    /// Manhattan number of hops, for both dimension orders.
-    #[test]
-    fn routing_reaches_destination(
-        w in 1u16..10,
-        h in 1u16..10,
-        a in 0u32..100,
-        b in 0u32..100,
-        yx in any::<bool>(),
-    ) {
+/// Routing always terminates at the destination with exactly the
+/// Manhattan number of hops, for both dimension orders.
+#[test]
+fn routing_reaches_destination() {
+    let mut rng = Xoshiro256::seed_from(0x5EED_0001);
+    for _ in 0..256 {
+        let w = 1 + rng.next_below(9) as u16;
+        let h = 1 + rng.next_below(9) as u16;
         let topo = Topology::mesh(w, h);
-        let n = topo.num_nodes() as u32;
-        let (src, dst) = (NodeId::new(a % n), NodeId::new(b % n));
-        let routing = if yx { Routing::YX } else { Routing::XY };
+        let n = topo.num_nodes() as u64;
+        let src = NodeId::new(rng.next_below(n) as u32);
+        let dst = NodeId::new(rng.next_below(n) as u32);
+        let routing = if rng.bernoulli(0.5) { Routing::YX } else { Routing::XY };
         let path = routing.path(&topo, src, dst);
-        prop_assert_eq!(*path.first().unwrap(), src);
-        prop_assert_eq!(*path.last().unwrap(), dst);
-        prop_assert_eq!(path.len() as u32 - 1, topo.hop_distance(src, dst));
+        assert_eq!(*path.first().unwrap(), src);
+        assert_eq!(*path.last().unwrap(), dst);
+        assert_eq!(path.len() as u32 - 1, topo.hop_distance(src, dst));
     }
+}
 
-    /// Torus routing also terminates and never exceeds the mesh path.
-    #[test]
-    fn torus_routing_never_longer_than_mesh(
-        w in 2u16..9,
-        h in 2u16..9,
-        a in 0u32..81,
-        b in 0u32..81,
-    ) {
+/// Torus routing also terminates and never exceeds the mesh path.
+#[test]
+fn torus_routing_never_longer_than_mesh() {
+    let mut rng = Xoshiro256::seed_from(0x5EED_0002);
+    for _ in 0..256 {
+        let w = 2 + rng.next_below(7) as u16;
+        let h = 2 + rng.next_below(7) as u16;
         let torus = Topology::torus(w, h);
         let mesh = Topology::mesh(w, h);
-        let n = torus.num_nodes() as u32;
-        let (src, dst) = (NodeId::new(a % n), NodeId::new(b % n));
+        let n = torus.num_nodes() as u64;
+        let src = NodeId::new(rng.next_below(n) as u32);
+        let dst = NodeId::new(rng.next_below(n) as u32);
         let tp = Routing::XY.path(&torus, src, dst);
         let mp = Routing::XY.path(&mesh, src, dst);
-        prop_assert!(tp.len() <= mp.len());
-        prop_assert_eq!(*tp.last().unwrap(), dst);
+        assert!(tp.len() <= mp.len());
+        assert_eq!(*tp.last().unwrap(), dst);
     }
+}
 
-    /// Neighbor relations are symmetric on every topology.
-    #[test]
-    fn neighbors_symmetric(w in 1u16..9, h in 1u16..9, torus in any::<bool>()) {
-        let topo = if torus { Topology::torus(w, h) } else { Topology::mesh(w, h) };
+/// Neighbor relations are symmetric on every topology.
+#[test]
+fn neighbors_symmetric() {
+    let mut rng = Xoshiro256::seed_from(0x5EED_0003);
+    for _ in 0..64 {
+        let w = 1 + rng.next_below(8) as u16;
+        let h = 1 + rng.next_below(8) as u16;
+        let topo = if rng.bernoulli(0.5) {
+            Topology::torus(w, h)
+        } else {
+            Topology::mesh(w, h)
+        };
         for node in topo.nodes() {
             for dir in Direction::CARDINALS {
                 if let Some(peer) = topo.neighbor(node, dir) {
-                    prop_assert_eq!(topo.neighbor(peer, dir.opposite()), Some(node));
+                    assert_eq!(topo.neighbor(peer, dir.opposite()), Some(node));
                 }
             }
         }
     }
+}
 
-    /// Reservation assignment never oversubscribes any link and every
-    /// flow gets a positive share.
-    #[test]
-    fn reservations_feasible(
-        pairs in prop::collection::vec((0u32..64, 0u32..64, 1u32..20), 1..20),
-        capacity in 64u32..4096,
-    ) {
+/// Reservation assignment never oversubscribes any link and every
+/// flow gets a positive share.
+#[test]
+fn reservations_feasible() {
+    let mut rng = Xoshiro256::seed_from(0x5EED_0004);
+    for _ in 0..128 {
         let topo = Topology::mesh(8, 8);
         let mut fs = FlowSet::new(topo, Routing::XY);
+        let pairs = 1 + rng.next_below(19) as usize;
         let mut any = false;
-        for (a, b, w) in pairs {
+        for _ in 0..pairs {
+            let a = rng.next_below(64) as u32;
+            let b = rng.next_below(64) as u32;
+            let w = 1 + rng.next_below(19);
             if a != b {
                 fs.add(NodeId::new(a), NodeId::new(b), w as f64);
                 any = true;
             }
         }
-        prop_assume!(any);
+        if !any {
+            continue;
+        }
+        let capacity = 64 + rng.next_below(4032) as u32;
         match fs.assign_reservations(capacity) {
             Ok(r) => {
-                prop_assert!(r.iter().all(|&x| x > 0));
+                assert!(r.iter().all(|&x| x > 0));
                 fs.check_reservations(&r, capacity).unwrap();
             }
             Err(e) => {
                 // Only legitimate failure: a weight too small for the
                 // frame granularity.
-                prop_assert!(e.message().contains("zero"), "{}", e);
+                assert!(e.message().contains("zero"), "{}", e);
             }
         }
     }
+}
 
-    /// RunningStats matches a direct two-pass computation.
-    #[test]
-    fn running_stats_matches_naive(xs in prop::collection::vec(-1e6f64..1e6, 1..200)) {
+/// RunningStats matches a direct two-pass computation.
+#[test]
+fn running_stats_matches_naive() {
+    let mut rng = Xoshiro256::seed_from(0x5EED_0005);
+    for _ in 0..128 {
+        let len = 1 + rng.next_below(199) as usize;
+        let xs: Vec<f64> = (0..len)
+            .map(|_| (rng.next_f64() - 0.5) * 2e6)
+            .collect();
         let mut s = RunningStats::new();
         for &x in &xs {
             s.push(x);
         }
         let mean = xs.iter().sum::<f64>() / xs.len() as f64;
         let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / xs.len() as f64;
-        prop_assert!((s.mean() - mean).abs() <= 1e-6 * (1.0 + mean.abs()));
-        prop_assert!((s.variance() - var).abs() <= 1e-5 * (1.0 + var.abs()));
-        prop_assert_eq!(s.count(), xs.len() as u64);
+        assert!((s.mean() - mean).abs() <= 1e-6 * (1.0 + mean.abs()));
+        assert!((s.variance() - var).abs() <= 1e-5 * (1.0 + var.abs()));
+        assert_eq!(s.count(), xs.len() as u64);
     }
+}
 
-    /// Merging stats in any split matches computing them whole.
-    #[test]
-    fn running_stats_merge_associative(
-        xs in prop::collection::vec(-1e3f64..1e3, 2..100),
-        split in 0usize..100,
-    ) {
-        let cut = split % xs.len();
+/// Merging stats in any split matches computing them whole.
+#[test]
+fn running_stats_merge_associative() {
+    let mut rng = Xoshiro256::seed_from(0x5EED_0006);
+    for _ in 0..128 {
+        let len = 2 + rng.next_below(98) as usize;
+        let xs: Vec<f64> = (0..len)
+            .map(|_| (rng.next_f64() - 0.5) * 2e3)
+            .collect();
+        let cut = rng.next_below(len as u64) as usize;
         let mut whole = RunningStats::new();
-        for &x in &xs { whole.push(x); }
+        for &x in &xs {
+            whole.push(x);
+        }
         let mut a = RunningStats::new();
         let mut b = RunningStats::new();
-        for &x in &xs[..cut] { a.push(x); }
-        for &x in &xs[cut..] { b.push(x); }
+        for &x in &xs[..cut] {
+            a.push(x);
+        }
+        for &x in &xs[cut..] {
+            b.push(x);
+        }
         a.merge(&b);
-        prop_assert!((a.mean() - whole.mean()).abs() < 1e-9 * (1.0 + whole.mean().abs()));
-        prop_assert_eq!(a.count(), whole.count());
+        assert!((a.mean() - whole.mean()).abs() < 1e-9 * (1.0 + whole.mean().abs()));
+        assert_eq!(a.count(), whole.count());
     }
+}
 
-    /// next_below stays in range for arbitrary bounds.
-    #[test]
-    fn rng_next_below_in_range(seed in any::<u64>(), bound in 1u64..1_000_000) {
+/// next_below stays in range for arbitrary bounds.
+#[test]
+fn rng_next_below_in_range() {
+    let mut meta = Xoshiro256::seed_from(0x5EED_0007);
+    for _ in 0..64 {
+        let seed = meta.next_u64();
+        let bound = 1 + meta.next_below(1_000_000);
         let mut rng = Xoshiro256::seed_from(seed);
         for _ in 0..100 {
-            prop_assert!(rng.next_below(bound) < bound);
+            assert!(rng.next_below(bound) < bound);
         }
     }
 }

@@ -1,0 +1,85 @@
+//! Golden determinism tests: each network, run with the shared bench
+//! seed and the short run configuration, must reproduce these exact
+//! pinned results — down to the last bit of the latency average.
+//!
+//! These pins were captured from the pre-optimization tree and lock
+//! the simulator's observable behaviour across performance work: any
+//! change to iteration order, scheduling tie-breaks, or RNG
+//! consumption shows up here as a hard failure, not a silent drift.
+//! If a pin moves, the change is a semantic change (and needs its own
+//! justification), not an optimization.
+
+use loft::LoftConfig;
+use loft_bench::{run_gsf, run_loft, run_wormhole, SEED};
+use noc_gsf::GsfConfig;
+use noc_sim::RunConfig;
+use noc_traffic::Scenario;
+use noc_wormhole::WormholeConfig;
+
+/// Asserts a report matches its pinned flit count and the exact IEEE
+/// bit pattern of its average latency.
+fn check(report: &noc_sim::SimReport, flits: u64, latency_bits: u64) {
+    assert_eq!(report.flits_delivered, flits, "flits_delivered drifted");
+    assert_eq!(
+        report.avg_latency().to_bits(),
+        latency_bits,
+        "avg_latency drifted: got {:?}, pinned {:?}",
+        report.avg_latency(),
+        f64::from_bits(latency_bits),
+    );
+}
+
+#[test]
+fn loft_uniform_low_load_is_pinned() {
+    let r = run_loft(
+        &Scenario::uniform(0.05),
+        LoftConfig::default(),
+        RunConfig::short(),
+        SEED,
+    );
+    check(&r, 16_588, 0x4040_E41D_B5B9_AFB5); // avg_latency = 33.78215667311398
+}
+
+#[test]
+fn gsf_uniform_low_load_is_pinned() {
+    let r = run_gsf(
+        &Scenario::uniform(0.05),
+        GsfConfig::default(),
+        RunConfig::short(),
+        SEED,
+    );
+    check(&r, 16_576, 0x4033_EEBB_2C11_D367); // avg_latency = 19.932543520309448
+}
+
+#[test]
+fn wormhole_uniform_low_load_is_pinned() {
+    let r = run_wormhole(
+        &Scenario::uniform(0.05),
+        WormholeConfig::default(),
+        RunConfig::short(),
+        SEED,
+    );
+    check(&r, 16_576, 0x4034_1027_9CF7_951A); // avg_latency = 20.0631044487428
+}
+
+#[test]
+fn loft_hotspot_is_pinned() {
+    let r = run_loft(
+        &Scenario::hotspot(0.02),
+        LoftConfig::default(),
+        RunConfig::short(),
+        SEED,
+    );
+    check(&r, 4_992, 0x4092_5CE0_2D98_75D2); // avg_latency = 1175.2189239332115
+}
+
+#[test]
+fn gsf_hotspot_is_pinned() {
+    let r = run_gsf(
+        &Scenario::hotspot(0.02),
+        GsfConfig::default(),
+        RunConfig::short(),
+        SEED,
+    );
+    check(&r, 5_004, 0x4092_7A46_B27C_978C); // avg_latency = 1182.5690402476785
+}
