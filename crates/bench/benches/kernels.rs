@@ -29,7 +29,11 @@ fn lsf_schedule() {
         'outer: for f in 0..64u32 {
             let flow = FlowId::new(f);
             loop {
-                let entry = PendingQuantum { flow, qid, in_port: 0 };
+                let entry = PendingQuantum {
+                    flow,
+                    qid,
+                    in_port: 0,
+                };
                 match s.schedule(flow, 1, entry) {
                     Some(_) => {
                         booked += 1;

@@ -22,7 +22,12 @@ fn tiny() -> RunConfig {
 /// Figure 10: fairness under hotspot traffic (equal allocation).
 fn fig10_fairness() {
     bench_report("fig10_fairness/loft_hotspot_equal", 10, || {
-        run_loft(&Scenario::hotspot(0.05), LoftConfig::default(), tiny(), SEED)
+        run_loft(
+            &Scenario::hotspot(0.05),
+            LoftConfig::default(),
+            tiny(),
+            SEED,
+        )
     });
     bench_report("fig10_fairness/loft_hotspot_diff4", 10, || {
         run_loft(
@@ -51,7 +56,12 @@ fn fig11_performance() {
         )
     });
     bench_report("fig11_performance/loft_hotspot_0.01", 10, || {
-        run_loft(&Scenario::hotspot(0.01), LoftConfig::default(), tiny(), SEED)
+        run_loft(
+            &Scenario::hotspot(0.01),
+            LoftConfig::default(),
+            tiny(),
+            SEED,
+        )
     });
     bench_report("fig11_performance/gsf_hotspot_0.01", 10, || {
         run_gsf(&Scenario::hotspot(0.01), GsfConfig::default(), tiny(), SEED)
@@ -61,20 +71,40 @@ fn fig11_performance() {
 /// Figure 12: the DoS case study (one aggressor rate).
 fn fig12_case1() {
     bench_report("fig12_case1/loft", 10, || {
-        run_loft(&Scenario::case_study_1(0.8), LoftConfig::default(), tiny(), SEED)
+        run_loft(
+            &Scenario::case_study_1(0.8),
+            LoftConfig::default(),
+            tiny(),
+            SEED,
+        )
     });
     bench_report("fig12_case1/gsf", 10, || {
-        run_gsf(&Scenario::case_study_1(0.8), GsfConfig::default(), tiny(), SEED)
+        run_gsf(
+            &Scenario::case_study_1(0.8),
+            GsfConfig::default(),
+            tiny(),
+            SEED,
+        )
     });
 }
 
 /// Figure 13: the pathological case study (one rate).
 fn fig13_case2() {
     bench_report("fig13_case2/loft", 10, || {
-        run_loft(&Scenario::case_study_2(0.64), LoftConfig::default(), tiny(), SEED)
+        run_loft(
+            &Scenario::case_study_2(0.64),
+            LoftConfig::default(),
+            tiny(),
+            SEED,
+        )
     });
     bench_report("fig13_case2/gsf", 10, || {
-        run_gsf(&Scenario::case_study_2(0.64), GsfConfig::default(), tiny(), SEED)
+        run_gsf(
+            &Scenario::case_study_2(0.64),
+            GsfConfig::default(),
+            tiny(),
+            SEED,
+        )
     });
 }
 
@@ -114,7 +144,10 @@ fn fig6_flowcontrol() {
     fn stream<N: Network>(mut net: N) -> u64 {
         for seq in 0..32 {
             net.enqueue(Packet::new(
-                PacketId { flow: FlowId::new(0), seq },
+                PacketId {
+                    flow: FlowId::new(0),
+                    seq,
+                },
                 NodeId::new(0),
                 NodeId::new(1),
                 4,

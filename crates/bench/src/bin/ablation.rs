@@ -20,10 +20,26 @@ struct Variant {
 }
 
 const VARIANTS: [Variant; 4] = [
-    Variant { name: "baseline (none)", speculative: false, reset: false },
-    Variant { name: "+speculative", speculative: true, reset: false },
-    Variant { name: "+local reset", speculative: false, reset: true },
-    Variant { name: "+both (LOFT)", speculative: true, reset: true },
+    Variant {
+        name: "baseline (none)",
+        speculative: false,
+        reset: false,
+    },
+    Variant {
+        name: "+speculative",
+        speculative: true,
+        reset: false,
+    },
+    Variant {
+        name: "+local reset",
+        speculative: false,
+        reset: true,
+    },
+    Variant {
+        name: "+both (LOFT)",
+        speculative: true,
+        reset: true,
+    },
 ];
 
 fn run_variant(v: Variant, scenario: &Scenario) -> SimReport {

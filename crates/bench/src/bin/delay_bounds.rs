@@ -63,8 +63,7 @@ fn main() {
         drain: 30_000,
     };
     let report = run_loft(&scenario, loft_cfg, run, SEED);
-    let worst_path_bound =
-        delay::loft_worst_case_for(&loft_cfg, NodeId::new(0), NodeId::new(63));
+    let worst_path_bound = delay::loft_worst_case_for(&loft_cfg, NodeId::new(0), NodeId::new(63));
     println!(
         "\nSimulated hotspot (saturating): max network latency {} cycles; \
          analytic bound for the longest path {} cycles; bound holds: {}",

@@ -29,7 +29,9 @@ fn run_pattern(pattern: &str) {
             vec![0, 4, 8, 12, 16],
         ),
         "hotspot" => (
-            vec![0.001, 0.003, 0.005, 0.007, 0.009, 0.011, 0.013, 0.015, 0.017],
+            vec![
+                0.001, 0.003, 0.005, 0.007, 0.009, 0.011, 0.013, 0.015, 0.017,
+            ],
             vec![0, 2, 4, 6, 8],
         ),
         other => panic!("unknown pattern {other:?} (use uniform|hotspot)"),

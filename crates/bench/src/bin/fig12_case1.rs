@@ -48,8 +48,16 @@ fn tables(net: &str, reports: &[SimReport]) {
         })
         .collect();
     print_table(
-        &format!("Figure 12 ({net}) — per-flow accepted throughput (flits/cycle) vs aggressor rate"),
-        &["aggr rate", "victim 0→63", "aggr 48→63", "aggr 56→63", "link util"],
+        &format!(
+            "Figure 12 ({net}) — per-flow accepted throughput (flits/cycle) vs aggressor rate"
+        ),
+        &[
+            "aggr rate",
+            "victim 0→63",
+            "aggr 48→63",
+            "aggr 56→63",
+            "link util",
+        ],
         &tput_rows,
     );
 }
@@ -61,10 +69,20 @@ fn main() {
         drain: 30_000,
     };
     let gsf = parallel_map(RATES.to_vec(), move |rate| {
-        run_gsf(&Scenario::case_study_1(rate), GsfConfig::default(), run, SEED)
+        run_gsf(
+            &Scenario::case_study_1(rate),
+            GsfConfig::default(),
+            run,
+            SEED,
+        )
     });
     let loft = parallel_map(RATES.to_vec(), move |rate| {
-        run_loft(&Scenario::case_study_1(rate), LoftConfig::default(), run, SEED)
+        run_loft(
+            &Scenario::case_study_1(rate),
+            LoftConfig::default(),
+            run,
+            SEED,
+        )
     });
     tables("GSF", &gsf);
     tables("LOFT", &loft);

@@ -22,8 +22,7 @@ fn table(net: &str, reports: &[SimReport]) {
         .zip(reports)
         .map(|(rate, r)| {
             let grey = r.group_throughput(scenario.group("grey").expect("group exists"));
-            let stripped =
-                r.group_throughput(scenario.group("stripped").expect("group exists"));
+            let stripped = r.group_throughput(scenario.group("stripped").expect("group exists"));
             vec![
                 format!("{rate:.2}"),
                 format!("{:.4}", grey.mean()),
@@ -45,10 +44,20 @@ fn main() {
         drain: 30_000,
     };
     let gsf = parallel_map(RATES.to_vec(), move |rate| {
-        run_gsf(&Scenario::case_study_2(rate), GsfConfig::default(), run, SEED)
+        run_gsf(
+            &Scenario::case_study_2(rate),
+            GsfConfig::default(),
+            run,
+            SEED,
+        )
     });
     let loft = parallel_map(RATES.to_vec(), move |rate| {
-        run_loft(&Scenario::case_study_2(rate), LoftConfig::default(), run, SEED)
+        run_loft(
+            &Scenario::case_study_2(rate),
+            LoftConfig::default(),
+            run,
+            SEED,
+        )
     });
     table("GSF", &gsf);
     table("LOFT", &loft);

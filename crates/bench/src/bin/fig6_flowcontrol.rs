@@ -24,7 +24,10 @@ const PACKETS: u64 = 64;
 fn drive<N: Network>(mut net: N) -> (u64, u64) {
     for seq in 0..PACKETS {
         net.enqueue(Packet::new(
-            PacketId { flow: FlowId::new(0), seq },
+            PacketId {
+                flow: FlowId::new(0),
+                seq,
+            },
             NodeId::new(0),
             NodeId::new(1),
             4,
@@ -33,7 +36,7 @@ fn drive<N: Network>(mut net: N) -> (u64, u64) {
     }
     let mut out = Vec::new();
     let mut guard = 0u64;
-    
+
     loop {
         net.step(&mut out);
         guard += 1;
@@ -42,11 +45,7 @@ fn drive<N: Network>(mut net: N) -> (u64, u64) {
             break;
         }
     }
-    let first = out
-        .iter()
-        .map(|p| p.ejected_at.unwrap())
-        .min()
-        .unwrap();
+    let first = out.iter().map(|p| p.ejected_at.unwrap()).min().unwrap();
     let last = out.iter().map(|p| p.ejected_at.unwrap()).max().unwrap();
     (last, last - first)
 }
@@ -112,7 +111,12 @@ fn main() {
     .collect::<Vec<_>>();
     print_table(
         &format!("Figure 6 — {PACKETS} back-to-back 4-flit packets across one link"),
-        &["mechanism", "makespan (cycles)", "cycles/packet", "link efficiency"],
+        &[
+            "mechanism",
+            "makespan (cycles)",
+            "cycles/packet",
+            "link efficiency",
+        ],
         &rows,
     );
     println!(

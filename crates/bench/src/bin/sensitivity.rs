@@ -52,7 +52,10 @@ fn main() {
         .zip(&results)
         .map(|(&(f, w), &(tput, cv, lat, bound))| {
             vec![
-                format!("F={f} WF={w}{}", if (f, w) == (256, 2) { " (paper)" } else { "" }),
+                format!(
+                    "F={f} WF={w}{}",
+                    if (f, w) == (256, 2) { " (paper)" } else { "" }
+                ),
                 format!("{tput:.4}"),
                 format!("{:.1}%", 100.0 * cv),
                 format!("{lat:.1}"),

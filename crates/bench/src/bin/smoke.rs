@@ -55,8 +55,16 @@ fn main() {
         "Uniform @0.3 (latency, accepted throughput/node)",
         &["net", "lat", "tput"],
         &[
-            vec!["GSF".into(), f4(g3.avg_latency()), f4(g3.throughput_per_node())],
-            vec!["LOFT".into(), f4(l3.avg_latency()), f4(l3.throughput_per_node())],
+            vec![
+                "GSF".into(),
+                f4(g3.avg_latency()),
+                f4(g3.throughput_per_node()),
+            ],
+            vec![
+                "LOFT".into(),
+                f4(l3.avg_latency()),
+                f4(l3.throughput_per_node()),
+            ],
         ],
     );
 

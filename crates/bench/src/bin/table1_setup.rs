@@ -14,8 +14,14 @@ fn main() {
         "Table 1 — Common specification",
         &["parameter", "value"],
         &[
-            vec!["Size & topology".into(), format!("{}-node 2D mesh", l.topo.num_nodes())],
-            vec!["Routing algorithm".into(), format!("{:?} dimension-order", l.routing)],
+            vec![
+                "Size & topology".into(),
+                format!("{}-node 2D mesh", l.topo.num_nodes()),
+            ],
+            vec![
+                "Routing algorithm".into(),
+                format!("{:?} dimension-order", l.routing),
+            ],
             vec!["Maximum flows".into(), "64".into()],
             vec!["Packet size".into(), "4 flits".into()],
         ],
@@ -28,12 +34,27 @@ fn main() {
             vec!["Frame size".into(), format!("{} flits", l.frame_size)],
             vec!["Frame window size".into(), l.frame_window.to_string()],
             vec!["Flits per quantum".into(), l.flits_per_quantum.to_string()],
-            vec!["Reservation table size".into(), format!("{} quantum slots", l.window_quanta())],
-            vec!["Depth of central buffer".into(), format!("{} flits", l.nonspec_buffer)],
-            vec!["Depth of spec. buffer".into(), format!("0–16 flits (default {})", l.spec_buffer)],
+            vec![
+                "Reservation table size".into(),
+                format!("{} quantum slots", l.window_quanta()),
+            ],
+            vec![
+                "Depth of central buffer".into(),
+                format!("{} flits", l.nonspec_buffer),
+            ],
+            vec![
+                "Depth of spec. buffer".into(),
+                format!("0–16 flits (default {})", l.spec_buffer),
+            ],
             vec!["No. of router stages".into(), l.hop_latency.to_string()],
-            vec!["Look-ahead router stages".into(), l.la_hop_latency.to_string()],
-            vec!["Look-ahead queue capacity".into(), format!("{} flits (3 VCs × 4)", l.la_queue_capacity)],
+            vec![
+                "Look-ahead router stages".into(),
+                l.la_hop_latency.to_string(),
+            ],
+            vec![
+                "Look-ahead queue capacity".into(),
+                format!("{} flits (3 VCs × 4)", l.la_queue_capacity),
+            ],
         ],
     );
 
@@ -42,11 +63,20 @@ fn main() {
         &["parameter", "value"],
         &[
             vec!["No. of virtual channels".into(), g.num_vcs.to_string()],
-            vec!["Buffer size of each channel".into(), format!("{} flits", g.vc_capacity)],
+            vec![
+                "Buffer size of each channel".into(),
+                format!("{} flits", g.vc_capacity),
+            ],
             vec!["Frame size".into(), format!("{} flits", g.frame_size)],
             vec!["Frame window size".into(), g.frame_window.to_string()],
-            vec!["Barrier network delay".into(), format!("{} cycles", g.barrier_delay)],
-            vec!["Source queue".into(), format!("{} flits", g.source_queue_flits)],
+            vec![
+                "Barrier network delay".into(),
+                format!("{} cycles", g.barrier_delay),
+            ],
+            vec![
+                "Source queue".into(),
+                format!("{} flits", g.source_queue_flits),
+            ],
         ],
     );
 }

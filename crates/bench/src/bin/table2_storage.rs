@@ -17,8 +17,16 @@ fn main() {
         "Table 2 — GSF per-router storage (bits)",
         &["component", "measured", "paper"],
         &[
-            vec!["Source queue".into(), g.source_queue.to_string(), "256000".into()],
-            vec!["Virtual channels".into(), g.vc_buffers.to_string(), "15360".into()],
+            vec![
+                "Source queue".into(),
+                g.source_queue.to_string(),
+                "256000".into(),
+            ],
+            vec![
+                "Virtual channels".into(),
+                g.vc_buffers.to_string(),
+                "15360".into(),
+            ],
             vec!["Bookkeeping".into(), g.bookkeeping.to_string(), "—".into()],
             vec!["Total".into(), g.total().to_string(), "271379".into()],
         ],
@@ -28,10 +36,22 @@ fn main() {
         "Table 2 — LOFT per-router storage (bits)",
         &["component", "measured", "paper"],
         &[
-            vec!["Input buffers".into(), l.input_buffers.to_string(), "139264".into()],
-            vec!["Reservation tables".into(), l.reservation_tables.to_string(), "40960".into()],
+            vec![
+                "Input buffers".into(),
+                l.input_buffers.to_string(),
+                "139264".into(),
+            ],
+            vec![
+                "Reservation tables".into(),
+                l.reservation_tables.to_string(),
+                "40960".into(),
+            ],
             vec!["Flow state".into(), l.flow_state.to_string(), "2308".into()],
-            vec!["Look-ahead network".into(), l.lookahead.to_string(), "1536".into()],
+            vec![
+                "Look-ahead network".into(),
+                l.lookahead.to_string(),
+                "1536".into(),
+            ],
             vec!["Total".into(), l.total().to_string(), "184203".into()],
         ],
     );

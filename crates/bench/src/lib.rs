@@ -170,7 +170,10 @@ pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
             .join(" | ")
     };
     println!("{}", fmt_row(header.to_vec()));
-    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 3 * (widths.len() - 1)));
+    println!(
+        "{}",
+        "-".repeat(widths.iter().sum::<usize>() + 3 * (widths.len() - 1))
+    );
     for row in rows {
         println!("{}", fmt_row(row.iter().map(|s| s.as_str()).collect()));
     }

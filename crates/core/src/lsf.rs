@@ -68,6 +68,10 @@ struct FlowLsf {
     /// strictly later slots so same-flow data stays in order even
     /// when earlier slots free up again.
     last_slot: u64,
+    /// Reset epoch this entry was last normalized against (see
+    /// [`LinkScheduler::normalize_flow`]): entries from an older
+    /// epoch are stale and reread as power-up state.
+    epoch: u64,
 }
 
 /// A quantum scheduled on the link, waiting for its slot.
@@ -87,8 +91,22 @@ pub struct LinkScheduler {
     params: LsfParams,
     /// Current absolute slot (the slot the link is transferring now).
     cp: u64,
-    /// Ring of per-slot virtual credits, index `slot % window`.
-    credit: Vec<i64>,
+    /// Virtual credit of the current slot `cp`. Credits of later
+    /// slots are reconstructed as
+    /// `credit(s) = cbase + Σ cdelta[ring(t)] for t in (cp, s]` —
+    /// a difference representation that turns the paper's suffix
+    /// updates (consume/return over `credit(s..)`) into single point
+    /// updates.
+    cbase: i64,
+    /// Ring of credit differences: `cdelta[ring(s)]` is
+    /// `credit(s) − credit(s−1)`. The entry for `ring(cp)` is always
+    /// zero (the base slot's value lives in `cbase`).
+    cdelta: Vec<i64>,
+    /// Fenwick tree over `cdelta` (same ring indexing) for
+    /// O(log window) prefix sums when reading a single slot's credit.
+    ctree: Vec<i64>,
+    /// Sum of all entries of `cdelta` (used for wrapped prefix sums).
+    ctotal: i64,
     /// Ring of busy flags.
     busy: Vec<bool>,
     /// Per-frame skipped counters (quanta), index `frame % WF`.
@@ -100,6 +118,11 @@ pub struct LinkScheduler {
     /// Set whenever state changed in a way that could unblock a
     /// previously failed scheduling attempt.
     dirty: bool,
+    /// Bumped on every local reset; per-flow entries carry the epoch
+    /// they were last written under, making reset O(window) instead
+    /// of O(flows) — the network has thousands of flows but only a
+    /// handful are live on any one link.
+    reset_epoch: u64,
     /// `true` while the scheduler is in its power-up/reset state —
     /// resetting again would be a no-op.
     fresh: bool,
@@ -120,7 +143,10 @@ impl LinkScheduler {
         let window = params.window_quanta() as usize;
         LinkScheduler {
             cp: 0,
-            credit: vec![params.buffer_quanta as i64; window],
+            cbase: params.buffer_quanta as i64,
+            cdelta: vec![0; window],
+            ctree: vec![0; window],
+            ctotal: 0,
             busy: vec![false; window],
             skipped: vec![0; params.frame_window as usize],
             flows: reservations_flits
@@ -130,10 +156,12 @@ impl LinkScheduler {
                     c_flits: r,
                     frame: 0,
                     last_slot: 0,
+                    epoch: 0,
                 })
                 .collect(),
             pending: BTreeMap::new(),
             dirty: true,
+            reset_epoch: 0,
             fresh: true,
             resets: 0,
             params,
@@ -171,10 +199,51 @@ impl LinkScheduler {
         (slot % self.params.window_quanta()) as usize
     }
 
+    /// Adds `v` to `cdelta[i]`'s mirror in the Fenwick tree.
+    #[inline]
+    fn ctree_add(&mut self, i: usize, v: i64) {
+        self.ctotal += v;
+        let mut i = i + 1;
+        while i <= self.ctree.len() {
+            self.ctree[i - 1] += v;
+            i += i & i.wrapping_neg();
+        }
+    }
+
+    /// Prefix sum `cdelta[0..=i]` from the Fenwick tree.
+    #[inline]
+    fn ctree_prefix(&self, i: usize) -> i64 {
+        let mut sum = 0;
+        let mut i = i + 1;
+        while i > 0 {
+            sum += self.ctree[i - 1];
+            i -= i & i.wrapping_neg();
+        }
+        sum
+    }
+
+    /// Reconstructs the credit of an absolute slot in
+    /// `[cp, cp + window)` from the difference representation:
+    /// `cbase` plus the deltas of `(cp, slot]`, which in ring space is
+    /// either a contiguous span or a wrapped pair of spans.
+    #[inline]
+    fn credit_value(&self, slot: u64) -> i64 {
+        if slot == self.cp {
+            return self.cbase;
+        }
+        let c = self.ring(self.cp);
+        let i = self.ring(slot);
+        if i > c {
+            self.cbase + self.ctree_prefix(i) - self.ctree_prefix(c)
+        } else {
+            self.cbase + self.ctotal - self.ctree_prefix(c) + self.ctree_prefix(i)
+        }
+    }
+
     /// Virtual credit of an absolute slot inside the window.
     pub fn credit_at(&self, slot: u64) -> i64 {
         debug_assert!(slot >= self.cp && slot < self.cp + self.params.window_quanta());
-        self.credit[self.ring(slot)]
+        self.credit_value(slot)
     }
 
     /// Busy flag of an absolute slot inside the window.
@@ -200,29 +269,49 @@ impl LinkScheduler {
     /// reservations and the incoming fresh frame's `skipped` counter
     /// clears.
     pub fn advance_slot(&mut self) {
-        let window = self.params.window_quanta();
         let leaving = self.cp;
         let idx = self.ring(leaving);
         // The ring entry now represents slot `leaving + window`: it
-        // inherits the credit of the youngest slot and is not busy.
-        let youngest = self.ring(leaving + window - 1);
-        self.credit[idx] = self.credit[youngest];
+        // inherits the credit of the youngest slot (delta 0 — the
+        // entry is already 0 by the `cdelta[ring(cp)] == 0`
+        // invariant) and is not busy.
         self.busy[idx] = false;
         self.cp = leaving + 1;
+        // Fold the new base slot's delta into `cbase` so the
+        // invariant holds for the new `cp`.
+        let nb = self.ring(self.cp);
+        let d = self.cdelta[nb];
+        if d != 0 {
+            self.cbase += d;
+            self.cdelta[nb] = 0;
+            self.ctree_add(nb, -d);
+        }
         let fq = self.params.frame_quanta as u64;
         if self.cp.is_multiple_of(fq) {
-            // Head frame recycled.
+            // Head frame recycled: flows stuck at the old head catch
+            // up lazily in `normalize_flow` on their next access —
+            // eagerly sweeping every registered flow here would cost
+            // O(flows) per frame on every link in the network.
             let new_head = self.cp / fq;
             let fresh = new_head + self.params.frame_window as u64 - 1;
             self.skipped[(fresh % self.params.frame_window as u64) as usize] = 0;
-            for f in self.flows.iter_mut() {
-                if f.frame < new_head {
-                    f.frame = new_head;
-                    // C ← MIN(R, C + R); C ≥ 0 makes this C ← R.
-                    f.c_flits = f.r_flits;
-                }
-            }
             self.dirty = true;
+        }
+    }
+
+    /// Brings a flow's entry up to date before any read: a stale
+    /// reset epoch or a frame behind the head both mean the flow
+    /// restarts at the head with a full reservation
+    /// (`C ← MIN(R, C + R)`; `C ≥ 0` makes this `C ← R`).
+    #[inline]
+    fn normalize_flow(&mut self, flow: FlowId) {
+        let head = self.head_frame();
+        let epoch = self.reset_epoch;
+        let st = &mut self.flows[flow.index()];
+        if st.epoch != epoch || st.frame < head {
+            st.epoch = epoch;
+            st.frame = head;
+            st.c_flits = st.r_flits;
         }
     }
 
@@ -249,7 +338,7 @@ impl LinkScheduler {
         let prior = frame * fq - 1;
         debug_assert!(prior >= self.cp);
         let skipped = self.skipped[(frame % self.params.frame_window as u64) as usize];
-        (self.params.frame_quanta.saturating_sub(skipped)) as i64 <= self.credit[self.ring(prior)]
+        (self.params.frame_quanta.saturating_sub(skipped)) as i64 <= self.credit_value(prior)
     }
 
     /// Algorithm 2: searches `frame` for a valid slot at or after
@@ -265,14 +354,29 @@ impl LinkScheduler {
         };
         candidate = candidate.max(earliest);
         let end = (frame + 1) * fq;
-        while candidate < end {
-            let idx = self.ring(candidate);
-            if !self.busy[idx] && (self.params.sink || self.credit[idx] > 0) {
+        if candidate >= end {
+            return None;
+        }
+        // One O(log window) reconstruction for the first candidate;
+        // each later candidate updates the running value with the
+        // O(1) neighbouring delta.
+        let mut credit = if self.params.sink {
+            0
+        } else {
+            self.credit_value(candidate)
+        };
+        loop {
+            if !self.busy[self.ring(candidate)] && (self.params.sink || credit > 0) {
                 return Some(candidate);
             }
             candidate += 1;
+            if candidate >= end {
+                return None;
+            }
+            if !self.params.sink {
+                credit += self.cdelta[self.ring(candidate)];
+            }
         }
-        None
     }
 
     /// Algorithm 1 with Condition (1): attempts to schedule one
@@ -288,26 +392,16 @@ impl LinkScheduler {
     /// # Panics
     ///
     /// Panics if `flow` was not registered at construction.
-    pub fn schedule(
-        &mut self,
-        flow: FlowId,
-        earliest: u64,
-        entry: PendingQuantum,
-    ) -> Option<u64> {
+    pub fn schedule(&mut self, flow: FlowId, earliest: u64, entry: PendingQuantum) -> Option<u64> {
         let head = self.head_frame();
         let window = self.params.frame_window as u64;
         let q = self.params.flits_per_quantum;
+        // Lazy catch-up for flows that slept through recycles or a
+        // local reset.
+        self.normalize_flow(flow);
         // Same-flow bookings must be strictly increasing (in-order
         // delivery of a flow's quanta over this link).
         let earliest = earliest.max(self.flows[flow.index()].last_slot + 1);
-        // Lazy catch-up for flows that slept through recycles.
-        {
-            let st = &mut self.flows[flow.index()];
-            if st.frame < head {
-                st.frame = head;
-                st.c_flits = st.r_flits;
-            }
-        }
         loop {
             let st = self.flows[flow.index()];
             if st.c_flits > 0 && self.condition1(st.frame) {
@@ -345,11 +439,15 @@ impl LinkScheduler {
     /// the window (a quantum will occupy the downstream buffer from
     /// its arrival until its — yet unknown — departure).
     fn consume_credit(&mut self, slot: u64) {
-        let end = self.cp + self.params.window_quanta();
-        debug_assert!(slot >= self.cp && slot < end);
-        for s in slot..end {
-            let idx = self.ring(s);
-            self.credit[idx] -= 1;
+        debug_assert!(slot >= self.cp && slot < self.cp + self.params.window_quanta());
+        // Decrementing the suffix `credit(slot..)` is one point
+        // update in the difference representation.
+        if slot == self.cp {
+            self.cbase -= 1;
+        } else {
+            let idx = self.ring(slot);
+            self.cdelta[idx] -= 1;
+            self.ctree_add(idx, -1);
         }
     }
 
@@ -361,11 +459,15 @@ impl LinkScheduler {
             return;
         }
         let start = slot.max(self.cp);
-        let end = self.cp + self.params.window_quanta();
-        for s in start..end {
-            let idx = self.ring(s);
-            self.credit[idx] += 1;
+        if start == self.cp {
+            self.cbase += 1;
+        } else if start < self.cp + self.params.window_quanta() {
+            let idx = self.ring(start);
+            self.cdelta[idx] += 1;
+            self.ctree_add(idx, 1);
         }
+        // A return beyond the window is dropped, exactly like the
+        // paper's bounded table: the slot is not representable yet.
         self.dirty = true;
     }
 
@@ -407,20 +509,19 @@ impl LinkScheduler {
     /// Panics (debug) if called while quanta are pending.
     pub fn local_reset(&mut self) {
         debug_assert!(self.can_reset(), "reset with scheduled quanta pending");
-        let head = self.head_frame();
-        for c in self.credit.iter_mut() {
-            *c = self.params.buffer_quanta as i64;
-        }
+        self.cbase = self.params.buffer_quanta as i64;
+        self.cdelta.fill(0);
+        self.ctree.fill(0);
+        self.ctotal = 0;
         for b in self.busy.iter_mut() {
             *b = false;
         }
         for s in self.skipped.iter_mut() {
             *s = 0;
         }
-        for f in self.flows.iter_mut() {
-            f.frame = head;
-            f.c_flits = f.r_flits;
-        }
+        // Flow entries refresh lazily: bumping the epoch invalidates
+        // all of them at once (see `normalize_flow`).
+        self.reset_epoch += 1;
         self.resets += 1;
         self.dirty = true;
         self.fresh = true;
@@ -436,18 +537,35 @@ impl LinkScheduler {
     /// Remaining reservation (flits) of a flow in its current
     /// injection frame — for tests and diagnostics.
     pub fn remaining_reservation(&self, flow: FlowId) -> u32 {
-        self.flows[flow.index()].c_flits
+        let st = self.flows[flow.index()];
+        if st.epoch != self.reset_epoch || st.frame < self.head_frame() {
+            st.r_flits // stale entry: reads as a fresh full reservation
+        } else {
+            st.c_flits
+        }
     }
 
     /// The flow's current absolute injection frame.
     pub fn injection_frame(&self, flow: FlowId) -> u64 {
-        self.flows[flow.index()].frame
+        let st = self.flows[flow.index()];
+        if st.epoch != self.reset_epoch {
+            self.head_frame()
+        } else {
+            st.frame.max(self.head_frame())
+        }
     }
 
     /// Smallest credit anywhere in the window — Theorem I says this
     /// never goes negative when the buffer covers a full frame.
     pub fn min_credit(&self) -> i64 {
-        self.credit.iter().copied().min().unwrap_or(0)
+        // Diagnostic-only: walk the window accumulating deltas.
+        let mut value = self.cbase;
+        let mut min = value;
+        for s in self.cp + 1..self.cp + self.params.window_quanta() {
+            value += self.cdelta[self.ring(s)];
+            min = min.min(value);
+        }
+        min
     }
 }
 
@@ -691,7 +809,11 @@ mod tests {
                     if let Some(slot) = s.schedule(
                         flow,
                         s.current_slot() + 1,
-                        PendingQuantum { flow, qid, in_port: 0 },
+                        PendingQuantum {
+                            flow,
+                            qid,
+                            in_port: 0,
+                        },
                     ) {
                         outstanding.push(slot);
                         s.complete(slot);

@@ -41,11 +41,11 @@
 //! returns are applied the cycle they are produced (the one-cycle
 //! wire is folded into the scheduling pipeline).
 
-use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::collections::{BTreeSet, VecDeque};
 
 use noc_sim::flit::{FlowId, NodeId, Packet, PacketId};
 use noc_sim::routing::Direction;
-use noc_sim::Network;
+use noc_sim::{ActiveSet, FxHashMap, Network};
 
 use crate::config::LoftConfig;
 use crate::lsf::{LinkScheduler, LsfParams, PendingQuantum};
@@ -93,8 +93,8 @@ struct Arrived {
 struct DataPort {
     nonspec_free: i64,
     spec_free: i64,
-    arrived: HashMap<QKey, Arrived>,
-    expect: HashMap<QKey, Expect>,
+    arrived: FxHashMap<QKey, Arrived>,
+    expect: FxHashMap<QKey, Expect>,
     /// Arrived quanta with a booked departure, per output port,
     /// ordered by booked slot.
     ready: Vec<BTreeSet<(u64, u32, u64)>>,
@@ -105,8 +105,8 @@ impl DataPort {
         DataPort {
             nonspec_free: nonspec,
             spec_free: spec,
-            arrived: HashMap::new(),
-            expect: HashMap::new(),
+            arrived: FxHashMap::default(),
+            expect: FxHashMap::default(),
             ready: vec![BTreeSet::new(); PORTS],
         }
     }
@@ -138,24 +138,28 @@ struct SrcQuantum {
 struct SourceNic {
     /// Quanta awaiting look-ahead launch, per flow (only flows
     /// sourced here are used).
-    flow_q: HashMap<u32, VecDeque<SrcQuantum>>,
+    flow_q: FxHashMap<u32, VecDeque<SrcQuantum>>,
+    /// Total quanta across all of `flow_q` (the launch worklist's
+    /// activity predicate).
+    queued: usize,
     /// Round-robin over flows for look-ahead launch.
     rr_flows: Vec<u32>,
     rr: usize,
     /// Quanta whose look-ahead has launched, awaiting their data
     /// transfer into the router (FIFO, one per slot).
     staged: VecDeque<QKey>,
-    eject_progress: HashMap<PacketId, u16>,
+    eject_progress: FxHashMap<PacketId, u16>,
 }
 
 impl SourceNic {
     fn new() -> Self {
         SourceNic {
-            flow_q: HashMap::new(),
+            flow_q: FxHashMap::default(),
+            queued: 0,
             rr_flows: Vec::new(),
             rr: 0,
             staged: VecDeque::new(),
-            eject_progress: HashMap::new(),
+            eject_progress: FxHashMap::default(),
         }
     }
 }
@@ -174,16 +178,20 @@ pub struct LoftNetwork {
     /// Look-ahead flits in flight, index `node * 5 + in_port`.
     la_wires: Vec<VecDeque<(u64, LaFlit)>>,
     /// Look-ahead output queues, index `node * 5 + out_port`.
-    la_queues: Vec<VecDeque<LaFlit>>,
+    /// `None` entries are tombstones of mid-queue removals (see
+    /// [`Self::la_schedule`]); the front entry is always live.
+    la_queues: Vec<VecDeque<Option<LaFlit>>>,
+    /// Live (non-tombstone) entry count per look-ahead output queue.
+    la_q_live: Vec<u32>,
     /// Whether the queue front already failed and the scheduler has
     /// not changed since.
     la_blocked: Vec<bool>,
     /// Round-robin pointers for speculative output arbitration.
     rr_spec: Vec<usize>,
     nics: Vec<SourceNic>,
-    inflight: HashMap<PacketId, Packet>,
+    inflight: FxHashMap<PacketId, Packet>,
     /// (flow, qid) → owning packet, for ejection accounting.
-    quantum_meta: HashMap<QKey, PacketId>,
+    quantum_meta: FxHashMap<QKey, PacketId>,
     /// Look-ahead flits currently in the look-ahead plane, per flow
     /// (capped by `la_flow_window`).
     la_outstanding: Vec<u32>,
@@ -191,6 +199,30 @@ pub struct LoftNetwork {
     forwarded: Vec<u64>,
     /// Total local status resets across all links (diagnostics).
     total_resets: u64,
+    // ---- active-set worklists (see `noc_sim::worklist`) ----------
+    /// Links with look-ahead flits in flight: `la_wires[i]` nonempty.
+    la_wire_work: ActiveSet,
+    /// Output queues with live look-ahead flits: `la_q_live[i] > 0`.
+    la_queue_work: ActiveSet,
+    /// Links with data quanta in flight: `data_wires[i]` nonempty.
+    data_wire_work: ActiveSet,
+    /// Per node: pending bookings on its output links plus arrived
+    /// quanta in its input buffers (the data-plane work predicate).
+    node_data_work: Vec<u32>,
+    /// Nodes with `node_data_work > 0`.
+    data_node_work: ActiveSet,
+    /// Nodes with staged quanta awaiting injection.
+    stage_work: ActiveSet,
+    /// Nodes with queued source quanta awaiting look-ahead launch.
+    launch_work: ActiveSet,
+    /// Links whose scheduler is not in its power-up state
+    /// (`!is_fresh()`): the only candidates for a local status reset.
+    stale_links: ActiveSet,
+    /// Per-flow epoch stamps for `la_schedule`'s failed-flow set
+    /// (flow `f` failed in the current scan iff
+    /// `failed_epoch[f] == scan_epoch`).
+    failed_epoch: Vec<u64>,
+    scan_epoch: u64,
 }
 
 impl LoftNetwork {
@@ -235,14 +267,25 @@ impl LoftNetwork {
             data_wires: vec![VecDeque::new(); n * PORTS],
             la_wires: vec![VecDeque::new(); n * PORTS],
             la_queues: vec![VecDeque::new(); n * PORTS],
+            la_q_live: vec![0; n * PORTS],
             la_blocked: vec![false; n * PORTS],
             rr_spec: vec![0; n * PORTS],
             nics: (0..n).map(|_| SourceNic::new()).collect(),
-            inflight: HashMap::new(),
-            quantum_meta: HashMap::new(),
+            inflight: FxHashMap::default(),
+            quantum_meta: FxHashMap::default(),
             la_outstanding: vec![0; reservations_flits.len()],
             forwarded: vec![0; n * PORTS],
             total_resets: 0,
+            la_wire_work: ActiveSet::new(n * PORTS),
+            la_queue_work: ActiveSet::new(n * PORTS),
+            data_wire_work: ActiveSet::new(n * PORTS),
+            node_data_work: vec![0; n],
+            data_node_work: ActiveSet::new(n),
+            stage_work: ActiveSet::new(n),
+            launch_work: ActiveSet::new(n),
+            stale_links: ActiveSet::new(n * PORTS),
+            failed_epoch: vec![0; reservations_flits.len()],
+            scan_epoch: 0,
             link_sched,
             cycle: 0,
             cfg,
@@ -337,10 +380,9 @@ impl LoftNetwork {
     fn la_launch(&mut self, now: u64) {
         let la_hop = self.cfg.la_hop_latency;
         let q = self.cfg.flits_per_quantum as u64;
-        for node in 0..self.nics.len() {
-            if self.nics[node].rr_flows.is_empty() {
-                continue;
-            }
+        let mut cursor = 0;
+        while let Some(node) = self.launch_work.first_from(cursor) {
+            cursor = node + 1;
             if self.nics[node].staged.len() >= self.cfg.la_flow_window as usize {
                 continue; // data staging backlog: hold the look-aheads
             }
@@ -351,16 +393,24 @@ impl LoftNetwork {
                     continue; // the flow's look-ahead window is full
                 }
                 let nic = &mut self.nics[node];
-                let Some(queue) = nic.flow_q.get_mut(&fid) else { continue };
+                let Some(queue) = nic.flow_q.get_mut(&fid) else {
+                    continue;
+                };
                 let Some(front) = queue.front() else { continue };
                 let (qid, dst) = (front.qid, front.dst);
                 queue.pop_front();
+                nic.queued -= 1;
+                if nic.queued == 0 {
+                    self.launch_work.remove(node);
+                }
+                let nic = &mut self.nics[node];
                 nic.rr = (nic.rr + k + 1) % len;
                 // The data quantum will leave the NIC one slot per
                 // staged predecessor from now; the look-ahead carries
                 // that planned slot as its upstream departure time.
                 let plan = now / q + 1 + nic.staged.len() as u64;
                 nic.staged.push_back((fid, qid));
+                self.stage_work.insert(node);
                 self.la_outstanding[fid as usize] += 1;
                 let widx = node * PORTS + LOCAL;
                 self.la_wires[widx].push_back((
@@ -373,6 +423,7 @@ impl LoftNetwork {
                         in_port: LOCAL as u8,
                     },
                 ));
+                self.la_wire_work.insert(widx);
                 break;
             }
         }
@@ -388,28 +439,33 @@ impl LoftNetwork {
     fn la_deliver(&mut self, now: u64) {
         let topo = self.cfg.topo;
         let routing = self.cfg.routing;
-        for node in 0..self.nics.len() {
-            for in_port in 0..PORTS {
-                let widx = self.idx(node, in_port);
-                while self.la_wires[widx].front().is_some_and(|&(t, _)| t <= now) {
-                    let (_, la) = self.la_wires[widx].pop_front().expect("checked front");
-                    let out_dir = routing.next_hop(&topo, NodeId::new(node as u32), la.dst);
-                    let qidx = self.idx(node, out_dir.index());
-                    self.data_ports[widx].expect.insert(
-                        (la.flow.index() as u32, la.qid),
-                        Expect {
-                            out_port: out_dir.index() as u8,
-                            dep_slot: None,
-                        },
-                    );
-                    self.la_queues[qidx].push_back(LaFlit {
-                        in_port: in_port as u8,
-                        ..la
-                    });
-                    // Any new arrival may belong to a flow that can
-                    // book where the stalled ones cannot.
-                    self.la_blocked[qidx] = false;
-                }
+        let mut cursor = 0;
+        while let Some(widx) = self.la_wire_work.first_from(cursor) {
+            cursor = widx + 1;
+            let (node, in_port) = (widx / PORTS, widx % PORTS);
+            while self.la_wires[widx].front().is_some_and(|&(t, _)| t <= now) {
+                let (_, la) = self.la_wires[widx].pop_front().expect("checked front");
+                let out_dir = routing.next_hop(&topo, NodeId::new(node as u32), la.dst);
+                let qidx = self.idx(node, out_dir.index());
+                self.data_ports[widx].expect.insert(
+                    (la.flow.index() as u32, la.qid),
+                    Expect {
+                        out_port: out_dir.index() as u8,
+                        dep_slot: None,
+                    },
+                );
+                self.la_queues[qidx].push_back(Some(LaFlit {
+                    in_port: in_port as u8,
+                    ..la
+                }));
+                self.la_q_live[qidx] += 1;
+                self.la_queue_work.insert(qidx);
+                // Any new arrival may belong to a flow that can
+                // book where the stalled ones cannot.
+                self.la_blocked[qidx] = false;
+            }
+            if self.la_wires[widx].is_empty() {
+                self.la_wire_work.remove(widx);
             }
         }
     }
@@ -425,85 +481,108 @@ impl LoftNetwork {
         let topo = self.cfg.topo;
         let la_hop = self.cfg.la_hop_latency;
         let dep_off = self.cfg.dep_offset();
-        for node in 0..self.nics.len() {
-            for out_port in 0..PORTS {
-                let qidx = self.idx(node, out_port);
-                if self.la_queues[qidx].is_empty() {
-                    continue;
-                }
-                let dirty = self.link_sched[qidx].take_dirty();
-                if self.la_blocked[qidx] && !dirty {
-                    continue;
-                }
-                // Scan for the first flit whose flow can book a slot,
-                // trying each distinct flow once.
-                let mut failed_flows: Vec<FlowId> = Vec::new();
-                let mut booked: Option<(usize, u64)> = None;
-                for i in 0..self.la_queues[qidx].len() {
-                    let la = self.la_queues[qidx][i];
-                    if failed_flows.contains(&la.flow) {
-                        continue;
-                    }
-                    let earliest = la.dep_slot + dep_off;
-                    let entry = PendingQuantum {
-                        flow: la.flow,
-                        qid: la.qid,
-                        in_port: la.in_port,
-                    };
-                    match self.link_sched[qidx].schedule(la.flow, earliest, entry) {
-                        Some(slot) => {
-                            booked = Some((i, slot));
-                            break;
-                        }
-                        None => failed_flows.push(la.flow),
-                    }
-                }
-                let Some((i, slot)) = booked else {
-                    self.la_blocked[qidx] = true;
-                    continue;
-                };
-                self.la_blocked[qidx] = false;
-                let la = self.la_queues[qidx].remove(i).expect("index in range");
-                let key = (la.flow.index() as u32, la.qid);
-                // Input reservation table: record the booked slot.
-                let pidx = self.idx(node, la.in_port as usize);
-                let e = self.data_ports[pidx]
-                    .expect
-                    .get_mut(&key)
-                    .expect("look-ahead flit wrote its expectation on arrival");
-                e.dep_slot = Some(slot);
-                self.data_ports[pidx].mark_ready_if_complete(key);
-                // Return the virtual credit upstream: the upstream
-                // link now knows when its consumed buffer frees. The
-                // local input port is fed by the NIC, which uses
-                // actual-space flow control instead of a scheduler.
-                if la.in_port as usize != LOCAL {
-                    let dir = Direction::from_index(la.in_port as usize);
-                    let upstream = topo
-                        .neighbor(NodeId::new(node as u32), dir)
-                        .expect("input port implies a neighbor");
-                    let uidx = self.idx(upstream.index(), dir.opposite().index());
-                    self.link_sched[uidx].return_credit(slot);
-                }
-                // Ejection booked: the look-ahead flit is consumed
-                // and the flow's look-ahead window slot frees up.
-                if out_port == LOCAL {
-                    self.la_outstanding[la.flow.index()] -= 1;
-                    continue;
-                }
-                let dir = Direction::from_index(out_port);
-                let next = topo
-                    .neighbor(NodeId::new(node as u32), dir)
-                    .expect("route leads to a neighbor");
-                let nwidx = self.idx(next.index(), dir.opposite().index());
-                self.la_wires[nwidx].push_back((
-                    now + la_hop,
-                    LaFlit {
-                        dep_slot: slot,
-                        ..la
-                    },
-                ));
+        let mut cursor = 0;
+        while let Some(qidx) = self.la_queue_work.first_from(cursor) {
+            cursor = qidx + 1;
+            let (node, out_port) = (qidx / PORTS, qidx % PORTS);
+            let dirty = self.link_sched[qidx].take_dirty();
+            if self.la_blocked[qidx] && !dirty {
+                continue;
             }
+            // Scan for the first flit whose flow can book a slot,
+            // trying each distinct flow once. Flows that failed in
+            // this scan carry the scan's epoch stamp — an O(1)
+            // membership test instead of a list search.
+            self.scan_epoch += 1;
+            let epoch = self.scan_epoch;
+            let mut booked: Option<(usize, u64)> = None;
+            for i in 0..self.la_queues[qidx].len() {
+                let Some(la) = self.la_queues[qidx][i] else {
+                    continue; // tombstone of an earlier mid-queue removal
+                };
+                if self.failed_epoch[la.flow.index()] == epoch {
+                    continue;
+                }
+                let earliest = la.dep_slot + dep_off;
+                let entry = PendingQuantum {
+                    flow: la.flow,
+                    qid: la.qid,
+                    in_port: la.in_port,
+                };
+                match self.link_sched[qidx].schedule(la.flow, earliest, entry) {
+                    Some(slot) => {
+                        booked = Some((i, slot));
+                        break;
+                    }
+                    None => self.failed_epoch[la.flow.index()] = epoch,
+                }
+            }
+            let Some((i, slot)) = booked else {
+                self.la_blocked[qidx] = true;
+                continue;
+            };
+            self.la_blocked[qidx] = false;
+            // The booking un-freshens the scheduler and adds a
+            // pending quantum: feed the reset watchlist and the
+            // data-plane worklist.
+            self.stale_links.insert(qidx);
+            self.node_data_work[node] += 1;
+            self.data_node_work.insert(node);
+            // Mid-queue extraction without shifting: tombstone the
+            // slot, then drain any dead prefix so the front entry
+            // stays live. Per-flow order is untouched (live entries
+            // never move relative to each other).
+            let la = self.la_queues[qidx][i]
+                .take()
+                .expect("booked entry is live");
+            while self.la_queues[qidx].front().is_some_and(Option::is_none) {
+                self.la_queues[qidx].pop_front();
+            }
+            self.la_q_live[qidx] -= 1;
+            if self.la_q_live[qidx] == 0 {
+                debug_assert!(self.la_queues[qidx].is_empty());
+                self.la_queue_work.remove(qidx);
+            }
+            let key = (la.flow.index() as u32, la.qid);
+            // Input reservation table: record the booked slot.
+            let pidx = self.idx(node, la.in_port as usize);
+            let e = self.data_ports[pidx]
+                .expect
+                .get_mut(&key)
+                .expect("look-ahead flit wrote its expectation on arrival");
+            e.dep_slot = Some(slot);
+            self.data_ports[pidx].mark_ready_if_complete(key);
+            // Return the virtual credit upstream: the upstream
+            // link now knows when its consumed buffer frees. The
+            // local input port is fed by the NIC, which uses
+            // actual-space flow control instead of a scheduler.
+            if la.in_port as usize != LOCAL {
+                let dir = Direction::from_index(la.in_port as usize);
+                let upstream = topo
+                    .neighbor(NodeId::new(node as u32), dir)
+                    .expect("input port implies a neighbor");
+                let uidx = self.idx(upstream.index(), dir.opposite().index());
+                self.link_sched[uidx].return_credit(slot);
+            }
+            // Ejection booked: the look-ahead flit is consumed
+            // and the flow's look-ahead window slot frees up.
+            if out_port == LOCAL {
+                self.la_outstanding[la.flow.index()] -= 1;
+                continue;
+            }
+            let dir = Direction::from_index(out_port);
+            let next = topo
+                .neighbor(NodeId::new(node as u32), dir)
+                .expect("route leads to a neighbor");
+            let nwidx = self.idx(next.index(), dir.opposite().index());
+            self.la_wires[nwidx].push_back((
+                now + la_hop,
+                LaFlit {
+                    dep_slot: slot,
+                    ..la
+                },
+            ));
+            self.la_wire_work.insert(nwidx);
         }
     }
 
@@ -511,7 +590,9 @@ impl LoftNetwork {
 
     /// Delivers data quanta whose link traversal finished.
     fn data_deliver(&mut self, slot: u64) {
-        for widx in 0..self.data_wires.len() {
+        let mut cursor = 0;
+        while let Some(widx) = self.data_wire_work.first_from(cursor) {
+            cursor = widx + 1;
             while self.data_wires[widx]
                 .front()
                 .is_some_and(|w| w.avail_slot <= slot)
@@ -522,6 +603,11 @@ impl LoftNetwork {
                 let prev = port.arrived.insert(key, Arrived { spec: w.spec });
                 debug_assert!(prev.is_none(), "quantum delivered twice");
                 port.mark_ready_if_complete(key);
+                self.node_data_work[widx / PORTS] += 1;
+                self.data_node_work.insert(widx / PORTS);
+            }
+            if self.data_wires[widx].is_empty() {
+                self.data_wire_work.remove(widx);
             }
         }
     }
@@ -531,16 +617,27 @@ impl LoftNetwork {
     /// (actual-credit flow control; the PE→router link needs no
     /// scheduling).
     fn inject_data(&mut self, slot: u64) {
-        for node in 0..self.nics.len() {
+        let mut cursor = 0;
+        while let Some(node) = self.stage_work.first_from(cursor) {
+            cursor = node + 1;
             let ridx = self.idx(node, LOCAL);
             if self.data_ports[ridx].nonspec_free == 0 {
                 continue;
             }
-            let Some(&key) = self.nics[node].staged.front() else { continue };
+            let key = *self.nics[node]
+                .staged
+                .front()
+                .expect("stage_work implies staged");
             self.nics[node].staged.pop_front();
+            if self.nics[node].staged.is_empty() {
+                self.stage_work.remove(node);
+            }
             self.data_ports[ridx].nonspec_free -= 1;
             let pid = self.quantum_meta[&key];
-            let packet = self.inflight.get_mut(&pid).expect("staged packet in flight");
+            let packet = self
+                .inflight
+                .get_mut(&pid)
+                .expect("staged packet in flight");
             if packet.injected_at.is_none() {
                 packet.injected_at = Some(slot * self.cfg.flits_per_quantum as u64);
             }
@@ -550,12 +647,18 @@ impl LoftNetwork {
                 spec: false,
                 avail_slot: slot + self.cfg.dep_offset(),
             });
+            self.data_wire_work.insert(ridx);
         }
     }
 
-    /// One slot of data movement on every link.
+    /// One slot of data movement on every link with work: a node is
+    /// on the worklist while any of its output links has a pending
+    /// booking or any of its input buffers holds an arrived quantum —
+    /// precisely the states in which [`Self::move_on_link`] can act.
     fn data_move(&mut self, slot: u64, out: &mut Vec<Packet>) {
-        for node in 0..self.nics.len() {
+        let mut cursor = 0;
+        while let Some(node) = self.data_node_work.first_from(cursor) {
+            cursor = node + 1;
             for port in 0..PORTS {
                 self.move_on_link(node, port, slot, out);
             }
@@ -584,7 +687,9 @@ impl LoftNetwork {
         } else {
             None
         };
-        let Some((dep, flow, qid, in_port)) = choice else { return };
+        let Some((dep, flow, qid, in_port)) = choice else {
+            return;
+        };
         let fidx = self.idx(node, out_port);
         self.forwarded[fidx] += 1;
         self.forward(node, out_port, slot, dep, flow, qid, in_port, out);
@@ -661,12 +766,23 @@ impl LoftNetwork {
             }
         }
         // Commit: clear the booking and remove the quantum from its
-        // holding place.
+        // holding place. One pending booking and one arrived quantum
+        // leave this node's data plane.
         self.link_sched[lidx].complete(dep);
+        self.node_data_work[node] -= 2;
+        if self.node_data_work[node] == 0 {
+            self.data_node_work.remove(node);
+        }
         let pidx = self.idx(node, in_port as usize);
         let port = &mut self.data_ports[pidx];
-        let arr = port.arrived.remove(&key).expect("forwarded quantum present");
-        let e = port.expect.remove(&key).expect("forwarded quantum expected");
+        let arr = port
+            .arrived
+            .remove(&key)
+            .expect("forwarded quantum present");
+        let e = port
+            .expect
+            .remove(&key)
+            .expect("forwarded quantum expected");
         port.ready[e.out_port as usize].remove(&(dep, key.0, key.1));
         if arr.spec {
             port.spec_free += 1;
@@ -687,6 +803,7 @@ impl LoftNetwork {
                     spec,
                     avail_slot: slot + self.cfg.dep_offset(),
                 });
+                self.data_wire_work.insert(ridx);
             }
         }
     }
@@ -710,32 +827,109 @@ impl LoftNetwork {
         }
     }
 
-    /// Local status reset on every eligible idle link.
+    /// Full-scan cross-check of every active-set worklist (debug
+    /// builds only): each set must contain exactly the indices a
+    /// naive scan of the underlying state would act on. Runs once
+    /// per cycle from [`Network::step`] under `debug_assertions`.
+    #[cfg(debug_assertions)]
+    fn debug_verify_worklists(&self) {
+        for i in 0..self.la_wires.len() {
+            debug_assert_eq!(
+                self.la_wire_work.contains(i),
+                !self.la_wires[i].is_empty(),
+                "la_wire_work out of sync at link {i}"
+            );
+            let live = self.la_queues[i].iter().filter(|e| e.is_some()).count();
+            debug_assert_eq!(
+                self.la_q_live[i] as usize, live,
+                "la_q_live miscounts queue {i}"
+            );
+            debug_assert_eq!(
+                self.la_queue_work.contains(i),
+                live > 0,
+                "la_queue_work out of sync at queue {i}"
+            );
+            debug_assert!(
+                self.la_queues[i].front().is_none_or(Option::is_some),
+                "dead prefix not drained in queue {i}"
+            );
+            debug_assert_eq!(
+                self.data_wire_work.contains(i),
+                !self.data_wires[i].is_empty(),
+                "data_wire_work out of sync at link {i}"
+            );
+            debug_assert_eq!(
+                self.stale_links.contains(i),
+                !self.link_sched[i].is_fresh(),
+                "stale_links out of sync at link {i}"
+            );
+        }
+        for node in 0..self.nics.len() {
+            let pending: usize = (0..PORTS)
+                .map(|p| self.link_sched[node * PORTS + p].pending_len())
+                .sum();
+            let arrived: usize = (0..PORTS)
+                .map(|p| self.data_ports[node * PORTS + p].arrived.len())
+                .sum();
+            debug_assert_eq!(
+                self.node_data_work[node] as usize,
+                pending + arrived,
+                "node_data_work miscounts node {node}"
+            );
+            debug_assert_eq!(
+                self.data_node_work.contains(node),
+                pending + arrived > 0,
+                "data_node_work out of sync at node {node}"
+            );
+            let nic = &self.nics[node];
+            debug_assert_eq!(
+                nic.queued,
+                nic.flow_q.values().map(VecDeque::len).sum::<usize>(),
+                "queued miscounts NIC {node}"
+            );
+            debug_assert_eq!(
+                self.launch_work.contains(node),
+                nic.queued > 0,
+                "launch_work out of sync at node {node}"
+            );
+            debug_assert_eq!(
+                self.stage_work.contains(node),
+                !nic.staged.is_empty(),
+                "stage_work out of sync at node {node}"
+            );
+        }
+    }
+
+    /// Local status reset on every eligible idle link. Only links
+    /// whose scheduler left its power-up state (booked since the
+    /// last reset) are candidates; `stale_links` tracks exactly
+    /// those, so fully idle regions cost nothing here.
     fn reset_idle_links(&mut self) {
         let topo = self.cfg.topo;
         let nonspec_cap = self.cfg.nonspec_quanta() as i64;
-        for node in 0..self.nics.len() {
-            for port in 0..PORTS {
-                let lidx = self.idx(node, port);
-                if !self.link_sched[lidx].can_reset() || self.link_sched[lidx].is_fresh() {
-                    continue;
-                }
-                let downstream_empty = if port == LOCAL {
-                    true // the PE sink drains at link rate
-                } else {
-                    let dir = Direction::from_index(port);
-                    match topo.neighbor(NodeId::new(node as u32), dir) {
-                        Some(next) => {
-                            let ridx = self.idx(next.index(), dir.opposite().index());
-                            self.data_ports[ridx].nonspec_free == nonspec_cap
-                        }
-                        None => true, // edge port: never used anyway
+        let mut cursor = 0;
+        while let Some(lidx) = self.stale_links.first_from(cursor) {
+            cursor = lidx + 1;
+            let (node, port) = (lidx / PORTS, lidx % PORTS);
+            if !self.link_sched[lidx].can_reset() {
+                continue;
+            }
+            let downstream_empty = if port == LOCAL {
+                true // the PE sink drains at link rate
+            } else {
+                let dir = Direction::from_index(port);
+                match topo.neighbor(NodeId::new(node as u32), dir) {
+                    Some(next) => {
+                        let ridx = self.idx(next.index(), dir.opposite().index());
+                        self.data_ports[ridx].nonspec_free == nonspec_cap
                     }
-                };
-                if downstream_empty {
-                    self.link_sched[lidx].local_reset();
-                    self.total_resets += 1;
+                    None => true, // edge port: never used anyway
                 }
+            };
+            if downstream_empty {
+                self.link_sched[lidx].local_reset();
+                self.stale_links.remove(lidx);
+                self.total_resets += 1;
             }
         }
     }
@@ -768,9 +962,13 @@ impl Network for LoftNetwork {
             q.push_back(SrcQuantum { qid, dst });
             self.quantum_meta.insert((fid, qid), pid);
         }
+        nic.queued += quanta as usize;
+        self.launch_work.insert(node);
     }
 
     fn step(&mut self, out: &mut Vec<Packet>) {
+        #[cfg(debug_assertions)]
+        self.debug_verify_worklists();
         let now = self.cycle;
         let q = self.cfg.flits_per_quantum as u64;
         if now.is_multiple_of(q) {

@@ -76,7 +76,11 @@ fn theorem1_and_structural_invariants() {
                     if let Some(slot) = s.schedule(
                         flow,
                         s.current_slot() + 1,
-                        PendingQuantum { flow, qid, in_port: 0 },
+                        PendingQuantum {
+                            flow,
+                            qid,
+                            in_port: 0,
+                        },
                     ) {
                         qid += 1;
                         assert!(slot > s.current_slot());
@@ -129,7 +133,15 @@ fn quota_respected_per_frame() {
         let flow = FlowId::new(0);
         let mut per_frame = std::collections::HashMap::new();
         for qid in 0..requests as u64 {
-            if let Some(slot) = s.schedule(flow, 0, PendingQuantum { flow, qid, in_port: 0 }) {
+            if let Some(slot) = s.schedule(
+                flow,
+                0,
+                PendingQuantum {
+                    flow,
+                    qid,
+                    in_port: 0,
+                },
+            ) {
                 *per_frame.entry(slot / 8).or_insert(0u32) += 1;
             }
         }
@@ -157,7 +169,15 @@ fn sink_books_every_window_slot() {
         let flow = FlowId::new(0);
         let mut slots = std::collections::HashSet::new();
         for qid in 0..64u64 {
-            if let Some(slot) = s.schedule(flow, 0, PendingQuantum { flow, qid, in_port: 0 }) {
+            if let Some(slot) = s.schedule(
+                flow,
+                0,
+                PendingQuantum {
+                    flow,
+                    qid,
+                    in_port: 0,
+                },
+            ) {
                 assert!(slots.insert(slot), "slot {slot} double-booked");
             }
         }

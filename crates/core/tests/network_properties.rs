@@ -42,7 +42,10 @@ fn every_packet_delivered_once_to_its_destination() {
                 let seq = next_seq[fid];
                 next_seq[fid] += 1;
                 packets.push(Packet::new(
-                    PacketId { flow: FlowId::new(fid as u32), seq },
+                    PacketId {
+                        flow: FlowId::new(fid as u32),
+                        seq,
+                    },
                     NodeId::new(a),
                     NodeId::new(b),
                     4,
@@ -98,7 +101,10 @@ fn per_flow_delivery_is_in_order() {
         let mut net = LoftNetwork::new(cfg, &[16]);
         for seq in 0..count {
             net.enqueue(Packet::new(
-                PacketId { flow: FlowId::new(0), seq },
+                PacketId {
+                    flow: FlowId::new(0),
+                    seq,
+                },
                 NodeId::new(src),
                 NodeId::new(dst),
                 4,

@@ -19,11 +19,11 @@
 //! after `barrier_delay` cycles. While the barrier is in flight the
 //! head frame is closed to new injections.
 
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 use noc_sim::flit::{FlitKind, FlowId, NodeId, Packet, PacketId};
 use noc_sim::routing::Direction;
-use noc_sim::Network;
+use noc_sim::{ActiveSet, FxHashMap, Network};
 
 use crate::config::GsfConfig;
 
@@ -91,13 +91,13 @@ struct Nic {
     tagged: BTreeMap<(u64, u64), PacketId>,
     /// Packets that could not be tagged yet (every active frame's
     /// quota exhausted), per flow, FIFO.
-    untagged: HashMap<u32, VecDeque<PacketId>>,
+    untagged: FxHashMap<u32, VecDeque<PacketId>>,
     current: Option<Streaming>,
     credits: Vec<u32>,
     owned: Vec<bool>,
     draining: Vec<bool>,
     rr: usize,
-    eject_progress: HashMap<PacketId, u16>,
+    eject_progress: FxHashMap<PacketId, u16>,
 }
 
 #[derive(Debug)]
@@ -125,14 +125,14 @@ pub struct GsfNetwork {
     flows: Vec<FlowInj>,
     wires: Vec<VecDeque<(u64, usize, Flit)>>,
     credit_events: VecDeque<(u64, usize, usize, usize)>,
-    inflight: HashMap<PacketId, Packet>,
+    inflight: FxHashMap<PacketId, Packet>,
     /// Frame tag of every tagged, not-yet-fully-ejected packet.
-    packet_frame: HashMap<PacketId, u64>,
+    packet_frame: FxHashMap<PacketId, u64>,
     /// Flits alive (tagged and not yet ejected) per frame. The head
     /// frame can only be recycled once this reaches zero — including
     /// flits still waiting in source queues, which is what couples
     /// the whole network to its slowest region.
-    frame_alive: HashMap<u64, u32>,
+    frame_alive: FxHashMap<u64, u32>,
     /// Arrival sequence counter for FIFO tie-breaks within a frame.
     tag_seq: u64,
     head_frame: u64,
@@ -141,6 +141,14 @@ pub struct GsfNetwork {
     recycles: u64,
     /// Flits forwarded per output link, index `node * 5 + port`.
     forwarded: Vec<u64>,
+    /// Wires with queued flits, index `node * 5 + port`.
+    wire_work: ActiveSet,
+    /// NICs with a packet streaming or tagged backlog.
+    nic_work: ActiveSet,
+    /// Routers with at least one buffered input flit.
+    router_work: ActiveSet,
+    /// Buffered input flits per router (maintains `router_work`).
+    buffered: Vec<u32>,
 }
 
 impl GsfNetwork {
@@ -165,30 +173,36 @@ impl GsfNetwork {
             })
             .collect();
         GsfNetwork {
-            routers: (0..n).map(|_| Router::new(cfg.num_vcs, cfg.vc_capacity)).collect(),
+            routers: (0..n)
+                .map(|_| Router::new(cfg.num_vcs, cfg.vc_capacity))
+                .collect(),
             nics: (0..n)
                 .map(|_| Nic {
                     tagged: BTreeMap::new(),
-                    untagged: HashMap::new(),
+                    untagged: FxHashMap::default(),
                     current: None,
                     credits: vec![cfg.vc_capacity as u32; cfg.num_vcs],
                     owned: vec![false; cfg.num_vcs],
                     draining: vec![false; cfg.num_vcs],
                     rr: 0,
-                    eject_progress: HashMap::new(),
+                    eject_progress: FxHashMap::default(),
                 })
                 .collect(),
             flows,
             wires: vec![VecDeque::new(); n * PORTS],
             credit_events: VecDeque::new(),
-            inflight: HashMap::new(),
-            packet_frame: HashMap::new(),
-            frame_alive: HashMap::new(),
+            inflight: FxHashMap::default(),
+            packet_frame: FxHashMap::default(),
+            frame_alive: FxHashMap::default(),
             tag_seq: 0,
             head_frame: 0,
             barrier_due: None,
             recycles: 0,
             forwarded: vec![0; n * PORTS],
+            wire_work: ActiveSet::new(n * PORTS),
+            nic_work: ActiveSet::new(n),
+            router_work: ActiveSet::new(n),
+            buffered: vec![0; n],
             cycle: 0,
             cfg,
         }
@@ -216,22 +230,29 @@ impl GsfNetwork {
     }
 
     fn deliver_arrivals(&mut self, now: u64) {
-        for node in 0..self.routers.len() {
-            for port in 0..PORTS {
-                let wire = &mut self.wires[node * PORTS + port];
-                while wire.front().is_some_and(|&(t, _, _)| t <= now) {
-                    let (_, vc, flit) = wire.pop_front().expect("checked front");
-                    let buf = &mut self.routers[node].inputs[port][vc];
-                    debug_assert!(
-                        buf.q.len() < self.cfg.vc_capacity,
-                        "credit protocol violated: buffer overflow"
-                    );
-                    debug_assert!(
-                        buf.q.iter().all(|f| f.id == flit.id) || buf.q.is_empty(),
-                        "GSF forbids mixing packets in one VC"
-                    );
-                    buf.q.push_back(flit);
-                }
+        let mut cursor = 0;
+        while let Some(widx) = self.wire_work.first_from(cursor) {
+            cursor = widx + 1;
+            let node = widx / PORTS;
+            let port = widx % PORTS;
+            let wire = &mut self.wires[widx];
+            while wire.front().is_some_and(|&(t, _, _)| t <= now) {
+                let (_, vc, flit) = wire.pop_front().expect("checked front");
+                let buf = &mut self.routers[node].inputs[port][vc];
+                debug_assert!(
+                    buf.q.len() < self.cfg.vc_capacity,
+                    "credit protocol violated: buffer overflow"
+                );
+                debug_assert!(
+                    buf.q.iter().all(|f| f.id == flit.id) || buf.q.is_empty(),
+                    "GSF forbids mixing packets in one VC"
+                );
+                buf.q.push_back(flit);
+                self.buffered[node] += 1;
+                self.router_work.insert(node);
+            }
+            if wire.is_empty() {
+                self.wire_work.remove(widx);
             }
         }
     }
@@ -264,7 +285,11 @@ impl GsfNetwork {
         let head = self.head_frame;
         let window = self.cfg.frame_window as u64;
         // While the barrier is in flight the head frame is closed.
-        let earliest = if self.barrier_due.is_some() { head + 1 } else { head };
+        let earliest = if self.barrier_due.is_some() {
+            head + 1
+        } else {
+            head
+        };
         let st = &mut self.flows[flow.index()];
         if st.inject_frame < earliest {
             st.inject_frame = earliest;
@@ -304,22 +329,19 @@ impl GsfNetwork {
         let seq = self.tag_seq;
         self.tag_seq += 1;
         self.nics[node].tagged.insert((frame, seq), pid);
+        self.nic_work.insert(node);
         true
     }
 
     /// After a window shift, untagged backlog may fit the fresh frame.
     fn retag_backlog(&mut self) {
         for node in 0..self.nics.len() {
-            let flows: Vec<u32> = self.nics[node].untagged.keys().copied().collect();
+            let mut flows: Vec<u32> = self.nics[node].untagged.keys().copied().collect();
+            // Hash-map key order is arbitrary; sort so the retag (and
+            // hence frame-tag sequence) order is deterministic.
+            flows.sort_unstable();
             for fid in flows {
-                loop {
-                    let Some(&pid) = self.nics[node]
-                        .untagged
-                        .get(&fid)
-                        .and_then(|q| q.front())
-                    else {
-                        break;
-                    };
+                while let Some(&pid) = self.nics[node].untagged.get(&fid).and_then(|q| q.front()) {
                     if !self.tag_packet(pid) {
                         break;
                     }
@@ -337,7 +359,9 @@ impl GsfNetwork {
     }
 
     fn nic_inject(&mut self, now: u64) {
-        for node in 0..self.nics.len() {
+        let mut cursor = 0;
+        while let Some(node) = self.nic_work.first_from(cursor) {
+            cursor = node + 1;
             if self.nics[node].current.is_none() {
                 let nic = &self.nics[node];
                 if let Some((&(frame, seq), &pid)) = nic.tagged.iter().next() {
@@ -389,7 +413,13 @@ impl GsfNetwork {
                         nic.current = None;
                     }
                     self.routers[node].inputs[LOCAL][vc].q.push_back(flit);
+                    self.buffered[node] += 1;
+                    self.router_work.insert(node);
                 }
+            }
+            let nic = &self.nics[node];
+            if nic.current.is_none() && nic.tagged.is_empty() {
+                self.nic_work.remove(node);
             }
         }
     }
@@ -397,17 +427,17 @@ impl GsfNetwork {
     fn route_compute(&mut self) {
         let topo = self.cfg.topo;
         let routing = self.cfg.routing;
-        for (node, router) in self.routers.iter_mut().enumerate() {
+        let mut cursor = 0;
+        while let Some(node) = self.router_work.first_from(cursor) {
+            cursor = node + 1;
+            let router = &mut self.routers[node];
             for port in router.inputs.iter_mut() {
                 for buf in port.iter_mut() {
                     if buf.route.is_none() {
                         if let Some(front) = buf.q.front() {
                             if front.kind.is_head() {
-                                let dir = routing.next_hop(
-                                    &topo,
-                                    NodeId::new(node as u32),
-                                    front.dst,
-                                );
+                                let dir =
+                                    routing.next_hop(&topo, NodeId::new(node as u32), front.dst);
                                 buf.route = Some(dir.index());
                             }
                         }
@@ -421,7 +451,10 @@ impl GsfNetwork {
     /// are served oldest frame first.
     fn vc_allocate(&mut self) {
         let num_vcs = self.cfg.num_vcs;
-        for router in &mut self.routers {
+        let mut cursor = 0;
+        while let Some(node) = self.router_work.first_from(cursor) {
+            cursor = node + 1;
+            let router = &mut self.routers[node];
             for out in 0..PORTS {
                 let mut requests: Vec<(u64, usize, usize)> = Vec::new();
                 for in_port in 0..PORTS {
@@ -431,11 +464,7 @@ impl GsfNetwork {
                             && buf.route == Some(out)
                             && buf.q.front().is_some_and(|f| f.kind.is_head())
                         {
-                            requests.push((
-                                buf.frame().expect("nonempty"),
-                                in_port,
-                                in_vc,
-                            ));
+                            requests.push((buf.frame().expect("nonempty"), in_port, in_vc));
                         }
                     }
                 }
@@ -456,7 +485,9 @@ impl GsfNetwork {
     fn switch_traverse(&mut self, now: u64, out: &mut Vec<Packet>) {
         let num_vcs = self.cfg.num_vcs;
         let topo = self.cfg.topo;
-        for node in 0..self.routers.len() {
+        let mut cursor = 0;
+        while let Some(node) = self.router_work.first_from(cursor) {
+            cursor = node + 1;
             for out_port in 0..PORTS {
                 let router = &self.routers[node];
                 let start = router.rr_sa[out_port];
@@ -481,11 +512,20 @@ impl GsfNetwork {
                         winner = Some((frame, p, v, ov, slot));
                     }
                 }
-                let Some((_, p, v, ov, slot)) = winner else { continue };
+                let Some((_, p, v, ov, slot)) = winner else {
+                    continue;
+                };
                 self.forwarded[node * PORTS + out_port] += 1;
                 let router = &mut self.routers[node];
                 router.rr_sa[out_port] = (slot + 1) % (PORTS * num_vcs);
-                let flit = router.inputs[p][v].q.pop_front().expect("winner has a flit");
+                let flit = router.inputs[p][v]
+                    .q
+                    .pop_front()
+                    .expect("winner has a flit");
+                self.buffered[node] -= 1;
+                if self.buffered[node] == 0 {
+                    self.router_work.remove(node);
+                }
                 if flit.kind.is_tail() {
                     if out_port == LOCAL {
                         // Ejected flits leave no downstream buffer to
@@ -525,13 +565,38 @@ impl GsfNetwork {
                         .neighbor(NodeId::new(node as u32), dir)
                         .expect("route leads to a neighbor");
                     let in_port = dir.opposite().index();
-                    self.wires[next.index() * PORTS + in_port].push_back((
-                        now + self.cfg.hop_latency,
-                        ov,
-                        flit,
-                    ));
+                    let widx = next.index() * PORTS + in_port;
+                    self.wires[widx].push_back((now + self.cfg.hop_latency, ov, flit));
+                    self.wire_work.insert(widx);
                 }
             }
+        }
+    }
+
+    /// Full-scan cross-check of every worklist invariant (debug
+    /// builds only): the active sets must contain exactly the indices
+    /// a naive scan would find work at.
+    #[cfg(debug_assertions)]
+    fn debug_verify_worklists(&self) {
+        for (i, wire) in self.wires.iter().enumerate() {
+            debug_assert_eq!(
+                self.wire_work.contains(i),
+                !wire.is_empty(),
+                "wire_work[{i}]"
+            );
+        }
+        for (n, nic) in self.nics.iter().enumerate() {
+            let active = nic.current.is_some() || !nic.tagged.is_empty();
+            debug_assert_eq!(self.nic_work.contains(n), active, "nic_work[{n}]");
+        }
+        for (n, router) in self.routers.iter().enumerate() {
+            let count: u32 = router
+                .inputs
+                .iter()
+                .flat_map(|port| port.iter().map(|buf| buf.q.len() as u32))
+                .sum();
+            debug_assert_eq!(self.buffered[n], count, "buffered[{n}]");
+            debug_assert_eq!(self.router_work.contains(n), count > 0, "router_work[{n}]");
         }
     }
 
@@ -621,6 +686,8 @@ impl Network for GsfNetwork {
     }
 
     fn step(&mut self, out: &mut Vec<Packet>) {
+        #[cfg(debug_assertions)]
+        self.debug_verify_worklists();
         let now = self.cycle;
         self.deliver_arrivals(now);
         self.apply_credits(now);
@@ -644,7 +711,10 @@ mod tests {
 
     fn packet(flow: u32, seq: u64, src: u32, dst: u32, at: u64) -> Packet {
         Packet::new(
-            PacketId { flow: FlowId::new(flow), seq },
+            PacketId {
+                flow: FlowId::new(flow),
+                seq,
+            },
             NodeId::new(src),
             NodeId::new(dst),
             4,
@@ -805,7 +875,10 @@ mod tests {
             .map(|p| p.ejected_at.unwrap())
             .max()
             .unwrap();
-        assert!(last_f0 > 1_000, "flow 0 finished implausibly fast: {last_f0}");
+        assert!(
+            last_f0 > 1_000,
+            "flow 0 finished implausibly fast: {last_f0}"
+        );
     }
 
     #[test]
@@ -823,7 +896,10 @@ mod tests {
     fn barrier_delay_paces_idle_recycling() {
         let fast = {
             let mut net = GsfNetwork::new(
-                GsfConfig { barrier_delay: 1, ..GsfConfig::default() },
+                GsfConfig {
+                    barrier_delay: 1,
+                    ..GsfConfig::default()
+                },
                 &[100],
             );
             let mut out = Vec::new();
@@ -834,7 +910,10 @@ mod tests {
         };
         let slow = {
             let mut net = GsfNetwork::new(
-                GsfConfig { barrier_delay: 100, ..GsfConfig::default() },
+                GsfConfig {
+                    barrier_delay: 100,
+                    ..GsfConfig::default()
+                },
                 &[100],
             );
             let mut out = Vec::new();
@@ -843,6 +922,9 @@ mod tests {
             }
             net.recycles()
         };
-        assert!(fast > 5 * slow, "barrier delay not respected: {fast} vs {slow}");
+        assert!(
+            fast > 5 * slow,
+            "barrier delay not respected: {fast} vs {slow}"
+        );
     }
 }

@@ -39,7 +39,10 @@ fn every_packet_delivered_exactly_once() {
                 let seq = next_seq[fid];
                 next_seq[fid] += 1;
                 packets.push(Packet::new(
-                    PacketId { flow: FlowId::new(fid as u32), seq },
+                    PacketId {
+                        flow: FlowId::new(fid as u32),
+                        seq,
+                    },
                     NodeId::new(a),
                     NodeId::new(b),
                     4,
@@ -83,7 +86,10 @@ fn recycling_is_live() {
         let mut net = GsfNetwork::new(small_cfg(), &[8]);
         for seq in 0..backlog {
             net.enqueue(Packet::new(
-                PacketId { flow: FlowId::new(0), seq },
+                PacketId {
+                    flow: FlowId::new(0),
+                    seq,
+                },
                 NodeId::new(0),
                 NodeId::new(15),
                 4,

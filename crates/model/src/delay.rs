@@ -41,11 +41,7 @@ pub fn bound_hops(topo: &Topology, routing: Routing, src: NodeId, dst: NodeId) -
 }
 
 /// LOFT's worst-case latency for a specific source/destination pair.
-pub fn loft_worst_case_for(
-    cfg: &LoftConfig,
-    src: NodeId,
-    dst: NodeId,
-) -> u64 {
+pub fn loft_worst_case_for(cfg: &LoftConfig, src: NodeId, dst: NodeId) -> u64 {
     loft_worst_case(cfg, bound_hops(&cfg.topo, cfg.routing, src, dst))
 }
 

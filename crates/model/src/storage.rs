@@ -47,8 +47,7 @@ impl GsfStorage {
 /// Computes GSF's per-router storage from its configuration.
 pub fn gsf_router_bits(cfg: &GsfConfig) -> GsfStorage {
     let source_queue = cfg.source_queue_flits as u64 * DATA_FLIT_BITS;
-    let vc_buffers =
-        NET_PORTS * cfg.num_vcs as u64 * cfg.vc_capacity as u64 * DATA_FLIT_BITS;
+    let vc_buffers = NET_PORTS * cfg.num_vcs as u64 * cfg.vc_capacity as u64 * DATA_FLIT_BITS;
     // Per-flow injection state at the source: inject frame pointer
     // (window-relative) + remaining quota; plus the head-frame
     // counter. 64 flows as in Table 1.
@@ -147,18 +146,21 @@ mod tests {
         let s = gsf_router_bits(&GsfConfig::default());
         assert_eq!(s.source_queue, 256_000); // paper's exact number
         assert_eq!(s.vc_buffers, 15_360); // paper's exact number
-        // Total within 2% of the paper's 271379 (bookkeeping details
-        // differ slightly).
+                                          // Total within 2% of the paper's 271379 (bookkeeping details
+                                          // differ slightly).
         let total = s.total() as f64;
-        assert!((total - 271_379.0).abs() / 271_379.0 < 0.02, "total {total}");
+        assert!(
+            (total - 271_379.0).abs() / 271_379.0 < 0.02,
+            "total {total}"
+        );
     }
 
     #[test]
     fn loft_input_buffers_match_paper() {
         let s = loft_router_bits(&LoftConfig::default());
         assert_eq!(s.input_buffers, 139_264); // paper's exact number
-        // Reservation tables within 25% of the paper's 40960 (entry
-        // encodings are not fully specified).
+                                              // Reservation tables within 25% of the paper's 40960 (entry
+                                              // encodings are not fully specified).
         let rt = s.reservation_tables as f64;
         assert!((rt - 40_960.0).abs() / 40_960.0 < 0.25, "tables {rt}");
     }

@@ -214,7 +214,10 @@ mod tests {
         fn generate(&mut self, cycle: u64, out: &mut Vec<Packet>) {
             if cycle.is_multiple_of(self.period) {
                 out.push(Packet::new(
-                    PacketId { flow: FlowId::new(0), seq: self.seq },
+                    PacketId {
+                        flow: FlowId::new(0),
+                        seq: self.seq,
+                    },
                     NodeId::new(0),
                     NodeId::new(1),
                     4,
@@ -230,7 +233,11 @@ mod tests {
         let sim = Simulation::new(
             DelayLine::default(),
             Periodic { period: 20, seq: 0 },
-            RunConfig { warmup: 100, measure: 1_000, drain: 100 },
+            RunConfig {
+                warmup: 100,
+                measure: 1_000,
+                drain: 100,
+            },
         );
         let report = sim.run();
         assert_eq!(report.avg_latency(), 10.0);
@@ -268,7 +275,11 @@ mod tests {
         let report = Simulation::new(
             BlackHole::default(),
             Periodic { period: 10, seq: 0 },
-            RunConfig { warmup: 0, measure: 100, drain: 50 },
+            RunConfig {
+                warmup: 0,
+                measure: 100,
+                drain: 50,
+            },
         )
         .run();
         assert_eq!(report.total_latency.count(), 0);
@@ -279,8 +290,15 @@ mod tests {
     fn drain_stops_when_empty() {
         let sim = Simulation::new(
             DelayLine::default(),
-            Periodic { period: 1_000_000, seq: 0 },
-            RunConfig { warmup: 0, measure: 10, drain: 1_000_000 },
+            Periodic {
+                period: 1_000_000,
+                seq: 0,
+            },
+            RunConfig {
+                warmup: 0,
+                measure: 10,
+                drain: 1_000_000,
+            },
         );
         // Must terminate promptly despite the huge drain bound.
         let report = sim.run();

@@ -151,13 +151,7 @@ pub struct Packet {
 
 impl Packet {
     /// Creates a fresh packet at generation time `created_at`.
-    pub fn new(
-        id: PacketId,
-        src: NodeId,
-        dst: NodeId,
-        len_flits: u16,
-        created_at: u64,
-    ) -> Self {
+    pub fn new(id: PacketId, src: NodeId, dst: NodeId, len_flits: u16, created_at: u64) -> Self {
         assert!(len_flits > 0, "packets must contain at least one flit");
         Packet {
             id,
@@ -196,7 +190,10 @@ mod tests {
     fn node_and_flow_ids_display() {
         assert_eq!(NodeId::new(5).to_string(), "n5");
         assert_eq!(FlowId::new(7).to_string(), "f7");
-        let pid = PacketId { flow: FlowId::new(2), seq: 9 };
+        let pid = PacketId {
+            flow: FlowId::new(2),
+            seq: 9,
+        };
         assert_eq!(pid.to_string(), "f2#9");
     }
 
@@ -220,7 +217,10 @@ mod tests {
     #[test]
     fn packet_latencies() {
         let mut p = Packet::new(
-            PacketId { flow: FlowId::new(0), seq: 0 },
+            PacketId {
+                flow: FlowId::new(0),
+                seq: 0,
+            },
             NodeId::new(0),
             NodeId::new(63),
             4,
@@ -237,7 +237,10 @@ mod tests {
     #[should_panic(expected = "at least one flit")]
     fn zero_length_packet_rejected() {
         let _ = Packet::new(
-            PacketId { flow: FlowId::new(0), seq: 0 },
+            PacketId {
+                flow: FlowId::new(0),
+                seq: 0,
+            },
             NodeId::new(0),
             NodeId::new(1),
             0,

@@ -181,9 +181,7 @@ impl FlowSet {
             return Err(ConfigError::new("frame capacity must be positive"));
         }
         let loads = self.link_loads();
-        let max_load = loads
-            .values()
-            .fold(0.0_f64, |a, &b| a.max(b));
+        let max_load = loads.values().fold(0.0_f64, |a, &b| a.max(b));
         debug_assert!(max_load > 0.0);
         let scale = frame_capacity as f64 / max_load;
         let mut out = Vec::with_capacity(self.flows.len());

@@ -13,6 +13,8 @@
 //!   assignment (the `R_ij` of the paper),
 //! * [`stats`] — latency/throughput statistics with warmup handling,
 //! * [`rng`] — small deterministic RNGs so every run is reproducible,
+//! * [`fxhash`] / [`worklist`] — allocation-light primitives for the
+//!   per-cycle hot loops (fast integer hashing, active-index bitsets),
 //! * [`engine`] — the [`engine::Network`] trait every network model
 //!   implements plus the [`engine::Simulation`] driver that ties a
 //!   traffic source, a network, and statistics together.
@@ -37,15 +39,19 @@ pub mod engine;
 pub mod error;
 pub mod flit;
 pub mod flow;
+pub mod fxhash;
 pub mod rng;
 pub mod routing;
 pub mod stats;
 pub mod topology;
+pub mod worklist;
 
 pub use engine::{Network, RunConfig, Simulation, TrafficSource};
 pub use error::ConfigError;
 pub use flit::{FlowId, NodeId, Packet, PacketId};
 pub use flow::{FlowSet, FlowSpec};
+pub use fxhash::{FxHashMap, FxHashSet};
 pub use routing::{Direction, Routing};
 pub use stats::SimReport;
 pub use topology::Topology;
+pub use worklist::ActiveSet;

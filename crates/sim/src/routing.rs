@@ -198,10 +198,7 @@ impl Routing {
                 .neighbor(cur, dir)
                 .expect("routing stepped off the topology");
             nodes.push(cur);
-            assert!(
-                nodes.len() <= topo.num_nodes() + 1,
-                "routing loop detected"
-            );
+            assert!(nodes.len() <= topo.num_nodes() + 1, "routing loop detected");
         }
         nodes
     }
@@ -254,10 +251,7 @@ mod tests {
         let path = Routing::XY.path(&m, m.node(0, 0), m.node(3, 2));
         // x sweep then y sweep.
         let coords: Vec<(u16, u16)> = path.iter().map(|&n| m.coords(n)).collect();
-        assert_eq!(
-            coords,
-            vec![(0, 0), (1, 0), (2, 0), (3, 0), (3, 1), (3, 2)]
-        );
+        assert_eq!(coords, vec![(0, 0), (1, 0), (2, 0), (3, 0), (3, 1), (3, 2)]);
     }
 
     #[test]
@@ -265,10 +259,7 @@ mod tests {
         let m = Topology::mesh(8, 8);
         let path = Routing::YX.path(&m, m.node(0, 0), m.node(2, 2));
         let coords: Vec<(u16, u16)> = path.iter().map(|&n| m.coords(n)).collect();
-        assert_eq!(
-            coords,
-            vec![(0, 0), (0, 1), (0, 2), (1, 2), (2, 2)]
-        );
+        assert_eq!(coords, vec![(0, 0), (0, 1), (0, 2), (1, 2), (2, 2)]);
     }
 
     #[test]

@@ -113,9 +113,7 @@ impl RunningStats {
         let n = self.n + other.n;
         let delta = other.mean - self.mean;
         let mean = self.mean + delta * other.n as f64 / n as f64;
-        let m2 = self.m2
-            + other.m2
-            + delta * delta * self.n as f64 * other.n as f64 / n as f64;
+        let m2 = self.m2 + other.m2 + delta * delta * self.n as f64 * other.n as f64 / n as f64;
         self.n = n;
         self.mean = mean;
         self.m2 = m2;
@@ -136,7 +134,9 @@ pub struct Histogram {
 impl Histogram {
     /// Creates an empty histogram.
     pub fn new() -> Self {
-        Histogram { buckets: Vec::new() }
+        Histogram {
+            buckets: Vec::new(),
+        }
     }
 
     /// Records a sample.
@@ -317,7 +317,9 @@ impl StatsCollector {
             self.flits_delivered += packet.len_flits as u64;
         }
         if created_in_window {
-            let lat = packet.total_latency().expect("delivered packet has latency");
+            let lat = packet
+                .total_latency()
+                .expect("delivered packet has latency");
             flow.total_latency.push(lat as f64);
             self.total_latency.push(lat as f64);
             self.histogram.record(lat);
@@ -356,7 +358,10 @@ mod tests {
 
     fn packet(flow: u32, created: u64, injected: u64, ejected: u64) -> Packet {
         let mut p = Packet::new(
-            PacketId { flow: FlowId::new(flow), seq: 0 },
+            PacketId {
+                flow: FlowId::new(flow),
+                seq: 0,
+            },
             NodeId::new(0),
             NodeId::new(1),
             4,

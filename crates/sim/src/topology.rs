@@ -107,7 +107,10 @@ impl Topology {
     ///
     /// Panics if the coordinates are out of range.
     pub fn node(&self, x: u16, y: u16) -> NodeId {
-        assert!(x < self.width() && y < self.height(), "coordinate out of range");
+        assert!(
+            x < self.width() && y < self.height(),
+            "coordinate out of range"
+        );
         NodeId::new(x as u32 + y as u32 * self.width() as u32)
     }
 
@@ -224,10 +227,22 @@ mod tests {
     #[test]
     fn torus_wraps() {
         let t = Topology::torus(4, 4);
-        assert_eq!(t.neighbor(t.node(0, 0), Direction::West), Some(t.node(3, 0)));
-        assert_eq!(t.neighbor(t.node(0, 0), Direction::North), Some(t.node(0, 3)));
-        assert_eq!(t.neighbor(t.node(3, 3), Direction::East), Some(t.node(0, 3)));
-        assert_eq!(t.neighbor(t.node(3, 3), Direction::South), Some(t.node(3, 0)));
+        assert_eq!(
+            t.neighbor(t.node(0, 0), Direction::West),
+            Some(t.node(3, 0))
+        );
+        assert_eq!(
+            t.neighbor(t.node(0, 0), Direction::North),
+            Some(t.node(0, 3))
+        );
+        assert_eq!(
+            t.neighbor(t.node(3, 3), Direction::East),
+            Some(t.node(0, 3))
+        );
+        assert_eq!(
+            t.neighbor(t.node(3, 3), Direction::South),
+            Some(t.node(3, 0))
+        );
     }
 
     #[test]
@@ -237,7 +252,10 @@ mod tests {
         assert_eq!(r.height(), 1);
         assert_eq!(r.neighbor(r.node(2, 0), Direction::North), None);
         assert_eq!(r.neighbor(r.node(2, 0), Direction::South), None);
-        assert_eq!(r.neighbor(r.node(2, 0), Direction::East), Some(r.node(3, 0)));
+        assert_eq!(
+            r.neighbor(r.node(2, 0), Direction::East),
+            Some(r.node(3, 0))
+        );
         // A plain ring (non-torus) has mesh-like edges.
         assert_eq!(r.neighbor(r.node(4, 0), Direction::East), None);
     }

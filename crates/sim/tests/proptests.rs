@@ -24,7 +24,11 @@ fn routing_reaches_destination() {
         let n = topo.num_nodes() as u64;
         let src = NodeId::new(rng.next_below(n) as u32);
         let dst = NodeId::new(rng.next_below(n) as u32);
-        let routing = if rng.bernoulli(0.5) { Routing::YX } else { Routing::XY };
+        let routing = if rng.bernoulli(0.5) {
+            Routing::YX
+        } else {
+            Routing::XY
+        };
         let path = routing.path(&topo, src, dst);
         assert_eq!(*path.first().unwrap(), src);
         assert_eq!(*path.last().unwrap(), dst);
@@ -116,9 +120,7 @@ fn running_stats_matches_naive() {
     let mut rng = Xoshiro256::seed_from(0x5EED_0005);
     for _ in 0..128 {
         let len = 1 + rng.next_below(199) as usize;
-        let xs: Vec<f64> = (0..len)
-            .map(|_| (rng.next_f64() - 0.5) * 2e6)
-            .collect();
+        let xs: Vec<f64> = (0..len).map(|_| (rng.next_f64() - 0.5) * 2e6).collect();
         let mut s = RunningStats::new();
         for &x in &xs {
             s.push(x);
@@ -137,9 +139,7 @@ fn running_stats_merge_associative() {
     let mut rng = Xoshiro256::seed_from(0x5EED_0006);
     for _ in 0..128 {
         let len = 2 + rng.next_below(98) as usize;
-        let xs: Vec<f64> = (0..len)
-            .map(|_| (rng.next_f64() - 0.5) * 2e3)
-            .collect();
+        let xs: Vec<f64> = (0..len).map(|_| (rng.next_f64() - 0.5) * 2e3).collect();
         let cut = rng.next_below(len as u64) as usize;
         let mut whole = RunningStats::new();
         for &x in &xs {

@@ -183,8 +183,14 @@ mod tests {
 
     #[test]
     fn zero_rate_emits_nothing() {
-        assert_eq!(run_rate(InjectionProcess::Bernoulli { rate: 0.0 }, 10_000, 4), 0.0);
-        assert_eq!(run_rate(InjectionProcess::Regulated { rate: 0.0 }, 10_000, 4), 0.0);
+        assert_eq!(
+            run_rate(InjectionProcess::Bernoulli { rate: 0.0 }, 10_000, 4),
+            0.0
+        );
+        assert_eq!(
+            run_rate(InjectionProcess::Regulated { rate: 0.0 }, 10_000, 4),
+            0.0
+        );
     }
 
     #[test]

@@ -195,11 +195,7 @@ impl Scenario {
     }
 
     /// Hotspot with per-source weights derived from the node id.
-    fn hotspot_weighted(
-        rate: f64,
-        weight_of: impl Fn(NodeId) -> f64,
-        name: &str,
-    ) -> Scenario {
+    fn hotspot_weighted(rate: f64, weight_of: impl Fn(NodeId) -> f64, name: &str) -> Scenario {
         let topo = Self::default_topology();
         let hotspot = NodeId::new(63);
         let mut flows = Vec::new();
@@ -298,8 +294,18 @@ impl Scenario {
         };
         let flows = vec![
             mk(0, InjectionProcess::Regulated { rate: 0.2 }),
-            mk(48, InjectionProcess::Bernoulli { rate: aggressor_rate }),
-            mk(56, InjectionProcess::Bernoulli { rate: aggressor_rate }),
+            mk(
+                48,
+                InjectionProcess::Bernoulli {
+                    rate: aggressor_rate,
+                },
+            ),
+            mk(
+                56,
+                InjectionProcess::Bernoulli {
+                    rate: aggressor_rate,
+                },
+            ),
         ];
         Scenario {
             name: format!("case-study-1(aggr={aggressor_rate})"),
@@ -534,7 +540,7 @@ mod tests {
         assert_eq!(s.num_flows(), 9);
         let r = s.reservations(256).unwrap();
         assert!(r.iter().all(|&x| x == 28)); // 1/9 of 256, floored
-        // The stripped flow's path is disjoint from the grey paths.
+                                             // The stripped flow's path is disjoint from the grey paths.
         let fs = s.flow_set().unwrap();
         let stripped_links = fs.links(FlowId::new(8));
         for g in 0..8u32 {
@@ -574,7 +580,10 @@ mod tests {
         // 63 flows * 0.04 flits/cycle / 4 flits/packet * 50_000 cycles
         let expect = 63.0 * 0.04 / 4.0 * 50_000.0;
         let got = out.len() as f64;
-        assert!((got - expect).abs() / expect < 0.05, "got {got}, expect {expect}");
+        assert!(
+            (got - expect).abs() / expect < 0.05,
+            "got {got}, expect {expect}"
+        );
     }
 
     #[test]

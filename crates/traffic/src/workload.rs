@@ -78,12 +78,7 @@ impl Workload {
     }
 
     /// Adds a flow; returns its id (dense, in insertion order).
-    pub fn add_flow(
-        &mut self,
-        src: NodeId,
-        dest: DestRule,
-        process: InjectionProcess,
-    ) -> FlowId {
+    pub fn add_flow(&mut self, src: NodeId, dest: DestRule, process: InjectionProcess) -> FlowId {
         let id = FlowId::new(self.flows.len() as u32);
         self.flows.push(FlowState {
             src,

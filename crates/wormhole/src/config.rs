@@ -29,7 +29,10 @@ impl WormholeConfig {
     /// Validates invariants shared by all constructors.
     fn validated(self) -> Self {
         assert!(self.num_vcs > 0, "need at least one virtual channel");
-        assert!(self.vc_capacity > 0, "VC buffers must hold at least one flit");
+        assert!(
+            self.vc_capacity > 0,
+            "VC buffers must hold at least one flit"
+        );
         assert!(self.hop_latency >= 1, "hops take at least one cycle");
         self
     }

@@ -16,11 +16,11 @@
 //! configurable constant, defaulting to 3 cycles like the paper's
 //! 3-stage routers.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 use noc_sim::flit::{FlitKind, NodeId, Packet, PacketId};
 use noc_sim::routing::Direction;
-use noc_sim::Network;
+use noc_sim::{ActiveSet, FxHashMap, Network};
 
 use crate::config::WormholeConfig;
 
@@ -80,7 +80,7 @@ struct Nic {
     owned: Vec<bool>,
     rr: usize,
     /// Flits received per partially ejected packet.
-    eject_progress: HashMap<PacketId, u16>,
+    eject_progress: FxHashMap<PacketId, u16>,
 }
 
 #[derive(Debug)]
@@ -106,9 +106,17 @@ pub struct WormholeNetwork {
     /// Credit returns: `(due, node, port, vc)`; `port == LOCAL` means
     /// the NIC credit pool of `node`.
     credit_events: VecDeque<(u64, usize, usize, usize)>,
-    inflight: HashMap<PacketId, Packet>,
+    inflight: FxHashMap<PacketId, Packet>,
     /// Flits forwarded per output link, index `node * 5 + port`.
     forwarded: Vec<u64>,
+    /// Wires with queued flits, index `node * 5 + port`.
+    wire_work: ActiveSet,
+    /// NICs with a packet streaming or queued.
+    nic_work: ActiveSet,
+    /// Routers with at least one buffered input flit.
+    router_work: ActiveSet,
+    /// Buffered input flits per router (maintains `router_work`).
+    buffered: Vec<u32>,
 }
 
 impl WormholeNetwork {
@@ -116,7 +124,9 @@ impl WormholeNetwork {
     pub fn new(cfg: WormholeConfig) -> Self {
         let n = cfg.topo.num_nodes();
         WormholeNetwork {
-            routers: (0..n).map(|_| Router::new(cfg.num_vcs, cfg.vc_capacity)).collect(),
+            routers: (0..n)
+                .map(|_| Router::new(cfg.num_vcs, cfg.vc_capacity))
+                .collect(),
             nics: (0..n)
                 .map(|_| Nic {
                     src_queue: VecDeque::new(),
@@ -124,13 +134,17 @@ impl WormholeNetwork {
                     credits: vec![cfg.vc_capacity as u32; cfg.num_vcs],
                     owned: vec![false; cfg.num_vcs],
                     rr: 0,
-                    eject_progress: HashMap::new(),
+                    eject_progress: FxHashMap::default(),
                 })
                 .collect(),
             wires: vec![VecDeque::new(); n * PORTS],
             credit_events: VecDeque::new(),
-            inflight: HashMap::new(),
+            inflight: FxHashMap::default(),
             forwarded: vec![0; n * PORTS],
+            wire_work: ActiveSet::new(n * PORTS),
+            nic_work: ActiveSet::new(n),
+            router_work: ActiveSet::new(n),
+            buffered: vec![0; n],
             cycle: 0,
             cfg,
         }
@@ -148,18 +162,25 @@ impl WormholeNetwork {
     }
 
     fn deliver_arrivals(&mut self, now: u64) {
-        for node in 0..self.routers.len() {
-            for port in 0..PORTS {
-                let wire = &mut self.wires[node * PORTS + port];
-                while wire.front().is_some_and(|&(t, _, _)| t <= now) {
-                    let (_, vc, flit) = wire.pop_front().expect("checked front");
-                    let buf = &mut self.routers[node].inputs[port][vc];
-                    debug_assert!(
-                        buf.q.len() < self.cfg.vc_capacity,
-                        "credit protocol violated: buffer overflow"
-                    );
-                    buf.q.push_back(flit);
-                }
+        let mut cursor = 0;
+        while let Some(widx) = self.wire_work.first_from(cursor) {
+            cursor = widx + 1;
+            let node = widx / PORTS;
+            let port = widx % PORTS;
+            let wire = &mut self.wires[widx];
+            while wire.front().is_some_and(|&(t, _, _)| t <= now) {
+                let (_, vc, flit) = wire.pop_front().expect("checked front");
+                let buf = &mut self.routers[node].inputs[port][vc];
+                debug_assert!(
+                    buf.q.len() < self.cfg.vc_capacity,
+                    "credit protocol violated: buffer overflow"
+                );
+                buf.q.push_back(flit);
+                self.buffered[node] += 1;
+                self.router_work.insert(node);
+            }
+            if wire.is_empty() {
+                self.wire_work.remove(widx);
             }
         }
     }
@@ -176,7 +197,9 @@ impl WormholeNetwork {
     }
 
     fn nic_inject(&mut self, now: u64) {
-        for node in 0..self.nics.len() {
+        let mut cursor = 0;
+        while let Some(node) = self.nic_work.first_from(cursor) {
+            cursor = node + 1;
             let nic = &mut self.nics[node];
             if nic.current.is_none() {
                 if let Some(&pid) = nic.src_queue.front() {
@@ -222,7 +245,13 @@ impl WormholeNetwork {
                         nic.current = None;
                     }
                     self.routers[node].inputs[LOCAL][vc].q.push_back(flit);
+                    self.buffered[node] += 1;
+                    self.router_work.insert(node);
                 }
+            }
+            let nic = &self.nics[node];
+            if nic.current.is_none() && nic.src_queue.is_empty() {
+                self.nic_work.remove(node);
             }
         }
     }
@@ -230,17 +259,17 @@ impl WormholeNetwork {
     fn route_compute(&mut self) {
         let topo = self.cfg.topo;
         let routing = self.cfg.routing;
-        for (node, router) in self.routers.iter_mut().enumerate() {
+        let mut cursor = 0;
+        while let Some(node) = self.router_work.first_from(cursor) {
+            cursor = node + 1;
+            let router = &mut self.routers[node];
             for port in router.inputs.iter_mut() {
                 for buf in port.iter_mut() {
                     if buf.route.is_none() {
                         if let Some(front) = buf.q.front() {
                             if front.kind.is_head() {
-                                let dir = routing.next_hop(
-                                    &topo,
-                                    NodeId::new(node as u32),
-                                    front.dst,
-                                );
+                                let dir =
+                                    routing.next_hop(&topo, NodeId::new(node as u32), front.dst);
                                 buf.route = Some(dir.index());
                             }
                         }
@@ -252,7 +281,10 @@ impl WormholeNetwork {
 
     fn vc_allocate(&mut self) {
         let num_vcs = self.cfg.num_vcs;
-        for router in &mut self.routers {
+        let mut cursor = 0;
+        while let Some(node) = self.router_work.first_from(cursor) {
+            cursor = node + 1;
+            let router = &mut self.routers[node];
             for in_port in 0..PORTS {
                 for in_vc in 0..num_vcs {
                     let buf = &router.inputs[in_port][in_vc];
@@ -280,7 +312,9 @@ impl WormholeNetwork {
     fn switch_traverse(&mut self, now: u64, out: &mut Vec<Packet>) {
         let num_vcs = self.cfg.num_vcs;
         let topo = self.cfg.topo;
-        for node in 0..self.routers.len() {
+        let mut cursor = 0;
+        while let Some(node) = self.router_work.first_from(cursor) {
+            cursor = node + 1;
             for out_port in 0..PORTS {
                 // Gather candidates: input VCs routed here with a flit
                 // ready and downstream credit (ejection needs none).
@@ -301,11 +335,20 @@ impl WormholeNetwork {
                     winner = Some((p, v, ov, slot));
                     break;
                 }
-                let Some((p, v, ov, slot)) = winner else { continue };
+                let Some((p, v, ov, slot)) = winner else {
+                    continue;
+                };
                 self.forwarded[node * PORTS + out_port] += 1;
                 let router = &mut self.routers[node];
                 router.rr_sa[out_port] = (slot + 1) % (PORTS * num_vcs);
-                let flit = router.inputs[p][v].q.pop_front().expect("winner has a flit");
+                let flit = router.inputs[p][v]
+                    .q
+                    .pop_front()
+                    .expect("winner has a flit");
+                self.buffered[node] -= 1;
+                if self.buffered[node] == 0 {
+                    self.router_work.remove(node);
+                }
                 if flit.kind.is_tail() {
                     router.out_owner[out_port][ov] = None;
                     router.inputs[p][v].route = None;
@@ -338,13 +381,38 @@ impl WormholeNetwork {
                         .neighbor(NodeId::new(node as u32), dir)
                         .expect("route leads to a neighbor");
                     let in_port = dir.opposite().index();
-                    self.wires[next.index() * PORTS + in_port].push_back((
-                        now + self.cfg.hop_latency,
-                        ov,
-                        flit,
-                    ));
+                    let widx = next.index() * PORTS + in_port;
+                    self.wires[widx].push_back((now + self.cfg.hop_latency, ov, flit));
+                    self.wire_work.insert(widx);
                 }
             }
+        }
+    }
+
+    /// Full-scan cross-check of every worklist invariant (debug
+    /// builds only): the active sets must contain exactly the indices
+    /// a naive scan would find work at.
+    #[cfg(debug_assertions)]
+    fn debug_verify_worklists(&self) {
+        for (i, wire) in self.wires.iter().enumerate() {
+            debug_assert_eq!(
+                self.wire_work.contains(i),
+                !wire.is_empty(),
+                "wire_work[{i}]"
+            );
+        }
+        for (n, nic) in self.nics.iter().enumerate() {
+            let active = nic.current.is_some() || !nic.src_queue.is_empty();
+            debug_assert_eq!(self.nic_work.contains(n), active, "nic_work[{n}]");
+        }
+        for (n, router) in self.routers.iter().enumerate() {
+            let count: u32 = router
+                .inputs
+                .iter()
+                .flat_map(|port| port.iter().map(|buf| buf.q.len() as u32))
+                .sum();
+            debug_assert_eq!(self.buffered[n], count, "buffered[{n}]");
+            debug_assert_eq!(self.router_work.contains(n), count > 0, "router_work[{n}]");
         }
     }
 
@@ -380,9 +448,12 @@ impl Network for WormholeNetwork {
         let id = packet.id;
         self.inflight.insert(id, packet);
         self.nics[node].src_queue.push_back(id);
+        self.nic_work.insert(node);
     }
 
     fn step(&mut self, out: &mut Vec<Packet>) {
+        #[cfg(debug_assertions)]
+        self.debug_verify_worklists();
         let now = self.cycle;
         self.deliver_arrivals(now);
         self.apply_credits(now);
@@ -406,7 +477,10 @@ mod tests {
 
     fn packet(flow: u32, seq: u64, src: u32, dst: u32, at: u64) -> Packet {
         Packet::new(
-            PacketId { flow: FlowId::new(flow), seq },
+            PacketId {
+                flow: FlowId::new(flow),
+                seq,
+            },
             NodeId::new(src),
             NodeId::new(dst),
             4,
@@ -481,7 +555,11 @@ mod tests {
         let start = net.cycle();
         let out = run_until_empty(&mut net, 20_000);
         let end = out.iter().map(|p| p.ejected_at.unwrap()).max().unwrap();
-        assert!(end - start >= 400, "100 packets x 4 flits need 400 cycles, took {}", end - start);
+        assert!(
+            end - start >= 400,
+            "100 packets x 4 flits need 400 cycles, took {}",
+            end - start
+        );
     }
 
     #[test]

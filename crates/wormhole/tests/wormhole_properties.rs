@@ -26,7 +26,10 @@ fn every_packet_delivered_exactly_once() {
             if a == b {
                 continue;
             }
-            let id = PacketId { flow: FlowId::new(i as u32), seq: 0 };
+            let id = PacketId {
+                flow: FlowId::new(i as u32),
+                seq: 0,
+            };
             net.enqueue(Packet::new(id, NodeId::new(a), NodeId::new(b), 4, 0));
             expected.push((id, b));
         }
@@ -64,7 +67,10 @@ fn latency_never_beats_physics() {
         let cfg = WormholeConfig::on(Topology::mesh(4, 4));
         let mut net = WormholeNetwork::new(cfg);
         net.enqueue(Packet::new(
-            PacketId { flow: FlowId::new(0), seq: 0 },
+            PacketId {
+                flow: FlowId::new(0),
+                seq: 0,
+            },
             NodeId::new(a),
             NodeId::new(b),
             4,

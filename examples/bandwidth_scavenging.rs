@@ -47,12 +47,17 @@ fn main() {
         &scenario,
     );
 
-    let guarantee = scenario.reservations(lcfg.frame_size).expect("fits")[stripped.index()]
-        as f64
+    let guarantee = scenario.reservations(lcfg.frame_size).expect("fits")[stripped.index()] as f64
         / lcfg.frame_size as f64;
     println!("stripped node, offered 0.9 flits/cycle, guaranteed {guarantee:.3}:");
-    println!("  LOFT accepted: {:.3} flits/cycle", loft.flow_throughput(stripped));
-    println!("  GSF  accepted: {:.3} flits/cycle", gsf.flow_throughput(stripped));
+    println!(
+        "  LOFT accepted: {:.3} flits/cycle",
+        loft.flow_throughput(stripped)
+    );
+    println!(
+        "  GSF  accepted: {:.3} flits/cycle",
+        gsf.flow_throughput(stripped)
+    );
     println!(
         "\nLOFT scavenges the idle path's full bandwidth ({:.0}× its guarantee); \
          GSF stays coupled to the congested region.",

@@ -12,11 +12,11 @@
 //! ```
 
 use loft::{LoftConfig, LoftNetwork};
+use noc_sim::flit::FlowId;
 use noc_sim::flit::NodeId;
 use noc_sim::{RunConfig, Simulation};
-use noc_traffic::{DestRule, InjectionProcess, Scenario};
 use noc_traffic::scenario::ScenarioFlow;
-use noc_sim::flit::FlowId;
+use noc_traffic::{DestRule, InjectionProcess, Scenario};
 
 fn main() {
     let topo = Scenario::default_topology();
@@ -63,7 +63,9 @@ fn main() {
     };
 
     let cfg = LoftConfig::default();
-    let reservations = scenario.reservations(cfg.frame_size).expect("valid weights");
+    let reservations = scenario
+        .reservations(cfg.frame_size)
+        .expect("valid weights");
     let network = LoftNetwork::new(cfg, &reservations);
     let report = Simulation::new(
         network,
@@ -78,8 +80,16 @@ fn main() {
 
     let premium = report.group_throughput(scenario.group("premium").expect("group"));
     let best = report.group_throughput(scenario.group("best-effort").expect("group"));
-    println!("premium     : avg {:.4} flits/cycle/flow (cv {:.1}%)", premium.mean(), 100.0 * premium.cv());
-    println!("best-effort : avg {:.4} flits/cycle/flow (cv {:.1}%)", best.mean(), 100.0 * best.cv());
+    println!(
+        "premium     : avg {:.4} flits/cycle/flow (cv {:.1}%)",
+        premium.mean(),
+        100.0 * premium.cv()
+    );
+    println!(
+        "best-effort : avg {:.4} flits/cycle/flow (cv {:.1}%)",
+        best.mean(),
+        100.0 * best.cv()
+    );
     println!(
         "measured split {:.2}:1 (configured 3:1)",
         premium.mean() / best.mean()

@@ -45,8 +45,18 @@ fn all_networks_conserve_packets_at_low_load() {
     // windowed, so delivery timing at the window edges may shift a
     // few packets in or out; allow a 1% tolerance.
     let close = |a: u64, b: u64| (a as f64 - b as f64).abs() / (a as f64) < 0.01;
-    assert!(close(l.flits_delivered, g.flits_delivered), "{} vs {}", l.flits_delivered, g.flits_delivered);
-    assert!(close(l.flits_delivered, w.flits_delivered), "{} vs {}", l.flits_delivered, w.flits_delivered);
+    assert!(
+        close(l.flits_delivered, g.flits_delivered),
+        "{} vs {}",
+        l.flits_delivered,
+        g.flits_delivered
+    );
+    assert!(
+        close(l.flits_delivered, w.flits_delivered),
+        "{} vs {}",
+        l.flits_delivered,
+        w.flits_delivered
+    );
     let packets = l.flits_delivered / 4;
     assert!(
         expected_range.contains(&packets),
@@ -82,7 +92,10 @@ fn frs_beats_gsf_on_back_to_back_stream() {
     fn makespan<N: Network>(mut net: N, packets: u64) -> u64 {
         for seq in 0..packets {
             net.enqueue(Packet::new(
-                PacketId { flow: FlowId::new(0), seq },
+                PacketId {
+                    flow: FlowId::new(0),
+                    seq,
+                },
                 NodeId::new(0),
                 NodeId::new(1),
                 4,
@@ -137,7 +150,10 @@ fn storage_headline_holds_for_default_configs() {
     let gsf = noc_model::storage::gsf_router_bits(&GsfConfig::default());
     let loft = noc_model::storage::loft_router_bits(&LoftConfig::default());
     let saving = 1.0 - loft.total() as f64 / gsf.total() as f64;
-    assert!(saving > 0.25, "LOFT should save >25% storage, got {saving:.2}");
+    assert!(
+        saving > 0.25,
+        "LOFT should save >25% storage, got {saving:.2}"
+    );
 }
 
 /// Scenario reservations are feasible on both frame sizes used in the

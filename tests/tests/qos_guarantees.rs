@@ -65,7 +65,11 @@ fn loft_equal_allocation_is_fair() {
 fn loft_differentiated_allocation_is_proportional() {
     let s = Scenario::hotspot_differentiated4(0.05);
     let report = loft(&s, 3);
-    let avg = |name: &str| report.group_throughput(s.group(name).expect("group")).mean();
+    let avg = |name: &str| {
+        report
+            .group_throughput(s.group(name).expect("group"))
+            .mean()
+    };
     let (r1, r2, r3, r4) = (avg("R1"), avg("R2"), avg("R3"), avg("R4"));
     assert!(r1 > r2 && r2 > r4, "ordering broken: {r1} {r2} {r3} {r4}");
     // R1:R4 configured 8:3 ≈ 2.67.
