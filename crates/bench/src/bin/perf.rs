@@ -21,6 +21,11 @@
 //! work: compare it across commits at the same load point (the
 //! simulations are fully deterministic, so the simulated work is
 //! identical and only the wall clock moves).
+//!
+//! `--smoke` runs a single tiny low-load point per network with one
+//! timed iteration — a seconds-long CI check that the harness and all
+//! three hot loops still run end to end (the numbers it prints are
+//! not comparable across machines).
 
 use loft::LoftConfig;
 use loft_bench::{run_gsf, run_loft, run_wormhole, SEED};
@@ -31,16 +36,32 @@ use noc_wormhole::WormholeConfig;
 
 /// Measurement-window sizing: long enough that per-run overhead
 /// (network construction, warmup) is amortized, short enough that the
-/// whole matrix finishes in seconds.
-fn run() -> RunConfig {
-    RunConfig {
-        warmup: 1_000,
-        measure: 20_000,
-        drain: 3_000,
+/// whole matrix finishes in seconds. `--smoke` shrinks the window to
+/// a functional check.
+fn run(smoke: bool) -> RunConfig {
+    if smoke {
+        RunConfig {
+            warmup: 200,
+            measure: 2_000,
+            drain: 1_000,
+        }
+    } else {
+        RunConfig {
+            warmup: 1_000,
+            measure: 20_000,
+            drain: 3_000,
+        }
     }
 }
 
-fn measure(net: &str, scenario: &str, load: f64, iters: u32, f: impl Fn() -> SimReport) {
+fn measure(
+    net: &str,
+    scenario: &str,
+    load: f64,
+    iters: u32,
+    cfg: RunConfig,
+    f: impl Fn() -> SimReport,
+) {
     // One untimed warmup run, then the mean of `iters` timed runs.
     let report = f();
     let start = std::time::Instant::now();
@@ -49,7 +70,6 @@ fn measure(net: &str, scenario: &str, load: f64, iters: u32, f: impl Fn() -> Sim
     }
     let wall = start.elapsed().as_secs_f64() / f64::from(iters);
 
-    let cfg = run();
     let sim_cycles = cfg.warmup + cfg.measure + cfg.drain;
     let packets = report.total_latency.count();
     println!(
@@ -66,23 +86,25 @@ fn measure(net: &str, scenario: &str, load: f64, iters: u32, f: impl Fn() -> Sim
 }
 
 fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let cfg = run(smoke);
+    let iters = if smoke { 1 } else { 5 };
     // Low load: the hot loop is dominated by per-cycle scans over
     // mostly-idle state — exactly what active-set worklists target.
     // Near saturation: dominated by real queue/allocator work.
-    let points: &[(&str, f64)] = &[("low", 0.05), ("sat", 0.60)];
-    for &(label, load) in points {
-        let _ = label;
-        measure("loft", "uniform", load, 5, || {
-            run_loft(&Scenario::uniform(load), LoftConfig::default(), run(), SEED)
+    let points: &[f64] = if smoke { &[0.05] } else { &[0.05, 0.60] };
+    for &load in points {
+        measure("loft", "uniform", load, iters, cfg, || {
+            run_loft(&Scenario::uniform(load), LoftConfig::default(), cfg, SEED)
         });
-        measure("gsf", "uniform", load, 5, || {
-            run_gsf(&Scenario::uniform(load), GsfConfig::default(), run(), SEED)
+        measure("gsf", "uniform", load, iters, cfg, || {
+            run_gsf(&Scenario::uniform(load), GsfConfig::default(), cfg, SEED)
         });
-        measure("wormhole", "uniform", load, 5, || {
+        measure("wormhole", "uniform", load, iters, cfg, || {
             run_wormhole(
                 &Scenario::uniform(load),
                 WormholeConfig::default(),
-                run(),
+                cfg,
                 SEED,
             )
         });

@@ -44,6 +44,7 @@
 mod config;
 pub mod lsf;
 pub mod network;
+mod port;
 
 pub use config::LoftConfig;
 pub use network::LoftNetwork;

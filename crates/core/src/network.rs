@@ -33,6 +33,16 @@
 //! returns to its power-up value, so idle regions of the network
 //! recycle frames at full speed regardless of congestion elsewhere.
 //!
+//! # Fabric layering
+//!
+//! LOFT is a flit-reservation router, not a VC router, so it does not
+//! implement [`noc_sim::fabric::RouterPolicy`]; instead it builds
+//! directly on the fabric substrate: [`DelayedWires`] carry both
+//! planes' in-flight traffic, [`LookaheadQueues`] is the look-ahead
+//! channel (per-flow fair bypass at every output port),
+//! [`EjectTracker`] owns in-flight packets and ejection accounting,
+//! and [`LinkMap`] resolves the link index space on any topology.
+//!
 //! # Timing model
 //!
 //! One slot = `flits_per_quantum` cycles. Data hops cost
@@ -41,19 +51,18 @@
 //! returns are applied the cycle they are produced (the one-cycle
 //! wire is folded into the scheduling pipeline).
 
-use std::collections::{BTreeSet, VecDeque};
+use std::collections::VecDeque;
 
+use noc_sim::fabric::{
+    debug_assert_delivered_once, DelayedWires, EjectTracker, LinkMap, LookaheadQueues, LOCAL, PORTS,
+};
 use noc_sim::flit::{FlowId, NodeId, Packet, PacketId};
 use noc_sim::routing::Direction;
 use noc_sim::{ActiveSet, FxHashMap, Network};
 
 use crate::config::LoftConfig;
 use crate::lsf::{LinkScheduler, LsfParams, PendingQuantum};
-
-const PORTS: usize = Direction::COUNT;
-const LOCAL: usize = 4;
-
-type QKey = (u32, u64); // (flow, qid)
+use crate::port::{Arrived, DataPort, Expect, QKey};
 
 #[derive(Debug, Clone, Copy)]
 struct LaFlit {
@@ -66,58 +75,14 @@ struct LaFlit {
     in_port: u8,
 }
 
-/// A data quantum in flight on a link.
+/// A data quantum in flight on a link (availability time lives in the
+/// wire's due field).
 #[derive(Debug, Clone, Copy)]
-struct WireQuantum {
+struct DataQuantum {
     flow: FlowId,
     qid: u64,
     /// Destination buffer at the receiver: speculative or not.
     spec: bool,
-    avail_slot: u64,
-}
-
-#[derive(Debug, Clone, Copy)]
-struct Expect {
-    out_port: u8,
-    dep_slot: Option<u64>,
-}
-
-#[derive(Debug, Clone, Copy)]
-struct Arrived {
-    spec: bool,
-}
-
-/// Input-port state of a data router: buffers + input reservation
-/// table.
-#[derive(Debug)]
-struct DataPort {
-    nonspec_free: i64,
-    spec_free: i64,
-    arrived: FxHashMap<QKey, Arrived>,
-    expect: FxHashMap<QKey, Expect>,
-    /// Arrived quanta with a booked departure, per output port,
-    /// ordered by booked slot.
-    ready: Vec<BTreeSet<(u64, u32, u64)>>,
-}
-
-impl DataPort {
-    fn new(nonspec: i64, spec: i64) -> Self {
-        DataPort {
-            nonspec_free: nonspec,
-            spec_free: spec,
-            arrived: FxHashMap::default(),
-            expect: FxHashMap::default(),
-            ready: vec![BTreeSet::new(); PORTS],
-        }
-    }
-
-    fn mark_ready_if_complete(&mut self, key: QKey) {
-        if let (Some(e), true) = (self.expect.get(&key), self.arrived.contains_key(&key)) {
-            if let Some(dep) = e.dep_slot {
-                self.ready[e.out_port as usize].insert((dep, key.0, key.1));
-            }
-        }
-    }
 }
 
 #[derive(Debug)]
@@ -148,7 +113,6 @@ struct SourceNic {
     /// Quanta whose look-ahead has launched, awaiting their data
     /// transfer into the router (FIFO, one per slot).
     staged: VecDeque<QKey>,
-    eject_progress: FxHashMap<PacketId, u16>,
 }
 
 impl SourceNic {
@@ -159,7 +123,6 @@ impl SourceNic {
             rr_flows: Vec::new(),
             rr: 0,
             staged: VecDeque::new(),
-            eject_progress: FxHashMap::default(),
         }
     }
 }
@@ -169,27 +132,24 @@ impl SourceNic {
 pub struct LoftNetwork {
     cfg: LoftConfig,
     cycle: u64,
+    link: LinkMap,
     /// Router link schedulers, index `node * 5 + port`.
     link_sched: Vec<LinkScheduler>,
     /// Data-plane input ports, index `node * 5 + port`.
     data_ports: Vec<DataPort>,
-    /// Data quanta in flight, index `node * 5 + in_port`.
-    data_wires: Vec<VecDeque<WireQuantum>>,
+    /// Data quanta in flight, due at their availability slot, index
+    /// `node * 5 + in_port`.
+    data_wires: DelayedWires<DataQuantum>,
     /// Look-ahead flits in flight, index `node * 5 + in_port`.
-    la_wires: Vec<VecDeque<(u64, LaFlit)>>,
-    /// Look-ahead output queues, index `node * 5 + out_port`.
-    /// `None` entries are tombstones of mid-queue removals (see
-    /// [`Self::la_schedule`]); the front entry is always live.
-    la_queues: Vec<VecDeque<Option<LaFlit>>>,
-    /// Live (non-tombstone) entry count per look-ahead output queue.
-    la_q_live: Vec<u32>,
-    /// Whether the queue front already failed and the scheduler has
-    /// not changed since.
-    la_blocked: Vec<bool>,
+    la_wires: DelayedWires<LaFlit>,
+    /// The look-ahead channel: per-output-port queues with per-flow
+    /// fair bypass, index `node * 5 + out_port`.
+    la_queues: LookaheadQueues<LaFlit>,
     /// Round-robin pointers for speculative output arbitration.
     rr_spec: Vec<usize>,
     nics: Vec<SourceNic>,
-    inflight: FxHashMap<PacketId, Packet>,
+    /// In-flight packets + per-node ejection progress.
+    tracker: EjectTracker,
     /// (flow, qid) → owning packet, for ejection accounting.
     quantum_meta: FxHashMap<QKey, PacketId>,
     /// Look-ahead flits currently in the look-ahead plane, per flow
@@ -200,12 +160,6 @@ pub struct LoftNetwork {
     /// Total local status resets across all links (diagnostics).
     total_resets: u64,
     // ---- active-set worklists (see `noc_sim::worklist`) ----------
-    /// Links with look-ahead flits in flight: `la_wires[i]` nonempty.
-    la_wire_work: ActiveSet,
-    /// Output queues with live look-ahead flits: `la_q_live[i] > 0`.
-    la_queue_work: ActiveSet,
-    /// Links with data quanta in flight: `data_wires[i]` nonempty.
-    data_wire_work: ActiveSet,
     /// Per node: pending bookings on its output links plus arrived
     /// quanta in its input buffers (the data-plane work predicate).
     node_data_work: Vec<u32>,
@@ -218,11 +172,6 @@ pub struct LoftNetwork {
     /// Links whose scheduler is not in its power-up state
     /// (`!is_fresh()`): the only candidates for a local status reset.
     stale_links: ActiveSet,
-    /// Per-flow epoch stamps for `la_schedule`'s failed-flow set
-    /// (flow `f` failed in the current scan iff
-    /// `failed_epoch[f] == scan_epoch`).
-    failed_epoch: Vec<u64>,
-    scan_epoch: u64,
 }
 
 impl LoftNetwork {
@@ -249,43 +198,35 @@ impl LoftNetwork {
             buffer_quanta: cfg.nonspec_quanta(),
             sink: false,
         };
-        let sink_params = LsfParams {
-            sink: true,
-            ..params
-        };
-        let mut link_sched = Vec::with_capacity(n * PORTS);
-        for _node in 0..n {
-            for port in 0..PORTS {
-                let p = if port == LOCAL { sink_params } else { params };
-                link_sched.push(LinkScheduler::new(p, reservations_flits));
-            }
-        }
+        let link_sched = (0..n * PORTS)
+            .map(|i| {
+                let p = LsfParams {
+                    sink: i % PORTS == LOCAL,
+                    ..params
+                };
+                LinkScheduler::new(p, reservations_flits)
+            })
+            .collect();
         LoftNetwork {
+            link: LinkMap::new(cfg.topo, cfg.routing),
             data_ports: (0..n * PORTS)
                 .map(|_| DataPort::new(cfg.nonspec_quanta() as i64, cfg.spec_quanta() as i64))
                 .collect(),
-            data_wires: vec![VecDeque::new(); n * PORTS],
-            la_wires: vec![VecDeque::new(); n * PORTS],
-            la_queues: vec![VecDeque::new(); n * PORTS],
-            la_q_live: vec![0; n * PORTS],
-            la_blocked: vec![false; n * PORTS],
+            data_wires: DelayedWires::new(n * PORTS),
+            la_wires: DelayedWires::new(n * PORTS),
+            la_queues: LookaheadQueues::new(n * PORTS, reservations_flits.len()),
             rr_spec: vec![0; n * PORTS],
             nics: (0..n).map(|_| SourceNic::new()).collect(),
-            inflight: FxHashMap::default(),
+            tracker: EjectTracker::new(n),
             quantum_meta: FxHashMap::default(),
             la_outstanding: vec![0; reservations_flits.len()],
             forwarded: vec![0; n * PORTS],
             total_resets: 0,
-            la_wire_work: ActiveSet::new(n * PORTS),
-            la_queue_work: ActiveSet::new(n * PORTS),
-            data_wire_work: ActiveSet::new(n * PORTS),
             node_data_work: vec![0; n],
             data_node_work: ActiveSet::new(n),
             stage_work: ActiveSet::new(n),
             launch_work: ActiveSet::new(n),
             stale_links: ActiveSet::new(n * PORTS),
-            failed_epoch: vec![0; reservations_flits.len()],
-            scan_epoch: 0,
             link_sched,
             cycle: 0,
             cfg,
@@ -313,7 +254,7 @@ impl LoftNetwork {
     pub fn debug_injection(&self, node: usize) -> String {
         let nic = &self.nics[node];
         let queued: usize = nic.flow_q.values().map(|q| q.len()).sum();
-        let ridx = self.idx(node, LOCAL);
+        let ridx = node * PORTS + LOCAL;
         format!(
             "inj n{node}: queued={} staged={} local_nonspec_free={} outstanding={:?}",
             queued,
@@ -330,16 +271,14 @@ impl LoftNetwork {
     /// debugging and tests): pending bookings, look-ahead queue
     /// length, reset count, and the downstream buffer occupancy.
     pub fn debug_link(&self, node: usize, port: usize) -> String {
-        let lidx = self.idx(node, port);
+        let lidx = node * PORTS + port;
         let sched = &self.link_sched[lidx];
         let downstream = if port == LOCAL {
             "PE".to_string()
         } else {
-            let dir = Direction::from_index(port);
-            match self.cfg.topo.neighbor(NodeId::new(node as u32), dir) {
-                Some(next) => {
-                    let ridx = self.idx(next.index(), dir.opposite().index());
-                    let p = &self.data_ports[ridx];
+            match self.link.try_downstream(node, port) {
+                Some((next, in_port)) => {
+                    let p = &self.data_ports[next * PORTS + in_port];
                     format!(
                         "nonspec_free={}/{} spec_free={}/{}",
                         p.nonspec_free,
@@ -354,7 +293,7 @@ impl LoftNetwork {
         format!(
             "link n{node}.{port}: pending={} la_queue={} resets={} fwd={} head={} {}",
             sched.pending_len(),
-            self.la_queues[lidx].len(),
+            self.la_queues.raw_len(lidx),
             sched.resets(),
             self.forwarded[lidx],
             sched.head_frame(),
@@ -364,10 +303,6 @@ impl LoftNetwork {
 
     fn quanta_per_packet(&self, len_flits: u16) -> u64 {
         (len_flits as u64).div_ceil(self.cfg.flits_per_quantum as u64)
-    }
-
-    fn idx(&self, node: usize, port: usize) -> usize {
-        node * PORTS + port
     }
 
     // ---------------- look-ahead plane ------------------------------
@@ -393,27 +328,25 @@ impl LoftNetwork {
                     continue; // the flow's look-ahead window is full
                 }
                 let nic = &mut self.nics[node];
-                let Some(queue) = nic.flow_q.get_mut(&fid) else {
+                let Some(SrcQuantum { qid, dst }) =
+                    nic.flow_q.get_mut(&fid).and_then(VecDeque::pop_front)
+                else {
                     continue;
                 };
-                let Some(front) = queue.front() else { continue };
-                let (qid, dst) = (front.qid, front.dst);
-                queue.pop_front();
                 nic.queued -= 1;
-                if nic.queued == 0 {
-                    self.launch_work.remove(node);
-                }
-                let nic = &mut self.nics[node];
                 nic.rr = (nic.rr + k + 1) % len;
                 // The data quantum will leave the NIC one slot per
                 // staged predecessor from now; the look-ahead carries
                 // that planned slot as its upstream departure time.
                 let plan = now / q + 1 + nic.staged.len() as u64;
                 nic.staged.push_back((fid, qid));
+                if self.nics[node].queued == 0 {
+                    self.launch_work.remove(node);
+                }
                 self.stage_work.insert(node);
                 self.la_outstanding[fid as usize] += 1;
-                let widx = node * PORTS + LOCAL;
-                self.la_wires[widx].push_back((
+                self.la_wires.push(
+                    node * PORTS + LOCAL,
                     now + la_hop,
                     LaFlit {
                         flow: FlowId::new(fid),
@@ -422,130 +355,97 @@ impl LoftNetwork {
                         dep_slot: plan,
                         in_port: LOCAL as u8,
                     },
-                ));
-                self.la_wire_work.insert(widx);
+                );
                 break;
             }
         }
     }
 
-    /// Delivers arriving look-ahead flits into router output queues,
-    /// writing the input reservation tables (expectations).
+    /// Delivers arriving look-ahead flits into the look-ahead channel
+    /// queues, writing the input reservation tables (expectations).
     ///
-    /// Output queues are per-flow fair (see [`Self::la_schedule`]),
-    /// so delivery is not capacity-limited: the per-flow look-ahead
-    /// window (`la_flow_window`) already bounds how many flits any
-    /// one flow can pile up here.
+    /// The channel queues are per-flow fair (see
+    /// [`Self::la_schedule`]), so delivery is not capacity-limited:
+    /// the per-flow look-ahead window (`la_flow_window`) already
+    /// bounds how many flits any one flow can pile up here.
     fn la_deliver(&mut self, now: u64) {
-        let topo = self.cfg.topo;
-        let routing = self.cfg.routing;
-        let mut cursor = 0;
-        while let Some(widx) = self.la_wire_work.first_from(cursor) {
-            cursor = widx + 1;
+        let Self {
+            la_wires,
+            la_queues,
+            data_ports,
+            link,
+            ..
+        } = self;
+        la_wires.drain_due(now, |widx, la| {
             let (node, in_port) = (widx / PORTS, widx % PORTS);
-            while self.la_wires[widx].front().is_some_and(|&(t, _)| t <= now) {
-                let (_, la) = self.la_wires[widx].pop_front().expect("checked front");
-                let out_dir = routing.next_hop(&topo, NodeId::new(node as u32), la.dst);
-                let qidx = self.idx(node, out_dir.index());
-                self.data_ports[widx].expect.insert(
-                    (la.flow.index() as u32, la.qid),
-                    Expect {
-                        out_port: out_dir.index() as u8,
-                        dep_slot: None,
-                    },
-                );
-                self.la_queues[qidx].push_back(Some(LaFlit {
+            let out_port = link.route(node, la.dst);
+            data_ports[widx].expect.insert(
+                (la.flow.index() as u32, la.qid),
+                Expect {
+                    out_port: out_port as u8,
+                    dep_slot: None,
+                },
+            );
+            la_queues.push(
+                node * PORTS + out_port,
+                LaFlit {
                     in_port: in_port as u8,
                     ..la
-                }));
-                self.la_q_live[qidx] += 1;
-                self.la_queue_work.insert(qidx);
-                // Any new arrival may belong to a flow that can
-                // book where the stalled ones cannot.
-                self.la_blocked[qidx] = false;
-            }
-            if self.la_wires[widx].is_empty() {
-                self.la_wire_work.remove(widx);
-            }
-        }
+                },
+            );
+        });
     }
 
-    /// Runs output scheduling on every router output queue: at most
-    /// one look-ahead flit per port per cycle books a slot and moves
-    /// on. A flit whose flow has exhausted its window does not block
-    /// the queue — later flits of *other* flows may bypass it (the
-    /// virtual channels of the paper's look-ahead router), while
-    /// per-flow order is preserved by skipping any flow that already
-    /// has a stalled flit ahead.
+    /// Runs output scheduling on every look-ahead channel queue: at
+    /// most one look-ahead flit per port per cycle books a slot and
+    /// moves on. A flit whose flow has exhausted its window does not
+    /// block the queue — later flits of *other* flows may bypass it
+    /// (the virtual channels of the paper's look-ahead router), while
+    /// per-flow order is preserved; [`LookaheadQueues`] implements
+    /// that fair-bypass scan.
     fn la_schedule(&mut self, now: u64) {
-        let topo = self.cfg.topo;
         let la_hop = self.cfg.la_hop_latency;
         let dep_off = self.cfg.dep_offset();
         let mut cursor = 0;
-        while let Some(qidx) = self.la_queue_work.first_from(cursor) {
+        while let Some(qidx) = self.la_queues.first_from(cursor) {
             cursor = qidx + 1;
             let (node, out_port) = (qidx / PORTS, qidx % PORTS);
             let dirty = self.link_sched[qidx].take_dirty();
-            if self.la_blocked[qidx] && !dirty {
+            if self.la_queues.is_blocked(qidx) && !dirty {
                 continue;
             }
-            // Scan for the first flit whose flow can book a slot,
-            // trying each distinct flow once. Flows that failed in
-            // this scan carry the scan's epoch stamp — an O(1)
-            // membership test instead of a list search.
-            self.scan_epoch += 1;
-            let epoch = self.scan_epoch;
-            let mut booked: Option<(usize, u64)> = None;
-            for i in 0..self.la_queues[qidx].len() {
-                let Some(la) = self.la_queues[qidx][i] else {
-                    continue; // tombstone of an earlier mid-queue removal
-                };
-                if self.failed_epoch[la.flow.index()] == epoch {
-                    continue;
-                }
-                let earliest = la.dep_slot + dep_off;
-                let entry = PendingQuantum {
-                    flow: la.flow,
-                    qid: la.qid,
-                    in_port: la.in_port,
-                };
-                match self.link_sched[qidx].schedule(la.flow, earliest, entry) {
-                    Some(slot) => {
-                        booked = Some((i, slot));
-                        break;
-                    }
-                    None => self.failed_epoch[la.flow.index()] = epoch,
-                }
-            }
-            let Some((i, slot)) = booked else {
-                self.la_blocked[qidx] = true;
-                continue;
+            let booked = {
+                let Self {
+                    la_queues,
+                    link_sched,
+                    ..
+                } = self;
+                la_queues.book_first(
+                    qidx,
+                    |la| la.flow.index(),
+                    |la| {
+                        link_sched[qidx].schedule(
+                            la.flow,
+                            la.dep_slot + dep_off,
+                            PendingQuantum {
+                                flow: la.flow,
+                                qid: la.qid,
+                                in_port: la.in_port,
+                            },
+                        )
+                    },
+                )
             };
-            self.la_blocked[qidx] = false;
+            let Some((la, slot)) = booked else { continue };
             // The booking un-freshens the scheduler and adds a
             // pending quantum: feed the reset watchlist and the
             // data-plane worklist.
             self.stale_links.insert(qidx);
             self.node_data_work[node] += 1;
             self.data_node_work.insert(node);
-            // Mid-queue extraction without shifting: tombstone the
-            // slot, then drain any dead prefix so the front entry
-            // stays live. Per-flow order is untouched (live entries
-            // never move relative to each other).
-            let la = self.la_queues[qidx][i]
-                .take()
-                .expect("booked entry is live");
-            while self.la_queues[qidx].front().is_some_and(Option::is_none) {
-                self.la_queues[qidx].pop_front();
-            }
-            self.la_q_live[qidx] -= 1;
-            if self.la_q_live[qidx] == 0 {
-                debug_assert!(self.la_queues[qidx].is_empty());
-                self.la_queue_work.remove(qidx);
-            }
             let key = (la.flow.index() as u32, la.qid);
             // Input reservation table: record the booked slot.
-            let pidx = self.idx(node, la.in_port as usize);
+            let pidx = node * PORTS + la.in_port as usize;
             let e = self.data_ports[pidx]
                 .expect
                 .get_mut(&key)
@@ -557,12 +457,8 @@ impl LoftNetwork {
             // local input port is fed by the NIC, which uses
             // actual-space flow control instead of a scheduler.
             if la.in_port as usize != LOCAL {
-                let dir = Direction::from_index(la.in_port as usize);
-                let upstream = topo
-                    .neighbor(NodeId::new(node as u32), dir)
-                    .expect("input port implies a neighbor");
-                let uidx = self.idx(upstream.index(), dir.opposite().index());
-                self.link_sched[uidx].return_credit(slot);
+                let (up, up_port) = self.link.upstream(node, la.in_port as usize);
+                self.link_sched[up * PORTS + up_port].return_credit(slot);
             }
             // Ejection booked: the look-ahead flit is consumed
             // and the flow's look-ahead window slot frees up.
@@ -570,19 +466,15 @@ impl LoftNetwork {
                 self.la_outstanding[la.flow.index()] -= 1;
                 continue;
             }
-            let dir = Direction::from_index(out_port);
-            let next = topo
-                .neighbor(NodeId::new(node as u32), dir)
-                .expect("route leads to a neighbor");
-            let nwidx = self.idx(next.index(), dir.opposite().index());
-            self.la_wires[nwidx].push_back((
+            let (next, in_port) = self.link.downstream(node, out_port);
+            self.la_wires.push(
+                next * PORTS + in_port,
                 now + la_hop,
                 LaFlit {
                     dep_slot: slot,
                     ..la
                 },
-            ));
-            self.la_wire_work.insert(nwidx);
+            );
         }
     }
 
@@ -590,26 +482,22 @@ impl LoftNetwork {
 
     /// Delivers data quanta whose link traversal finished.
     fn data_deliver(&mut self, slot: u64) {
-        let mut cursor = 0;
-        while let Some(widx) = self.data_wire_work.first_from(cursor) {
-            cursor = widx + 1;
-            while self.data_wires[widx]
-                .front()
-                .is_some_and(|w| w.avail_slot <= slot)
-            {
-                let w = self.data_wires[widx].pop_front().expect("checked front");
-                let key = (w.flow.index() as u32, w.qid);
-                let port = &mut self.data_ports[widx];
-                let prev = port.arrived.insert(key, Arrived { spec: w.spec });
-                debug_assert!(prev.is_none(), "quantum delivered twice");
-                port.mark_ready_if_complete(key);
-                self.node_data_work[widx / PORTS] += 1;
-                self.data_node_work.insert(widx / PORTS);
-            }
-            if self.data_wires[widx].is_empty() {
-                self.data_wire_work.remove(widx);
-            }
-        }
+        let Self {
+            data_wires,
+            data_ports,
+            node_data_work,
+            data_node_work,
+            ..
+        } = self;
+        data_wires.drain_due(slot, |widx, w| {
+            let key = (w.flow.index() as u32, w.qid);
+            let port = &mut data_ports[widx];
+            let prev = port.arrived.insert(key, Arrived { spec: w.spec });
+            debug_assert!(prev.is_none(), "quantum delivered twice");
+            port.mark_ready_if_complete(key);
+            node_data_work[widx / PORTS] += 1;
+            data_node_work.insert(widx / PORTS);
+        });
     }
 
     /// The NIC streams one staged quantum per slot into the router's
@@ -620,7 +508,7 @@ impl LoftNetwork {
         let mut cursor = 0;
         while let Some(node) = self.stage_work.first_from(cursor) {
             cursor = node + 1;
-            let ridx = self.idx(node, LOCAL);
+            let ridx = node * PORTS + LOCAL;
             if self.data_ports[ridx].nonspec_free == 0 {
                 continue;
             }
@@ -634,20 +522,19 @@ impl LoftNetwork {
             }
             self.data_ports[ridx].nonspec_free -= 1;
             let pid = self.quantum_meta[&key];
-            let packet = self
-                .inflight
-                .get_mut(&pid)
-                .expect("staged packet in flight");
+            let packet = self.tracker.packet_mut(pid);
             if packet.injected_at.is_none() {
                 packet.injected_at = Some(slot * self.cfg.flits_per_quantum as u64);
             }
-            self.data_wires[ridx].push_back(WireQuantum {
-                flow: FlowId::new(key.0),
-                qid: key.1,
-                spec: false,
-                avail_slot: slot + self.cfg.dep_offset(),
-            });
-            self.data_wire_work.insert(ridx);
+            self.data_wires.push(
+                ridx,
+                slot + self.cfg.dep_offset(),
+                DataQuantum {
+                    flow: FlowId::new(key.0),
+                    qid: key.1,
+                    spec: false,
+                },
+            );
         }
     }
 
@@ -666,52 +553,40 @@ impl LoftNetwork {
     }
 
     fn move_on_link(&mut self, node: usize, out_port: usize, slot: u64, out: &mut Vec<Packet>) {
-        let sched = &self.link_sched[self.idx(node, out_port)];
+        let sched = &self.link_sched[node * PORTS + out_port];
         // Emergent quantum: booked for this slot (or earlier — a
         // booking can run late when its buffer was transiently full).
         let emergent = sched
             .first_pending()
             .filter(|&(s, _)| s <= slot)
             .map(|(s, p)| (s, p.flow, p.qid, p.in_port));
-        let choice = if let Some((s, flow, qid, in_port)) = emergent {
-            let present = self.quantum_present(node, in_port, flow, qid);
-            if present {
-                Some((s, flow, qid, in_port))
-            } else if self.cfg.speculative_switching {
-                self.pick_speculative(node, out_port)
-            } else {
-                None
-            }
-        } else if self.cfg.speculative_switching {
-            self.pick_speculative(node, out_port)
-        } else {
-            None
+        let present = emergent.filter(|&(_, flow, qid, in_port)| {
+            self.data_ports[node * PORTS + in_port as usize]
+                .arrived
+                .contains_key(&(flow.index() as u32, qid))
+        });
+        let choice = match present {
+            Some(c) => Some(c),
+            None if self.cfg.speculative_switching => self.pick_speculative(node, out_port),
+            None => None,
         };
         let Some((dep, flow, qid, in_port)) = choice else {
             return;
         };
-        let fidx = self.idx(node, out_port);
-        self.forwarded[fidx] += 1;
+        self.forwarded[node * PORTS + out_port] += 1;
         self.forward(node, out_port, slot, dep, flow, qid, in_port, out);
-    }
-
-    fn quantum_present(&self, node: usize, in_port: u8, flow: FlowId, qid: u64) -> bool {
-        let key = (flow.index() as u32, qid);
-        self.data_ports[self.idx(node, in_port as usize)]
-            .arrived
-            .contains_key(&key)
     }
 
     /// Picks the speculative candidate: per input port the arrived
     /// quantum with the earliest booked slot, then round-robin across
     /// ports.
     fn pick_speculative(&mut self, node: usize, out_port: usize) -> Option<(u64, FlowId, u64, u8)> {
-        let lidx = self.idx(node, out_port);
+        let lidx = node * PORTS + out_port;
         let start = self.rr_spec[lidx];
         let mut best: Option<(u64, FlowId, u64, u8)> = None;
         for k in 0..PORTS {
             let p = (start + k) % PORTS;
-            let pidx = self.idx(node, p);
+            let pidx = node * PORTS + p;
             if let Some(&(dep, f, q)) = self.data_ports[pidx].ready[out_port].iter().next() {
                 if best.is_none() {
                     best = Some((dep, FlowId::new(f), q, p as u8));
@@ -736,9 +611,8 @@ impl LoftNetwork {
         in_port: u8,
         out: &mut Vec<Packet>,
     ) {
-        let topo = self.cfg.topo;
         let key = (flow.index() as u32, qid);
-        let lidx = self.idx(node, out_port);
+        let lidx = node * PORTS + out_port;
         let is_first = self.link_sched[lidx]
             .first_pending()
             .map(|(s, _)| s == dep)
@@ -747,12 +621,8 @@ impl LoftNetwork {
         let target = if out_port == LOCAL {
             None // ejection: the PE absorbs at link rate
         } else {
-            let dir = Direction::from_index(out_port);
-            let next = topo
-                .neighbor(NodeId::new(node as u32), dir)
-                .expect("route leads to a neighbor");
-            let ridx = self.idx(next.index(), dir.opposite().index());
-            Some((ridx, !is_first))
+            let (next, down_port) = self.link.downstream(node, out_port);
+            Some((next * PORTS + down_port, !is_first))
         };
         if let Some((ridx, spec)) = target {
             let port = &self.data_ports[ridx];
@@ -773,7 +643,7 @@ impl LoftNetwork {
         if self.node_data_work[node] == 0 {
             self.data_node_work.remove(node);
         }
-        let pidx = self.idx(node, in_port as usize);
+        let pidx = node * PORTS + in_port as usize;
         let port = &mut self.data_ports[pidx];
         let arr = port
             .arrived
@@ -797,13 +667,11 @@ impl LoftNetwork {
                 } else {
                     self.data_ports[ridx].nonspec_free -= 1;
                 }
-                self.data_wires[ridx].push_back(WireQuantum {
-                    flow,
-                    qid,
-                    spec,
-                    avail_slot: slot + self.cfg.dep_offset(),
-                });
-                self.data_wire_work.insert(ridx);
+                self.data_wires.push(
+                    ridx,
+                    slot + self.cfg.dep_offset(),
+                    DataQuantum { flow, qid, spec },
+                );
             }
         }
     }
@@ -813,16 +681,10 @@ impl LoftNetwork {
             .quantum_meta
             .remove(&key)
             .expect("ejected quantum has an owner");
-        let total = self.quanta_per_packet(self.inflight[&pid].len_flits) as u16;
-        let nic = &mut self.nics[node];
-        let seen = nic.eject_progress.entry(pid).or_insert(0);
-        *seen += 1;
-        if *seen == total {
-            nic.eject_progress.remove(&pid);
-            let mut packet = self.inflight.remove(&pid).expect("packet in flight");
-            let q = self.cfg.flits_per_quantum as u64;
-            packet.ejected_at = Some(slot * q + self.cfg.hop_latency + q - 1);
-            debug_assert_eq!(packet.dst.index(), node, "packet ejected at wrong node");
+        let total = self.quanta_per_packet(self.tracker.packet(pid).len_flits) as u16;
+        let q = self.cfg.flits_per_quantum as u64;
+        let ejected_at = slot * q + self.cfg.hop_latency + q - 1;
+        if let Some(packet) = self.tracker.on_piece(node, pid, total, ejected_at) {
             out.push(packet);
         }
     }
@@ -833,31 +695,10 @@ impl LoftNetwork {
     /// per cycle from [`Network::step`] under `debug_assertions`.
     #[cfg(debug_assertions)]
     fn debug_verify_worklists(&self) {
-        for i in 0..self.la_wires.len() {
-            debug_assert_eq!(
-                self.la_wire_work.contains(i),
-                !self.la_wires[i].is_empty(),
-                "la_wire_work out of sync at link {i}"
-            );
-            let live = self.la_queues[i].iter().filter(|e| e.is_some()).count();
-            debug_assert_eq!(
-                self.la_q_live[i] as usize, live,
-                "la_q_live miscounts queue {i}"
-            );
-            debug_assert_eq!(
-                self.la_queue_work.contains(i),
-                live > 0,
-                "la_queue_work out of sync at queue {i}"
-            );
-            debug_assert!(
-                self.la_queues[i].front().is_none_or(Option::is_some),
-                "dead prefix not drained in queue {i}"
-            );
-            debug_assert_eq!(
-                self.data_wire_work.contains(i),
-                !self.data_wires[i].is_empty(),
-                "data_wire_work out of sync at link {i}"
-            );
+        self.la_wires.debug_verify();
+        self.data_wires.debug_verify();
+        self.la_queues.debug_verify();
+        for i in 0..self.link_sched.len() {
             debug_assert_eq!(
                 self.stale_links.contains(i),
                 !self.link_sched[i].is_fresh(),
@@ -905,7 +746,6 @@ impl LoftNetwork {
     /// last reset) are candidates; `stale_links` tracks exactly
     /// those, so fully idle regions cost nothing here.
     fn reset_idle_links(&mut self) {
-        let topo = self.cfg.topo;
         let nonspec_cap = self.cfg.nonspec_quanta() as i64;
         let mut cursor = 0;
         while let Some(lidx) = self.stale_links.first_from(cursor) {
@@ -917,11 +757,9 @@ impl LoftNetwork {
             let downstream_empty = if port == LOCAL {
                 true // the PE sink drains at link rate
             } else {
-                let dir = Direction::from_index(port);
-                match topo.neighbor(NodeId::new(node as u32), dir) {
-                    Some(next) => {
-                        let ridx = self.idx(next.index(), dir.opposite().index());
-                        self.data_ports[ridx].nonspec_free == nonspec_cap
+                match self.link.try_downstream(node, port) {
+                    Some((next, in_port)) => {
+                        self.data_ports[next * PORTS + in_port].nonspec_free == nonspec_cap
                     }
                     None => true, // edge port: never used anyway
                 }
@@ -947,10 +785,9 @@ impl Network for LoftNetwork {
     fn enqueue(&mut self, packet: Packet) {
         assert!(packet.src != packet.dst, "self-addressed packet");
         let node = packet.src.index();
-        let pid = packet.id;
         let quanta = self.quanta_per_packet(packet.len_flits);
         let dst = packet.dst;
-        self.inflight.insert(pid, packet);
+        let pid = self.tracker.admit(packet);
         let nic = &mut self.nics[node];
         let fid = pid.flow.index() as u32;
         let q = nic.flow_q.entry(fid).or_insert_with(|| {
@@ -969,6 +806,7 @@ impl Network for LoftNetwork {
     fn step(&mut self, out: &mut Vec<Packet>) {
         #[cfg(debug_assertions)]
         self.debug_verify_worklists();
+        let delivered_before = out.len();
         let now = self.cycle;
         let q = self.cfg.flits_per_quantum as u64;
         if now.is_multiple_of(q) {
@@ -991,10 +829,11 @@ impl Network for LoftNetwork {
         self.la_schedule(now);
         self.la_launch(now);
         self.cycle = now + 1;
+        debug_assert_delivered_once(out, delivered_before);
     }
 
     fn in_flight(&self) -> usize {
-        self.inflight.len()
+        self.tracker.len()
     }
 }
 

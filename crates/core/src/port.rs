@@ -1,0 +1,101 @@
+//! The FRS data-plane input port: buffers plus the input reservation
+//! table (paper Section 4.2).
+//!
+//! Each router input port holds a **non-speculative** buffer (space
+//! guaranteed by the virtual-credit discipline of [`crate::lsf`]), a
+//! small **speculative** buffer for early out-of-order quanta, and the
+//! reservation table a look-ahead flit writes on arrival: which output
+//! port its data quantum will take ([`Expect`]) and — once booked —
+//! in which slot. A quantum becomes *ready* when it has physically
+//! arrived and its onward slot is booked; ready quanta are indexed per
+//! output port, ordered by booked slot, so the speculative arbiter can
+//! find the earliest candidate in O(log n).
+
+use std::collections::BTreeSet;
+
+use noc_sim::fabric::PORTS;
+use noc_sim::FxHashMap;
+
+/// A quantum's identity: `(flow, qid)`.
+pub(crate) type QKey = (u32, u64);
+
+/// Reservation-table entry written by a look-ahead flit on arrival.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Expect {
+    /// Output port the quantum will depart through.
+    pub out_port: u8,
+    /// Departure slot, once the look-ahead has booked one here.
+    pub dep_slot: Option<u64>,
+}
+
+/// A data quantum sitting in one of the port's buffers.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Arrived {
+    /// Whether it occupies the speculative buffer.
+    pub spec: bool,
+}
+
+/// Input-port state of a data router: buffers + input reservation
+/// table.
+#[derive(Debug)]
+pub(crate) struct DataPort {
+    /// Free slots in the non-speculative buffer.
+    pub nonspec_free: i64,
+    /// Free slots in the speculative buffer.
+    pub spec_free: i64,
+    /// Quanta physically present in the buffers.
+    pub arrived: FxHashMap<QKey, Arrived>,
+    /// The input reservation table.
+    pub expect: FxHashMap<QKey, Expect>,
+    /// Arrived quanta with a booked departure, per output port,
+    /// ordered by booked slot: `(dep_slot, flow, qid)`.
+    pub ready: Vec<BTreeSet<(u64, u32, u64)>>,
+}
+
+impl DataPort {
+    pub fn new(nonspec: i64, spec: i64) -> Self {
+        DataPort {
+            nonspec_free: nonspec,
+            spec_free: spec,
+            arrived: FxHashMap::default(),
+            expect: FxHashMap::default(),
+            ready: vec![BTreeSet::new(); PORTS],
+        }
+    }
+
+    /// Indexes the quantum as ready if it has both arrived and been
+    /// booked an onward slot.
+    pub fn mark_ready_if_complete(&mut self, key: QKey) {
+        if let (Some(e), true) = (self.expect.get(&key), self.arrived.contains_key(&key)) {
+            if let Some(dep) = e.dep_slot {
+                self.ready[e.out_port as usize].insert((dep, key.0, key.1));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ready_requires_arrival_and_booking() {
+        let mut p = DataPort::new(4, 2);
+        let key: QKey = (0, 7);
+        p.expect.insert(
+            key,
+            Expect {
+                out_port: 1,
+                dep_slot: None,
+            },
+        );
+        p.mark_ready_if_complete(key);
+        assert!(p.ready[1].is_empty(), "not arrived, not booked");
+        p.arrived.insert(key, Arrived { spec: false });
+        p.mark_ready_if_complete(key);
+        assert!(p.ready[1].is_empty(), "arrived but not booked");
+        p.expect.get_mut(&key).unwrap().dep_slot = Some(9);
+        p.mark_ready_if_complete(key);
+        assert_eq!(p.ready[1].iter().next(), Some(&(9, 0, 7)));
+    }
+}

@@ -45,6 +45,7 @@
 #![warn(missing_debug_implementations)]
 
 mod config;
+mod framing;
 mod network;
 
 pub use config::GsfConfig;

@@ -1,16 +1,20 @@
-//! The GSF network model.
+//! The GSF network model: a frame-priority policy over the shared VC
+//! fabric ([`noc_sim::fabric::VcFabric`]).
 //!
-//! Structurally this is a credit-based VC wormhole network (see
-//! `noc-wormhole`) with three GSF-specific changes:
+//! Structurally GSF is a credit-based VC wormhole network; the fabric
+//! owns that datapath, and this policy supplies the three GSF-specific
+//! changes:
 //!
 //! 1. **Source framing** — each packet is stamped with the earliest
-//!    active frame in which its flow still has quota; a flow whose
-//!    quota is exhausted in every active frame stalls at the source.
+//!    active frame in which its flow still has quota (see
+//!    [`crate::framing`]); a flow whose quota is exhausted in every
+//!    active frame stalls at the source.
 //! 2. **Frame-priority arbitration** — both VC allocation and switch
 //!    allocation prefer flits of older frames.
 //! 3. **Strict VC separation** — a virtual channel is reallocated
 //!    only after it has completely drained (credits fully returned),
-//!    so flits of different packets never share a VC. This models the
+//!    so flits of different packets never share a VC
+//!    ([`RouterPolicy::DRAIN_BEFORE_REUSE`]). This models the
 //!    flow-control inefficiency the paper's Figure 6 attributes to
 //!    GSF.
 //!
@@ -21,93 +25,188 @@
 
 use std::collections::{BTreeMap, VecDeque};
 
-use noc_sim::flit::{FlitKind, FlowId, NodeId, Packet, PacketId};
+use noc_sim::fabric::{
+    PolicyCtx, RouterPolicy, SwitchGrant, VcFabric, VcParams, VcRouter, LOCAL, PORTS,
+};
+use noc_sim::flit::{NodeId, Packet, PacketId};
 use noc_sim::routing::Direction;
-use noc_sim::{ActiveSet, FxHashMap, Network};
+use noc_sim::{FxHashMap, Network};
 
 use crate::config::GsfConfig;
+use crate::framing::Framing;
 
-const PORTS: usize = Direction::COUNT;
-const LOCAL: usize = 4;
-
-#[derive(Debug, Clone, Copy)]
-struct Flit {
-    id: PacketId,
-    dst: NodeId,
-    kind: FlitKind,
-    frame: u64,
-}
-
-#[derive(Debug, Default)]
-struct VcBuf {
-    q: VecDeque<Flit>,
-    route: Option<usize>,
-    out_vc: Option<usize>,
-}
-
-impl VcBuf {
-    fn frame(&self) -> Option<u64> {
-        self.q.front().map(|f| f.frame)
-    }
-}
-
+/// The GSF scheduling policy: frame-tagged source queues drained
+/// oldest frame first, frame-priority VC and switch allocation, strict
+/// VC separation.
 #[derive(Debug)]
-struct Router {
-    inputs: Vec<Vec<VcBuf>>,
-    /// Downstream VC ownership; `None` = free.
-    out_owner: Vec<Vec<Option<(usize, usize)>>>,
-    /// Tail already forwarded, VC still draining: not yet reusable.
-    out_draining: Vec<Vec<bool>>,
-    credits: Vec<Vec<u32>>,
-    rr_sa: [usize; PORTS],
+struct GsfPolicy {
+    framing: Framing,
+    /// Frame-tagged packets awaiting streaming, ordered by (frame,
+    /// arrival sequence) — GSF streams oldest frames first. Per node.
+    tagged: Vec<BTreeMap<(u64, u64), PacketId>>,
+    /// Packets that could not be tagged yet (every active frame's
+    /// quota exhausted), per node and flow, FIFO.
+    untagged: Vec<FxHashMap<u32, VecDeque<PacketId>>>,
+    /// Frame tag of every tagged, not-yet-fully-ejected packet.
+    packet_frame: FxHashMap<PacketId, u64>,
+    /// Arrival sequence counter for FIFO tie-breaks within a frame.
+    tag_seq: u64,
 }
 
-impl Router {
-    fn new(num_vcs: usize, vc_capacity: usize) -> Self {
-        Router {
-            inputs: (0..PORTS)
-                .map(|_| (0..num_vcs).map(|_| VcBuf::default()).collect())
-                .collect(),
-            out_owner: vec![vec![None; num_vcs]; PORTS],
-            out_draining: vec![vec![false; num_vcs]; PORTS],
-            credits: vec![vec![vc_capacity as u32; num_vcs]; PORTS],
-            rr_sa: [0; PORTS],
+impl GsfPolicy {
+    /// Tags a freshly enqueued or previously untagged packet with the
+    /// earliest active frame that has quota, charging the flow's
+    /// reservation and registering its flits as alive in that frame.
+    fn tag_packet(&mut self, pid: PacketId, ctx: &mut PolicyCtx<'_>) -> bool {
+        let (len, node) = {
+            let p = ctx.packets.packet(pid);
+            (p.len_flits, p.src.index())
+        };
+        let Some(frame) = self.framing.claim(pid.flow, len) else {
+            return false;
+        };
+        self.packet_frame.insert(pid, frame);
+        let seq = self.tag_seq;
+        self.tag_seq += 1;
+        self.tagged[node].insert((frame, seq), pid);
+        ctx.nic_work.insert(node);
+        true
+    }
+
+    /// After a window shift, untagged backlog may fit the fresh frame.
+    fn retag_backlog(&mut self, ctx: &mut PolicyCtx<'_>) {
+        for node in 0..self.untagged.len() {
+            let mut flows: Vec<u32> = self.untagged[node].keys().copied().collect();
+            // Hash-map key order is arbitrary; sort so the retag (and
+            // hence frame-tag sequence) order is deterministic.
+            flows.sort_unstable();
+            for fid in flows {
+                while let Some(&pid) = self.untagged[node].get(&fid).and_then(|q| q.front()) {
+                    if !self.tag_packet(pid, ctx) {
+                        break;
+                    }
+                    let q = self.untagged[node].get_mut(&fid).expect("queue exists");
+                    q.pop_front();
+                    if q.is_empty() {
+                        self.untagged[node].remove(&fid);
+                    }
+                }
+            }
         }
     }
 }
 
-/// Per-flow GSF injection state (quota tracking).
-#[derive(Debug, Clone)]
-struct FlowInj {
-    reservation: u32,
-    inject_frame: u64,
-    remaining: u32,
-}
+impl RouterPolicy for GsfPolicy {
+    type Tag = u64;
+    const DRAIN_BEFORE_REUSE: bool = true;
 
-#[derive(Debug)]
-struct Nic {
-    /// Frame-tagged packets awaiting streaming, ordered by (frame,
-    /// arrival sequence) — GSF streams oldest frames first.
-    tagged: BTreeMap<(u64, u64), PacketId>,
-    /// Packets that could not be tagged yet (every active frame's
-    /// quota exhausted), per flow, FIFO.
-    untagged: FxHashMap<u32, VecDeque<PacketId>>,
-    current: Option<Streaming>,
-    credits: Vec<u32>,
-    owned: Vec<bool>,
-    draining: Vec<bool>,
-    rr: usize,
-    eject_progress: FxHashMap<PacketId, u16>,
-}
+    fn pre_inject(&mut self, now: u64, ctx: &mut PolicyCtx<'_>) {
+        if self.framing.recycle(now) {
+            self.retag_backlog(ctx);
+        }
+    }
 
-#[derive(Debug)]
-struct Streaming {
-    id: PacketId,
-    dst: NodeId,
-    len: u16,
-    pos: u16,
-    vc: usize,
-    frame: u64,
+    fn on_enqueue(&mut self, node: usize, id: PacketId, ctx: &mut PolicyCtx<'_>) {
+        assert!(
+            id.flow.index() < self.framing.num_flows(),
+            "packet flow id outside configured reservations"
+        );
+        // GSF tags packets with frames as they enter the source
+        // queue, consuming the flow's quota up-front; packets that
+        // find every active frame exhausted wait untagged.
+        let fid = id.flow.index() as u32;
+        // Empty per-flow queues are removed eagerly, so presence in
+        // the map means a packet of this flow is already parked.
+        if self.untagged[node].contains_key(&fid) || !self.tag_packet(id, ctx) {
+            self.untagged[node].entry(fid).or_default().push_back(id);
+        }
+    }
+
+    fn peek_source(&self, node: usize) -> Option<PacketId> {
+        self.tagged[node].values().next().copied()
+    }
+
+    fn pop_source(&mut self, node: usize) -> (PacketId, u64) {
+        let ((frame, _), pid) = self.tagged[node].pop_first().expect("peeked source packet");
+        (pid, frame)
+    }
+
+    fn source_idle(&self, node: usize) -> bool {
+        self.tagged[node].is_empty()
+    }
+
+    /// VC allocation with frame priority: per output port, requests
+    /// are served oldest frame first.
+    fn vc_allocate(&mut self, router: &mut VcRouter<u64>, num_vcs: usize) {
+        for out in 0..PORTS {
+            let mut requests: Vec<(u64, usize, usize)> = Vec::new();
+            for in_port in 0..PORTS {
+                for in_vc in 0..num_vcs {
+                    let buf = &router.inputs[in_port][in_vc];
+                    if buf.out_vc.is_none()
+                        && buf.route == Some(out)
+                        && buf.q.front().is_some_and(|f| f.kind.is_head())
+                    {
+                        requests.push((buf.head_tag().expect("nonempty"), in_port, in_vc));
+                    }
+                }
+            }
+            requests.sort_unstable();
+            let mut free: VecDeque<usize> = (0..num_vcs)
+                .filter(|&v| router.out_owner[out][v].is_none())
+                .collect();
+            for (_, in_port, in_vc) in requests {
+                let Some(v) = free.pop_front() else { break };
+                router.out_owner[out][v] = Some((in_port, in_vc));
+                router.inputs[in_port][in_vc].out_vc = Some(v);
+            }
+        }
+    }
+
+    /// Switch allocation with frame priority: the oldest-frame
+    /// candidate wins, round-robin order breaking ties.
+    fn pick_winner(
+        &self,
+        router: &VcRouter<u64>,
+        out_port: usize,
+        num_vcs: usize,
+    ) -> Option<SwitchGrant> {
+        let start = router.rr_sa[out_port];
+        let mut winner: Option<(u64, SwitchGrant)> = None;
+        for k in 0..PORTS * num_vcs {
+            let slot = (start + k) % (PORTS * num_vcs);
+            let (p, v) = (slot / num_vcs, slot % num_vcs);
+            let buf = &router.inputs[p][v];
+            if buf.route != Some(out_port) || buf.q.is_empty() {
+                continue;
+            }
+            let Some(ov) = buf.out_vc else { continue };
+            if out_port != LOCAL && router.credits[out_port][ov] == 0 {
+                continue;
+            }
+            let frame = buf.head_tag().expect("nonempty");
+            if winner.as_ref().is_none_or(|&(wf, _)| frame < wf) {
+                winner = Some((
+                    frame,
+                    SwitchGrant {
+                        in_port: p,
+                        in_vc: v,
+                        out_vc: ov,
+                        slot,
+                    },
+                ));
+            }
+        }
+        winner.map(|(_, grant)| grant)
+    }
+
+    fn on_eject_flit(&mut self, flit: &noc_sim::fabric::VcFlit<u64>) {
+        self.framing.on_flit_ejected(flit.tag);
+    }
+
+    fn on_eject_packet(&mut self, id: PacketId) {
+        self.packet_frame.remove(&id);
+    }
 }
 
 /// The Globally-Synchronized Frames network.
@@ -119,36 +218,7 @@ struct Streaming {
 #[derive(Debug)]
 pub struct GsfNetwork {
     cfg: GsfConfig,
-    cycle: u64,
-    routers: Vec<Router>,
-    nics: Vec<Nic>,
-    flows: Vec<FlowInj>,
-    wires: Vec<VecDeque<(u64, usize, Flit)>>,
-    credit_events: VecDeque<(u64, usize, usize, usize)>,
-    inflight: FxHashMap<PacketId, Packet>,
-    /// Frame tag of every tagged, not-yet-fully-ejected packet.
-    packet_frame: FxHashMap<PacketId, u64>,
-    /// Flits alive (tagged and not yet ejected) per frame. The head
-    /// frame can only be recycled once this reaches zero — including
-    /// flits still waiting in source queues, which is what couples
-    /// the whole network to its slowest region.
-    frame_alive: FxHashMap<u64, u32>,
-    /// Arrival sequence counter for FIFO tie-breaks within a frame.
-    tag_seq: u64,
-    head_frame: u64,
-    barrier_due: Option<u64>,
-    /// Number of completed window shifts (for tests/diagnostics).
-    recycles: u64,
-    /// Flits forwarded per output link, index `node * 5 + port`.
-    forwarded: Vec<u64>,
-    /// Wires with queued flits, index `node * 5 + port`.
-    wire_work: ActiveSet,
-    /// NICs with a packet streaming or tagged backlog.
-    nic_work: ActiveSet,
-    /// Routers with at least one buffered input flit.
-    router_work: ActiveSet,
-    /// Buffered input flits per router (maintains `router_work`).
-    buffered: Vec<u32>,
+    fabric: VcFabric<GsfPolicy>,
 }
 
 impl GsfNetwork {
@@ -160,51 +230,29 @@ impl GsfNetwork {
     /// Panics if any reservation is zero or exceeds the frame size.
     pub fn new(cfg: GsfConfig, reservations: &[u32]) -> Self {
         let n = cfg.topo.num_nodes();
-        let flows = reservations
-            .iter()
-            .map(|&r| {
-                assert!(r > 0, "reservations must be positive");
-                assert!(r <= cfg.frame_size, "reservation exceeds frame size");
-                FlowInj {
-                    reservation: r,
-                    inject_frame: 0,
-                    remaining: r,
-                }
-            })
-            .collect();
-        GsfNetwork {
-            routers: (0..n)
-                .map(|_| Router::new(cfg.num_vcs, cfg.vc_capacity))
-                .collect(),
-            nics: (0..n)
-                .map(|_| Nic {
-                    tagged: BTreeMap::new(),
-                    untagged: FxHashMap::default(),
-                    current: None,
-                    credits: vec![cfg.vc_capacity as u32; cfg.num_vcs],
-                    owned: vec![false; cfg.num_vcs],
-                    draining: vec![false; cfg.num_vcs],
-                    rr: 0,
-                    eject_progress: FxHashMap::default(),
-                })
-                .collect(),
-            flows,
-            wires: vec![VecDeque::new(); n * PORTS],
-            credit_events: VecDeque::new(),
-            inflight: FxHashMap::default(),
+        let params = VcParams {
+            topo: cfg.topo,
+            routing: cfg.routing,
+            num_vcs: cfg.num_vcs,
+            vc_capacity: cfg.vc_capacity,
+            hop_latency: cfg.hop_latency,
+            credit_delay: cfg.credit_delay,
+        };
+        let policy = GsfPolicy {
+            framing: Framing::new(
+                reservations,
+                cfg.frame_size,
+                cfg.frame_window,
+                cfg.barrier_delay,
+            ),
+            tagged: vec![BTreeMap::new(); n],
+            untagged: vec![FxHashMap::default(); n],
             packet_frame: FxHashMap::default(),
-            frame_alive: FxHashMap::default(),
             tag_seq: 0,
-            head_frame: 0,
-            barrier_due: None,
-            recycles: 0,
-            forwarded: vec![0; n * PORTS],
-            wire_work: ActiveSet::new(n * PORTS),
-            nic_work: ActiveSet::new(n),
-            router_work: ActiveSet::new(n),
-            buffered: vec![0; n],
-            cycle: 0,
+        };
+        GsfNetwork {
             cfg,
+            fabric: VcFabric::new(params, policy),
         }
     }
 
@@ -215,492 +263,40 @@ impl GsfNetwork {
 
     /// Current head (oldest active) frame number.
     pub fn head_frame(&self) -> u64 {
-        self.head_frame
+        self.fabric.policy().framing.head_frame()
     }
 
     /// Completed global window shifts so far.
     pub fn recycles(&self) -> u64 {
-        self.recycles
+        self.fabric.policy().framing.recycles()
     }
 
     /// Flits forwarded so far on the output link `(node, dir)` —
     /// divide by elapsed cycles for the link utilization.
     pub fn link_flits(&self, node: NodeId, dir: Direction) -> u64 {
-        self.forwarded[node.index() * PORTS + dir.index()]
-    }
-
-    fn deliver_arrivals(&mut self, now: u64) {
-        let mut cursor = 0;
-        while let Some(widx) = self.wire_work.first_from(cursor) {
-            cursor = widx + 1;
-            let node = widx / PORTS;
-            let port = widx % PORTS;
-            let wire = &mut self.wires[widx];
-            while wire.front().is_some_and(|&(t, _, _)| t <= now) {
-                let (_, vc, flit) = wire.pop_front().expect("checked front");
-                let buf = &mut self.routers[node].inputs[port][vc];
-                debug_assert!(
-                    buf.q.len() < self.cfg.vc_capacity,
-                    "credit protocol violated: buffer overflow"
-                );
-                debug_assert!(
-                    buf.q.iter().all(|f| f.id == flit.id) || buf.q.is_empty(),
-                    "GSF forbids mixing packets in one VC"
-                );
-                buf.q.push_back(flit);
-                self.buffered[node] += 1;
-                self.router_work.insert(node);
-            }
-            if wire.is_empty() {
-                self.wire_work.remove(widx);
-            }
-        }
-    }
-
-    fn apply_credits(&mut self, now: u64) {
-        while self.credit_events.front().is_some_and(|&(t, ..)| t <= now) {
-            let (_, node, port, vc) = self.credit_events.pop_front().expect("checked front");
-            if port == LOCAL {
-                self.nics[node].credits[vc] += 1;
-                if self.nics[node].draining[vc]
-                    && self.nics[node].credits[vc] == self.cfg.vc_capacity as u32
-                {
-                    self.nics[node].draining[vc] = false;
-                    self.nics[node].owned[vc] = false;
-                }
-            } else {
-                let r = &mut self.routers[node];
-                r.credits[port][vc] += 1;
-                if r.out_draining[port][vc] && r.credits[port][vc] == self.cfg.vc_capacity as u32 {
-                    r.out_draining[port][vc] = false;
-                    r.out_owner[port][vc] = None;
-                }
-            }
-        }
-    }
-
-    /// Picks the frame for the next packet of `flow`, consuming quota.
-    /// Returns `None` when every active frame is exhausted (stall).
-    fn claim_frame(&mut self, flow: FlowId, len: u16) -> Option<u64> {
-        let head = self.head_frame;
-        let window = self.cfg.frame_window as u64;
-        // While the barrier is in flight the head frame is closed.
-        let earliest = if self.barrier_due.is_some() {
-            head + 1
-        } else {
-            head
-        };
-        let st = &mut self.flows[flow.index()];
-        if st.inject_frame < earliest {
-            st.inject_frame = earliest;
-            st.remaining = st.reservation;
-        }
-        loop {
-            // A reservation smaller than one packet would deadlock the
-            // flow; allow a full-quota frame to emit one packet anyway.
-            let fits = st.remaining >= len as u32
-                || (st.remaining == st.reservation && st.reservation < len as u32);
-            if fits {
-                st.remaining = st.remaining.saturating_sub(len as u32);
-                return Some(st.inject_frame);
-            }
-            if st.inject_frame + 1 < head + window {
-                st.inject_frame += 1;
-                st.remaining = st.reservation;
-            } else {
-                return None;
-            }
-        }
-    }
-
-    /// Tags a freshly enqueued or previously untagged packet with the
-    /// earliest active frame that has quota, charging the flow's
-    /// reservation and registering its flits as alive in that frame.
-    fn tag_packet(&mut self, pid: PacketId) -> bool {
-        let (len, node) = {
-            let p = &self.inflight[&pid];
-            (p.len_flits, p.src.index())
-        };
-        let Some(frame) = self.claim_frame(pid.flow, len) else {
-            return false;
-        };
-        self.packet_frame.insert(pid, frame);
-        *self.frame_alive.entry(frame).or_insert(0) += len as u32;
-        let seq = self.tag_seq;
-        self.tag_seq += 1;
-        self.nics[node].tagged.insert((frame, seq), pid);
-        self.nic_work.insert(node);
-        true
-    }
-
-    /// After a window shift, untagged backlog may fit the fresh frame.
-    fn retag_backlog(&mut self) {
-        for node in 0..self.nics.len() {
-            let mut flows: Vec<u32> = self.nics[node].untagged.keys().copied().collect();
-            // Hash-map key order is arbitrary; sort so the retag (and
-            // hence frame-tag sequence) order is deterministic.
-            flows.sort_unstable();
-            for fid in flows {
-                while let Some(&pid) = self.nics[node].untagged.get(&fid).and_then(|q| q.front()) {
-                    if !self.tag_packet(pid) {
-                        break;
-                    }
-                    let q = self.nics[node]
-                        .untagged
-                        .get_mut(&fid)
-                        .expect("queue exists");
-                    q.pop_front();
-                    if q.is_empty() {
-                        self.nics[node].untagged.remove(&fid);
-                    }
-                }
-            }
-        }
-    }
-
-    fn nic_inject(&mut self, now: u64) {
-        let mut cursor = 0;
-        while let Some(node) = self.nic_work.first_from(cursor) {
-            cursor = node + 1;
-            if self.nics[node].current.is_none() {
-                let nic = &self.nics[node];
-                if let Some((&(frame, seq), &pid)) = nic.tagged.iter().next() {
-                    let vc = (0..self.cfg.num_vcs)
-                        .map(|k| (nic.rr + k) % self.cfg.num_vcs)
-                        .find(|&v| !nic.owned[v]);
-                    if let Some(vc) = vc {
-                        let (dst, len) = {
-                            let p = &self.inflight[&pid];
-                            (p.dst, p.len_flits)
-                        };
-                        let nic = &mut self.nics[node];
-                        nic.tagged.remove(&(frame, seq));
-                        nic.owned[vc] = true;
-                        nic.rr = (vc + 1) % self.cfg.num_vcs;
-                        nic.current = Some(Streaming {
-                            id: pid,
-                            dst,
-                            len,
-                            pos: 0,
-                            vc,
-                            frame,
-                        });
-                    }
-                }
-            }
-            let nic = &mut self.nics[node];
-            if let Some(cur) = &mut nic.current {
-                if nic.credits[cur.vc] > 0 {
-                    let kind = FlitKind::for_position(cur.pos, cur.len);
-                    let flit = Flit {
-                        id: cur.id,
-                        dst: cur.dst,
-                        kind,
-                        frame: cur.frame,
-                    };
-                    nic.credits[cur.vc] -= 1;
-                    if cur.pos == 0 {
-                        self.inflight
-                            .get_mut(&cur.id)
-                            .expect("streaming packet is in flight")
-                            .injected_at = Some(now);
-                    }
-                    cur.pos += 1;
-                    let vc = cur.vc;
-                    let done = cur.pos == cur.len;
-                    if done {
-                        nic.draining[vc] = true;
-                        nic.current = None;
-                    }
-                    self.routers[node].inputs[LOCAL][vc].q.push_back(flit);
-                    self.buffered[node] += 1;
-                    self.router_work.insert(node);
-                }
-            }
-            let nic = &self.nics[node];
-            if nic.current.is_none() && nic.tagged.is_empty() {
-                self.nic_work.remove(node);
-            }
-        }
-    }
-
-    fn route_compute(&mut self) {
-        let topo = self.cfg.topo;
-        let routing = self.cfg.routing;
-        let mut cursor = 0;
-        while let Some(node) = self.router_work.first_from(cursor) {
-            cursor = node + 1;
-            let router = &mut self.routers[node];
-            for port in router.inputs.iter_mut() {
-                for buf in port.iter_mut() {
-                    if buf.route.is_none() {
-                        if let Some(front) = buf.q.front() {
-                            if front.kind.is_head() {
-                                let dir =
-                                    routing.next_hop(&topo, NodeId::new(node as u32), front.dst);
-                                buf.route = Some(dir.index());
-                            }
-                        }
-                    }
-                }
-            }
-        }
-    }
-
-    /// VC allocation with frame priority: per output port, requests
-    /// are served oldest frame first.
-    fn vc_allocate(&mut self) {
-        let num_vcs = self.cfg.num_vcs;
-        let mut cursor = 0;
-        while let Some(node) = self.router_work.first_from(cursor) {
-            cursor = node + 1;
-            let router = &mut self.routers[node];
-            for out in 0..PORTS {
-                let mut requests: Vec<(u64, usize, usize)> = Vec::new();
-                for in_port in 0..PORTS {
-                    for in_vc in 0..num_vcs {
-                        let buf = &router.inputs[in_port][in_vc];
-                        if buf.out_vc.is_none()
-                            && buf.route == Some(out)
-                            && buf.q.front().is_some_and(|f| f.kind.is_head())
-                        {
-                            requests.push((buf.frame().expect("nonempty"), in_port, in_vc));
-                        }
-                    }
-                }
-                requests.sort_unstable();
-                let mut free: VecDeque<usize> = (0..num_vcs)
-                    .filter(|&v| router.out_owner[out][v].is_none())
-                    .collect();
-                for (_, in_port, in_vc) in requests {
-                    let Some(v) = free.pop_front() else { break };
-                    router.out_owner[out][v] = Some((in_port, in_vc));
-                    router.inputs[in_port][in_vc].out_vc = Some(v);
-                }
-            }
-        }
-    }
-
-    /// Switch allocation with frame priority, then traversal.
-    fn switch_traverse(&mut self, now: u64, out: &mut Vec<Packet>) {
-        let num_vcs = self.cfg.num_vcs;
-        let topo = self.cfg.topo;
-        let mut cursor = 0;
-        while let Some(node) = self.router_work.first_from(cursor) {
-            cursor = node + 1;
-            for out_port in 0..PORTS {
-                let router = &self.routers[node];
-                let start = router.rr_sa[out_port];
-                let mut winner: Option<(u64, usize, usize, usize, usize)> = None;
-                for k in 0..PORTS * num_vcs {
-                    let slot = (start + k) % (PORTS * num_vcs);
-                    let (p, v) = (slot / num_vcs, slot % num_vcs);
-                    let buf = &router.inputs[p][v];
-                    if buf.route != Some(out_port) || buf.q.is_empty() {
-                        continue;
-                    }
-                    let Some(ov) = buf.out_vc else { continue };
-                    if out_port != LOCAL && router.credits[out_port][ov] == 0 {
-                        continue;
-                    }
-                    let frame = buf.frame().expect("nonempty");
-                    let better = match winner {
-                        None => true,
-                        Some((wf, ..)) => frame < wf,
-                    };
-                    if better {
-                        winner = Some((frame, p, v, ov, slot));
-                    }
-                }
-                let Some((_, p, v, ov, slot)) = winner else {
-                    continue;
-                };
-                self.forwarded[node * PORTS + out_port] += 1;
-                let router = &mut self.routers[node];
-                router.rr_sa[out_port] = (slot + 1) % (PORTS * num_vcs);
-                let flit = router.inputs[p][v]
-                    .q
-                    .pop_front()
-                    .expect("winner has a flit");
-                self.buffered[node] -= 1;
-                if self.buffered[node] == 0 {
-                    self.router_work.remove(node);
-                }
-                if flit.kind.is_tail() {
-                    if out_port == LOCAL {
-                        // Ejected flits leave no downstream buffer to
-                        // drain; release the ejection VC immediately.
-                        router.out_owner[out_port][ov] = None;
-                    } else {
-                        // GSF: the downstream VC stays owned until
-                        // drained (credits fully returned).
-                        router.out_draining[out_port][ov] = true;
-                    }
-                    router.inputs[p][v].route = None;
-                    router.inputs[p][v].out_vc = None;
-                }
-                if out_port != LOCAL {
-                    router.credits[out_port][ov] -= 1;
-                }
-                if p == LOCAL {
-                    self.credit_events
-                        .push_back((now + self.cfg.credit_delay, node, LOCAL, v));
-                } else {
-                    let dir = Direction::from_index(p);
-                    let upstream = topo
-                        .neighbor(NodeId::new(node as u32), dir)
-                        .expect("input port implies a neighbor");
-                    self.credit_events.push_back((
-                        now + self.cfg.credit_delay,
-                        upstream.index(),
-                        dir.opposite().index(),
-                        v,
-                    ));
-                }
-                if out_port == LOCAL {
-                    self.eject(node, flit, now, out);
-                } else {
-                    let dir = Direction::from_index(out_port);
-                    let next = topo
-                        .neighbor(NodeId::new(node as u32), dir)
-                        .expect("route leads to a neighbor");
-                    let in_port = dir.opposite().index();
-                    let widx = next.index() * PORTS + in_port;
-                    self.wires[widx].push_back((now + self.cfg.hop_latency, ov, flit));
-                    self.wire_work.insert(widx);
-                }
-            }
-        }
-    }
-
-    /// Full-scan cross-check of every worklist invariant (debug
-    /// builds only): the active sets must contain exactly the indices
-    /// a naive scan would find work at.
-    #[cfg(debug_assertions)]
-    fn debug_verify_worklists(&self) {
-        for (i, wire) in self.wires.iter().enumerate() {
-            debug_assert_eq!(
-                self.wire_work.contains(i),
-                !wire.is_empty(),
-                "wire_work[{i}]"
-            );
-        }
-        for (n, nic) in self.nics.iter().enumerate() {
-            let active = nic.current.is_some() || !nic.tagged.is_empty();
-            debug_assert_eq!(self.nic_work.contains(n), active, "nic_work[{n}]");
-        }
-        for (n, router) in self.routers.iter().enumerate() {
-            let count: u32 = router
-                .inputs
-                .iter()
-                .flat_map(|port| port.iter().map(|buf| buf.q.len() as u32))
-                .sum();
-            debug_assert_eq!(self.buffered[n], count, "buffered[{n}]");
-            debug_assert_eq!(self.router_work.contains(n), count > 0, "router_work[{n}]");
-        }
-    }
-
-    fn eject(&mut self, node: usize, flit: Flit, now: u64, out: &mut Vec<Packet>) {
-        let count = self
-            .frame_alive
-            .get_mut(&flit.frame)
-            .expect("ejected flit was counted");
-        *count -= 1;
-        if *count == 0 {
-            self.frame_alive.remove(&flit.frame);
-        }
-        let nic = &mut self.nics[node];
-        let seen = nic.eject_progress.entry(flit.id).or_insert(0);
-        *seen += 1;
-        let total = self.inflight[&flit.id].len_flits;
-        if *seen == total {
-            nic.eject_progress.remove(&flit.id);
-            let mut packet = self
-                .inflight
-                .remove(&flit.id)
-                .expect("ejecting packet is in flight");
-            self.packet_frame.remove(&flit.id);
-            packet.ejected_at = Some(now);
-            debug_assert_eq!(packet.dst.index(), node, "packet ejected at wrong node");
-            out.push(packet);
-        }
-    }
-
-    /// Barrier-based global frame recycling. The head frame retires
-    /// only when **no flit tagged with it remains anywhere** — in
-    /// routers *or in source queues*. This is the global coupling the
-    /// LOFT paper criticizes: one congested region holds the window
-    /// for every node.
-    fn recycle_frames(&mut self, now: u64) {
-        match self.barrier_due {
-            Some(due) => {
-                if now >= due {
-                    self.head_frame += 1;
-                    self.recycles += 1;
-                    self.barrier_due = None;
-                    self.retag_backlog();
-                }
-            }
-            None => {
-                let head_empty = !self.frame_alive.contains_key(&self.head_frame);
-                if head_empty {
-                    self.barrier_due = Some(now + self.cfg.barrier_delay);
-                }
-            }
-        }
+        self.fabric.link_flits(node, dir)
     }
 }
 
 impl Network for GsfNetwork {
     fn num_nodes(&self) -> usize {
-        self.routers.len()
+        self.fabric.num_nodes()
     }
 
     fn cycle(&self) -> u64 {
-        self.cycle
+        self.fabric.cycle()
     }
 
     fn enqueue(&mut self, packet: Packet) {
-        assert!(
-            packet.id.flow.index() < self.flows.len(),
-            "packet flow id outside configured reservations"
-        );
-        let node = packet.src.index();
-        let id = packet.id;
-        self.inflight.insert(id, packet);
-        // GSF tags packets with frames as they enter the source
-        // queue, consuming the flow's quota up-front; packets that
-        // find every active frame exhausted wait untagged.
-        let fid = id.flow.index() as u32;
-        let has_untagged = self.nics[node]
-            .untagged
-            .get(&fid)
-            .is_some_and(|q| !q.is_empty());
-        if has_untagged || !self.tag_packet(id) {
-            self.nics[node]
-                .untagged
-                .entry(fid)
-                .or_default()
-                .push_back(id);
-        }
+        self.fabric.enqueue(packet);
     }
 
     fn step(&mut self, out: &mut Vec<Packet>) {
-        #[cfg(debug_assertions)]
-        self.debug_verify_worklists();
-        let now = self.cycle;
-        self.deliver_arrivals(now);
-        self.apply_credits(now);
-        self.recycle_frames(now);
-        self.nic_inject(now);
-        self.route_compute();
-        self.vc_allocate();
-        self.switch_traverse(now, out);
-        self.cycle = now + 1;
+        self.fabric.step(out);
     }
 
     fn in_flight(&self) -> usize {
-        self.inflight.len()
+        self.fabric.in_flight()
     }
 }
 
@@ -795,8 +391,8 @@ mod tests {
 
     #[test]
     fn no_vc_sharing_between_packets() {
-        // The debug_assert in deliver_arrivals checks the invariant;
-        // run a congested workload to exercise it.
+        // The debug_assert in the fabric's arrival path checks the
+        // invariant; run a congested workload to exercise it.
         let mut net = GsfNetwork::new(GsfConfig::default(), &[500, 500, 500]);
         for seq in 0..50 {
             net.enqueue(packet(0, seq, 0, 63, 0));

@@ -1,0 +1,154 @@
+//! In-flight packet ownership and ejection accounting.
+
+use crate::flit::{Packet, PacketId};
+use crate::fxhash::FxHashMap;
+
+/// Owns every packet currently inside a network (source queue to last
+/// ejected piece) and the per-node ejection progress counters.
+///
+/// Networks move flits or quanta; this tracker reassembles them into
+/// delivered packets. A packet is handed back exactly once, by the
+/// [`EjectTracker::on_piece`] call that delivers its final piece —
+/// the fabric-level delivered-once invariant
+/// ([`super::debug_assert_delivered_once`] cross-checks it per step).
+#[derive(Debug, Clone)]
+pub struct EjectTracker {
+    inflight: FxHashMap<PacketId, Packet>,
+    /// Pieces (flits or quanta) received per partially ejected
+    /// packet, per destination node.
+    progress: Vec<FxHashMap<PacketId, u16>>,
+}
+
+impl EjectTracker {
+    /// An empty tracker for `num_nodes` destinations.
+    #[must_use]
+    pub fn new(num_nodes: usize) -> Self {
+        EjectTracker {
+            inflight: FxHashMap::default(),
+            progress: (0..num_nodes).map(|_| FxHashMap::default()).collect(),
+        }
+    }
+
+    /// Takes ownership of a packet entering the network; returns its
+    /// id for subsequent lookups.
+    pub fn admit(&mut self, packet: Packet) -> PacketId {
+        let id = packet.id;
+        self.inflight.insert(id, packet);
+        id
+    }
+
+    /// The in-flight packet with this id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the packet is not in flight.
+    #[inline]
+    #[must_use]
+    pub fn packet(&self, id: PacketId) -> &Packet {
+        &self.inflight[&id]
+    }
+
+    /// Mutable access to an in-flight packet (timestamp stamping).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the packet is not in flight.
+    #[inline]
+    pub fn packet_mut(&mut self, id: PacketId) -> &mut Packet {
+        self.inflight.get_mut(&id).expect("packet is in flight")
+    }
+
+    /// Number of packets in flight.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.inflight.len()
+    }
+
+    /// Whether no packet is in flight.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.inflight.is_empty()
+    }
+
+    /// Records one ejected piece of `id` at `node`. On the piece that
+    /// completes the packet (`total` pieces seen), removes it from
+    /// flight, stamps `ejected_at`, and returns it — exactly once per
+    /// packet.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the packet is not in flight when it completes.
+    pub fn on_piece(
+        &mut self,
+        node: usize,
+        id: PacketId,
+        total: u16,
+        ejected_at: u64,
+    ) -> Option<Packet> {
+        let seen = self.progress[node].entry(id).or_insert(0);
+        *seen += 1;
+        if *seen != total {
+            return None;
+        }
+        self.progress[node].remove(&id);
+        let mut packet = self
+            .inflight
+            .remove(&id)
+            .expect("ejecting packet is in flight");
+        packet.ejected_at = Some(ejected_at);
+        debug_assert_eq!(packet.dst.index(), node, "packet ejected at wrong node");
+        Some(packet)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flit::{FlowId, NodeId};
+
+    fn packet(seq: u64, dst: u32) -> Packet {
+        Packet::new(
+            PacketId {
+                flow: FlowId::new(0),
+                seq,
+            },
+            NodeId::new(0),
+            NodeId::new(dst),
+            4,
+            0,
+        )
+    }
+
+    #[test]
+    fn completes_exactly_once_after_all_pieces() {
+        let mut t = EjectTracker::new(4);
+        let id = t.admit(packet(0, 3));
+        assert_eq!(t.len(), 1);
+        assert!(t.on_piece(3, id, 4, 10).is_none());
+        assert!(t.on_piece(3, id, 4, 11).is_none());
+        assert!(t.on_piece(3, id, 4, 12).is_none());
+        let done = t.on_piece(3, id, 4, 13).expect("fourth piece completes");
+        assert_eq!(done.ejected_at, Some(13));
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn progress_is_per_destination() {
+        let mut t = EjectTracker::new(4);
+        let a = t.admit(packet(0, 1));
+        let b = t.admit(packet(1, 2));
+        assert!(t.on_piece(1, a, 2, 5).is_none());
+        assert!(t.on_piece(2, b, 2, 5).is_none());
+        assert!(t.on_piece(1, a, 2, 6).is_some());
+        assert!(t.on_piece(2, b, 2, 6).is_some());
+    }
+
+    #[test]
+    fn timestamps_reach_the_delivered_packet() {
+        let mut t = EjectTracker::new(2);
+        let id = t.admit(packet(0, 1));
+        t.packet_mut(id).injected_at = Some(3);
+        let done = t.on_piece(1, id, 1, 9).unwrap();
+        assert_eq!(done.network_latency(), Some(6));
+    }
+}

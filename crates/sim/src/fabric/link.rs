@@ -1,0 +1,147 @@
+//! Topology/routing wiring into the flat link index space.
+
+use crate::flit::NodeId;
+use crate::routing::{Direction, Routing};
+use crate::topology::Topology;
+
+use super::PORTS;
+
+/// Resolves the `node × port` link index space of a topology plus a
+/// routing function: output-port selection for a destination, and the
+/// upstream/downstream neighbor of any port.
+///
+/// Every per-link array in the fabric (wires, schedulers, buffers,
+/// counters) is indexed `node * PORTS + port`; `LinkMap` is the one
+/// place that math and the neighbor resolution live. Works on any
+/// [`Topology`] — mesh, torus, or ring.
+#[derive(Debug, Clone, Copy)]
+pub struct LinkMap {
+    topo: Topology,
+    routing: Routing,
+}
+
+impl LinkMap {
+    /// Wires up `topo` with `routing`.
+    #[must_use]
+    pub fn new(topo: Topology, routing: Routing) -> Self {
+        LinkMap { topo, routing }
+    }
+
+    /// The underlying topology.
+    #[must_use]
+    pub fn topo(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn num_nodes(&self) -> usize {
+        self.topo.num_nodes()
+    }
+
+    /// Number of links (`nodes × ports`).
+    #[must_use]
+    pub fn num_links(&self) -> usize {
+        self.topo.num_nodes() * PORTS
+    }
+
+    /// Flat index of `(node, port)`.
+    #[inline]
+    #[must_use]
+    pub fn idx(&self, node: usize, port: usize) -> usize {
+        node * PORTS + port
+    }
+
+    /// Output port index taken at `node` for a packet headed to `dst`
+    /// (the local port when `node == dst`).
+    #[inline]
+    #[must_use]
+    pub fn route(&self, node: usize, dst: NodeId) -> usize {
+        self.routing
+            .next_hop(&self.topo, NodeId::new(node as u32), dst)
+            .index()
+    }
+
+    /// The node reached through output port `out_port` of `node`, and
+    /// the input port the traffic arrives on there.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the port leads off the topology edge (a route never
+    /// does) or when `out_port` is the local port.
+    #[inline]
+    #[must_use]
+    pub fn downstream(&self, node: usize, out_port: usize) -> (usize, usize) {
+        self.try_downstream(node, out_port)
+            .expect("route leads to a neighbor")
+    }
+
+    /// [`LinkMap::downstream`], returning `None` at a topology edge.
+    #[inline]
+    #[must_use]
+    pub fn try_downstream(&self, node: usize, out_port: usize) -> Option<(usize, usize)> {
+        let dir = Direction::from_index(out_port);
+        self.topo
+            .neighbor(NodeId::new(node as u32), dir)
+            .map(|next| (next.index(), dir.opposite().index()))
+    }
+
+    /// The node feeding input port `in_port` of `node`, and the output
+    /// port it sends through (where its credits/virtual credits go).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the port faces a topology edge (an occupied input
+    /// port never does) or when `in_port` is the local port.
+    #[inline]
+    #[must_use]
+    pub fn upstream(&self, node: usize, in_port: usize) -> (usize, usize) {
+        let dir = Direction::from_index(in_port);
+        let up = self
+            .topo
+            .neighbor(NodeId::new(node as u32), dir)
+            .expect("input port implies a neighbor");
+        (up.index(), dir.opposite().index())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn downstream_and_upstream_are_inverse() {
+        let map = LinkMap::new(Topology::mesh(4, 4), Routing::XY);
+        // Node 5's East output feeds node 6's West input.
+        let east = Direction::East.index();
+        let west = Direction::West.index();
+        assert_eq!(map.downstream(5, east), (6, west));
+        assert_eq!(map.upstream(6, west), (5, east));
+    }
+
+    #[test]
+    fn edges_have_no_downstream_on_mesh_but_wrap_on_torus() {
+        let mesh = LinkMap::new(Topology::mesh(4, 4), Routing::XY);
+        let torus = LinkMap::new(Topology::torus(4, 4), Routing::XY);
+        let west = Direction::West.index();
+        assert_eq!(mesh.try_downstream(0, west), None);
+        assert_eq!(
+            torus.try_downstream(0, west),
+            Some((3, Direction::East.index()))
+        );
+    }
+
+    #[test]
+    fn route_reaches_local_at_destination() {
+        let map = LinkMap::new(Topology::mesh(4, 4), Routing::XY);
+        assert_eq!(map.route(5, NodeId::new(5)), Direction::Local.index());
+        assert_eq!(map.route(0, NodeId::new(3)), Direction::East.index());
+    }
+
+    #[test]
+    fn link_indices_are_dense() {
+        let map = LinkMap::new(Topology::ring(8), Routing::XY);
+        assert_eq!(map.num_links(), 8 * PORTS);
+        assert_eq!(map.idx(3, 2), 3 * PORTS + 2);
+    }
+}

@@ -1,0 +1,234 @@
+//! The look-ahead channel: per-output-port queues for reservation
+//! (FRS-style) policies.
+//!
+//! A flit-reservation policy sends small look-ahead flits ahead of the
+//! data to book departure slots at every link scheduler on the path. A
+//! look-ahead flit whose flow cannot book (its window is exhausted)
+//! must *not* block flits of other flows queued behind it — the
+//! paper's look-ahead router gives each flow its own virtual channel.
+//! [`LookaheadQueues`] models that as one queue per output port with
+//! per-flow fair bypass:
+//!
+//! * booking scans the queue front-to-back, trying each distinct flow
+//!   once (an epoch-stamped failed set makes the skip O(1)),
+//! * the booked entry is extracted mid-queue by tombstoning, so live
+//!   entries never move relative to each other and per-flow FIFO
+//!   order is preserved,
+//! * a queue whose scan failed outright is marked *blocked* and is
+//!   skipped until its scheduler changes or a new flit arrives.
+
+use std::collections::VecDeque;
+
+use crate::worklist::ActiveSet;
+
+/// Per-output-port look-ahead queues with per-flow fair bypass.
+///
+/// `T` is the look-ahead flit type; the caller supplies the flow
+/// index and the booking attempt as closures, so the queues know
+/// nothing about schedulers.
+#[derive(Debug, Clone)]
+pub struct LookaheadQueues<T> {
+    /// `None` entries are tombstones of mid-queue removals; the front
+    /// entry is always live.
+    queues: Vec<VecDeque<Option<T>>>,
+    /// Live (non-tombstone) entry count per queue.
+    live: Vec<u32>,
+    /// Whether the queue front already failed to book and nothing
+    /// relevant has changed since.
+    blocked: Vec<bool>,
+    /// Queues with live entries.
+    work: ActiveSet,
+    /// Per-flow epoch stamps: flow `f` failed in the current scan iff
+    /// `failed_epoch[f] == scan_epoch` (an O(1) membership test
+    /// instead of a list search).
+    failed_epoch: Vec<u64>,
+    scan_epoch: u64,
+}
+
+impl<T: Copy> LookaheadQueues<T> {
+    /// Empty queues for `num_queues` output ports and `num_flows`
+    /// flows.
+    #[must_use]
+    pub fn new(num_queues: usize, num_flows: usize) -> Self {
+        LookaheadQueues {
+            queues: (0..num_queues).map(|_| VecDeque::new()).collect(),
+            live: vec![0; num_queues],
+            blocked: vec![false; num_queues],
+            work: ActiveSet::new(num_queues),
+            failed_epoch: vec![0; num_flows],
+            scan_epoch: 0,
+        }
+    }
+
+    /// Appends a look-ahead flit to queue `qidx`. Any new arrival may
+    /// belong to a flow that can book where the stalled ones cannot,
+    /// so the queue's blocked mark is cleared.
+    pub fn push(&mut self, qidx: usize, item: T) {
+        self.queues[qidx].push_back(Some(item));
+        self.live[qidx] += 1;
+        self.work.insert(qidx);
+        self.blocked[qidx] = false;
+    }
+
+    /// The smallest queue index `>= from` with live entries (the live
+    /// ascending-scan building block, like
+    /// [`ActiveSet::first_from`]).
+    #[inline]
+    #[must_use]
+    pub fn first_from(&self, from: usize) -> Option<usize> {
+        self.work.first_from(from)
+    }
+
+    /// Whether queue `qidx` is marked blocked (its last scan booked
+    /// nothing and no arrival or external change cleared the mark).
+    #[inline]
+    #[must_use]
+    pub fn is_blocked(&self, qidx: usize) -> bool {
+        self.blocked[qidx]
+    }
+
+    /// Queue length *including tombstones* (diagnostics only).
+    #[must_use]
+    pub fn raw_len(&self, qidx: usize) -> usize {
+        self.queues[qidx].len()
+    }
+
+    /// One output-scheduling pass over queue `qidx`: scans for the
+    /// first entry whose flow can book, trying each distinct flow
+    /// once. `flow_of` maps an entry to its flow index; `try_book`
+    /// attempts the booking and returns its result on success.
+    ///
+    /// On success the entry is extracted (tombstone + dead-prefix
+    /// drain) and `(entry, booking)` is returned; the queue is
+    /// unmarked blocked. On failure the queue is marked blocked and
+    /// `None` is returned.
+    pub fn book_first<R>(
+        &mut self,
+        qidx: usize,
+        flow_of: impl Fn(&T) -> usize,
+        mut try_book: impl FnMut(&T) -> Option<R>,
+    ) -> Option<(T, R)> {
+        self.scan_epoch += 1;
+        let epoch = self.scan_epoch;
+        let mut booked: Option<(usize, R)> = None;
+        for (i, entry) in self.queues[qidx].iter().enumerate() {
+            let Some(item) = entry else {
+                continue; // tombstone of an earlier mid-queue removal
+            };
+            let flow = flow_of(item);
+            if self.failed_epoch[flow] == epoch {
+                continue;
+            }
+            match try_book(item) {
+                Some(r) => {
+                    booked = Some((i, r));
+                    break;
+                }
+                None => self.failed_epoch[flow] = epoch,
+            }
+        }
+        let Some((i, r)) = booked else {
+            self.blocked[qidx] = true;
+            return None;
+        };
+        self.blocked[qidx] = false;
+        // Mid-queue extraction without shifting: tombstone the slot,
+        // then drain any dead prefix so the front entry stays live.
+        let item = self.queues[qidx][i].take().expect("booked entry is live");
+        while self.queues[qidx].front().is_some_and(Option::is_none) {
+            self.queues[qidx].pop_front();
+        }
+        self.live[qidx] -= 1;
+        if self.live[qidx] == 0 {
+            debug_assert!(self.queues[qidx].is_empty());
+            self.work.remove(qidx);
+        }
+        Some((item, r))
+    }
+
+    /// Full-scan cross-check (debug builds): live counts, worklist
+    /// membership, and the live-front invariant. Call under
+    /// `#[cfg(debug_assertions)]`.
+    pub fn debug_verify(&self) {
+        for i in 0..self.queues.len() {
+            let live = self.queues[i].iter().filter(|e| e.is_some()).count();
+            debug_assert_eq!(self.live[i] as usize, live, "live miscounts queue {i}");
+            debug_assert_eq!(
+                self.work.contains(i),
+                live > 0,
+                "look-ahead worklist out of sync at queue {i}"
+            );
+            debug_assert!(
+                self.queues[i].front().is_none_or(Option::is_some),
+                "dead prefix not drained in queue {i}"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// (flow, payload)
+    type Flit = (usize, u32);
+
+    #[test]
+    fn books_front_when_possible() {
+        let mut q: LookaheadQueues<Flit> = LookaheadQueues::new(2, 4);
+        q.push(0, (1, 10));
+        q.push(0, (2, 20));
+        let (item, slot) = q
+            .book_first(0, |f| f.0, |f| Some(f.1 * 2))
+            .expect("front books");
+        assert_eq!(item, (1, 10));
+        assert_eq!(slot, 20);
+        assert_eq!(q.raw_len(0), 1);
+        q.debug_verify();
+    }
+
+    #[test]
+    fn blocked_flow_is_bypassed_by_other_flows_only() {
+        let mut q: LookaheadQueues<Flit> = LookaheadQueues::new(1, 4);
+        q.push(0, (1, 10)); // flow 1: cannot book
+        q.push(0, (1, 11)); // flow 1 again: must not even be tried
+        q.push(0, (2, 20)); // flow 2: books
+        let mut tried = Vec::new();
+        let got = q.book_first(
+            0,
+            |f| f.0,
+            |f| {
+                tried.push(*f);
+                (f.0 == 2).then_some(())
+            },
+        );
+        assert_eq!(got, Some(((2, 20), ())));
+        // Flow 1 was tried once; its second flit was epoch-skipped.
+        assert_eq!(tried, vec![(1, 10), (2, 20)]);
+        // Mid-queue extraction preserves flow 1's order.
+        assert_eq!(q.raw_len(0), 3); // two live + one tombstone
+        q.debug_verify();
+    }
+
+    #[test]
+    fn total_failure_blocks_until_push() {
+        let mut q: LookaheadQueues<Flit> = LookaheadQueues::new(1, 2);
+        q.push(0, (0, 1));
+        assert!(q.book_first(0, |f| f.0, |_| None::<()>).is_none());
+        assert!(q.is_blocked(0));
+        q.push(0, (1, 2));
+        assert!(!q.is_blocked(0));
+        q.debug_verify();
+    }
+
+    #[test]
+    fn draining_empties_the_worklist() {
+        let mut q: LookaheadQueues<Flit> = LookaheadQueues::new(3, 2);
+        q.push(2, (0, 1));
+        assert_eq!(q.first_from(0), Some(2));
+        let _ = q.book_first(2, |f| f.0, |_| Some(()));
+        assert_eq!(q.first_from(0), None);
+        assert_eq!(q.raw_len(2), 0);
+        q.debug_verify();
+    }
+}

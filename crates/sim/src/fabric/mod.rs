@@ -1,0 +1,107 @@
+//! The shared router-fabric layer: one datapath, pluggable policies.
+//!
+//! Every network model in this workspace moves flits over the same
+//! physical substrate — links with a traversal delay, credit/event
+//! return paths, per-node source NICs, ejection ports, and the
+//! active-set worklists that keep per-cycle cost proportional to
+//! activity. Before this module existed, the wormhole, GSF, and LOFT
+//! networks each hand-rolled that substrate; now it lives here, once,
+//! and the networks differ only in *scheduling and flow-control
+//! policy*:
+//!
+//! ```text
+//!                    ┌────────────────────────────┐
+//!                    │        network crates      │
+//!                    │ wormhole │  GSF  │  LOFT   │
+//!                    │  policy  │ policy│ policy  │
+//!                    └────┬─────┴───┬───┴────┬────┘
+//!        RouterPolicy ────┘         │        │ LSF schedulers +
+//!        (VC datapath hooks)        │        │ reservation tables
+//!                    ┌──────────────┴──┐  ┌──┴──────────────────┐
+//!                    │  VcFabric<P>    │  │  look-ahead channel │
+//!                    │  credit-based   │  │  (LookaheadQueues)  │
+//!                    │  VC datapath    │  │  + quantum wires    │
+//!                    └───────┬─────────┘  └──────────┬──────────┘
+//!                            │      fabric substrate │
+//!                    ┌───────┴───────────────────────┴──────────┐
+//!                    │ LinkMap · DelayedWires · TimedFifo ·     │
+//!                    │ EjectTracker · ActiveSet worklists       │
+//!                    └──────────────────────────────────────────┘
+//! ```
+//!
+//! * [`LinkMap`] wires a [`Topology`](crate::topology::Topology) and a
+//!   routing function into the flat `node × port` link index space
+//!   every per-link array uses, and resolves upstream/downstream
+//!   neighbors for credit returns and link traversal.
+//! * [`DelayedWires`] models in-flight traversal on every link: items
+//!   pushed with a due time, drained in deterministic ascending link
+//!   order once due, with worklist registration built in.
+//! * [`TimedFifo`] is the global in-order event queue used for credit
+//!   returns.
+//! * [`EjectTracker`] owns the in-flight packet map and per-node
+//!   ejection progress, and enforces the fabric-level invariant that
+//!   every packet is delivered exactly once.
+//! * [`LookaheadQueues`] is the *optional look-ahead channel* used by
+//!   flit-reservation (FRS) policies: per-output-port queues with
+//!   per-flow fair bypass, tombstone extraction, and epoch-stamped
+//!   failed-flow skipping.
+//! * [`VcFabric`] is the complete credit-based virtual-channel
+//!   datapath (link arrivals, credits, NIC streaming, route compute,
+//!   and switch traversal), parameterized by a [`RouterPolicy`] that
+//!   supplies VC allocation, switch-allocation winner selection,
+//!   source queueing, and reuse semantics.
+//!
+//! # Determinism contract
+//!
+//! Everything here iterates in ascending link/node index order with
+//! live worklist semantics (see [`crate::worklist`]), exactly like the
+//! full scans it replaced. The golden determinism tests pin the
+//! networks built on this fabric bit-for-bit against their
+//! pre-refactor behaviour.
+
+use crate::flit::Packet;
+use crate::routing::Direction;
+
+mod eject;
+mod link;
+mod lookahead;
+mod policy;
+mod vc;
+mod wires;
+
+pub use eject::EjectTracker;
+pub use link::LinkMap;
+pub use lookahead::LookaheadQueues;
+pub use policy::{PolicyCtx, RouterPolicy, SwitchGrant};
+pub use vc::{Streaming, VcBuf, VcFabric, VcFlit, VcNic, VcParams, VcRouter};
+pub use wires::{DelayedWires, TimedFifo};
+
+/// Ports per router: the four cardinal directions plus the local
+/// (processing-element) port.
+pub const PORTS: usize = Direction::COUNT;
+
+/// Index of the local port in every per-port array.
+pub const LOCAL: usize = Direction::Local as usize;
+
+/// Debug-build check of the fabric-level stat invariant: every packet
+/// delivered during one `step` call appears in `out` exactly once.
+/// `start` is `out.len()` at the top of the step.
+///
+/// Double-appending a delivered packet would double-count it in every
+/// downstream statistic; this assert turns that silent skew into a
+/// hard failure (release builds compile it away).
+#[cfg(debug_assertions)]
+pub fn debug_assert_delivered_once(out: &[Packet], start: usize) {
+    let mut seen = crate::fxhash::FxHashSet::default();
+    for p in &out[start..] {
+        assert!(
+            seen.insert(p.id),
+            "packet {} appended to the delivery list twice in one step",
+            p.id
+        );
+    }
+}
+
+/// Release-build stub of [`debug_assert_delivered_once`].
+#[cfg(not(debug_assertions))]
+pub fn debug_assert_delivered_once(_out: &[Packet], _start: usize) {}

@@ -1,0 +1,113 @@
+//! The policy interface of the shared VC datapath.
+
+use crate::flit::PacketId;
+use crate::worklist::ActiveSet;
+
+use super::eject::EjectTracker;
+use super::vc::{VcFlit, VcRouter};
+
+/// A switch-allocation grant: which input VC forwards through an
+/// output port this cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SwitchGrant {
+    /// Winning input port.
+    pub in_port: usize,
+    /// Winning input VC.
+    pub in_vc: usize,
+    /// The downstream VC the flit travels on.
+    pub out_vc: usize,
+    /// The winner's arbitration slot (`in_port * num_vcs + in_vc`);
+    /// the fabric advances the port's round-robin pointer past it.
+    pub slot: usize,
+}
+
+/// Fabric state a policy hook may touch.
+#[derive(Debug)]
+pub struct PolicyCtx<'a> {
+    /// Read access to every in-flight packet (lengths, destinations).
+    pub packets: &'a EjectTracker,
+    /// The NIC worklist: a policy that queues work for a node's
+    /// source NIC must mark the node active here.
+    pub nic_work: &'a mut ActiveSet,
+}
+
+/// A scheduling/flow-control policy over the shared VC datapath
+/// ([`super::VcFabric`]).
+///
+/// The fabric owns the invariant machinery — wires, credits, buffers,
+/// NIC streaming, ejection, worklists. A policy supplies what
+/// distinguishes one network from another:
+///
+/// * **source queueing** — what order packets leave a node's source
+///   queue, and any admission stamping (e.g. GSF frame tags),
+/// * **VC allocation** — which head flits get a downstream VC,
+/// * **switch allocation** — which input VC each output port serves,
+/// * **reuse semantics** — whether a downstream VC frees on the tail
+///   flit or only after draining ([`RouterPolicy::DRAIN_BEFORE_REUSE`]),
+/// * **per-cycle bookkeeping** — e.g. GSF's barrier frame recycling
+///   in [`RouterPolicy::pre_inject`].
+///
+/// Flit-reservation policies that need a look-ahead channel build on
+/// [`super::LookaheadQueues`] instead of this trait — see the module
+/// docs for where each network sits.
+pub trait RouterPolicy {
+    /// Per-flit policy payload carried through the network (`()` for
+    /// plain wormhole, the frame number for GSF).
+    type Tag: Copy + std::fmt::Debug;
+
+    /// Reuse semantics for downstream VCs. `false`: the tail flit
+    /// frees the VC immediately (wormhole). `true`: the VC stays
+    /// owned until its credits fully return (GSF's strict VC
+    /// separation), and NIC-side VCs drain the same way.
+    const DRAIN_BEFORE_REUSE: bool;
+
+    /// Runs once per cycle between credit application and NIC
+    /// injection (GSF recycles frames here). Default: nothing.
+    fn pre_inject(&mut self, now: u64, ctx: &mut PolicyCtx<'_>) {
+        let _ = (now, ctx);
+    }
+
+    /// A packet entered the network at `node`: queue it at the source
+    /// (and mark `ctx.nic_work` if it is ready to stream).
+    fn on_enqueue(&mut self, node: usize, id: PacketId, ctx: &mut PolicyCtx<'_>);
+
+    /// The packet that would stream next from `node`'s source queue,
+    /// if any. The fabric only commits (via
+    /// [`RouterPolicy::pop_source`]) once a free VC is found.
+    fn peek_source(&self, node: usize) -> Option<PacketId>;
+
+    /// Removes and returns the packet just peeked, with its tag.
+    fn pop_source(&mut self, node: usize) -> (PacketId, Self::Tag);
+
+    /// Whether `node`'s source queue holds nothing ready to stream
+    /// (the NIC worklist predicate, together with the streaming
+    /// state the fabric tracks itself).
+    fn source_idle(&self, node: usize) -> bool;
+
+    /// Virtual-channel allocation for one router: assign free
+    /// downstream VCs (`router.out_owner`) to head flits waiting for
+    /// one (`buf.out_vc == None`).
+    fn vc_allocate(&mut self, router: &mut VcRouter<Self::Tag>, num_vcs: usize);
+
+    /// Switch allocation for one output port: pick the input VC that
+    /// forwards this cycle. Candidates need a flit routed to
+    /// `out_port`, an allocated `out_vc`, and (except for ejection)
+    /// downstream credit — the policy chooses among them.
+    fn pick_winner(
+        &self,
+        router: &VcRouter<Self::Tag>,
+        out_port: usize,
+        num_vcs: usize,
+    ) -> Option<SwitchGrant>;
+
+    /// A flit was ejected at its destination. Default: nothing.
+    fn on_eject_flit(&mut self, flit: &VcFlit<Self::Tag>) {
+        let _ = flit;
+    }
+
+    /// A packet fully ejected (its last flit just arrived). Default:
+    /// nothing.
+    fn on_eject_packet(&mut self, id: PacketId) {
+        let _ = id;
+    }
+}

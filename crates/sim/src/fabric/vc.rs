@@ -1,0 +1,537 @@
+//! The shared credit-based virtual-channel datapath.
+
+use std::collections::VecDeque;
+
+use crate::engine::Network;
+use crate::flit::{FlitKind, NodeId, Packet, PacketId};
+use crate::routing::{Direction, Routing};
+use crate::topology::Topology;
+use crate::worklist::ActiveSet;
+
+use super::eject::EjectTracker;
+use super::link::LinkMap;
+use super::policy::{PolicyCtx, RouterPolicy, SwitchGrant};
+use super::wires::{DelayedWires, TimedFifo};
+use super::{debug_assert_delivered_once, LOCAL, PORTS};
+
+/// A flit inside the VC datapath, carrying the policy's per-flit tag.
+#[derive(Debug, Clone, Copy)]
+pub struct VcFlit<T> {
+    /// Owning packet.
+    pub id: PacketId,
+    /// Destination node.
+    pub dst: NodeId,
+    /// Position within the packet (head/body/tail).
+    pub kind: FlitKind,
+    /// Policy payload (e.g. the GSF frame number).
+    pub tag: T,
+}
+
+/// One input virtual-channel buffer.
+#[derive(Debug)]
+pub struct VcBuf<T> {
+    /// Buffered flits, FIFO.
+    pub q: VecDeque<VcFlit<T>>,
+    /// Output port computed for the packet at the front, if any.
+    pub route: Option<usize>,
+    /// Downstream VC allocated to that packet, if any.
+    pub out_vc: Option<usize>,
+}
+
+impl<T> Default for VcBuf<T> {
+    fn default() -> Self {
+        VcBuf {
+            q: VecDeque::new(),
+            route: None,
+            out_vc: None,
+        }
+    }
+}
+
+impl<T: Copy> VcBuf<T> {
+    /// Tag of the flit at the front, if any.
+    #[inline]
+    #[must_use]
+    pub fn head_tag(&self) -> Option<T> {
+        self.q.front().map(|f| f.tag)
+    }
+}
+
+/// Per-router VC state: input buffers, downstream VC ownership,
+/// credits, and arbitration pointers.
+///
+/// This is the superset the policies need — wormhole uses `rr_va` and
+/// ignores `out_draining`; GSF is the reverse. Policies index these
+/// fields directly in their allocation hooks.
+#[derive(Debug)]
+pub struct VcRouter<T> {
+    /// `inputs[port][vc]`.
+    pub inputs: Vec<Vec<VcBuf<T>>>,
+    /// `out_owner[port][vc]`: which `(in_port, in_vc)` currently owns
+    /// the downstream VC reached through this output; `None` = free.
+    pub out_owner: Vec<Vec<Option<(usize, usize)>>>,
+    /// Tail already forwarded, VC still draining: not yet reusable
+    /// (only meaningful under [`RouterPolicy::DRAIN_BEFORE_REUSE`]).
+    pub out_draining: Vec<Vec<bool>>,
+    /// `credits[port][vc]`: free flit slots in the downstream VC.
+    pub credits: Vec<Vec<u32>>,
+    /// Per-output round-robin pointer for VC allocation.
+    pub rr_va: [usize; PORTS],
+    /// Per-output round-robin pointer for switch allocation.
+    pub rr_sa: [usize; PORTS],
+}
+
+impl<T> VcRouter<T> {
+    fn new(num_vcs: usize, vc_capacity: usize) -> Self {
+        VcRouter {
+            inputs: (0..PORTS)
+                .map(|_| (0..num_vcs).map(|_| VcBuf::default()).collect())
+                .collect(),
+            out_owner: vec![vec![None; num_vcs]; PORTS],
+            out_draining: vec![vec![false; num_vcs]; PORTS],
+            credits: vec![vec![vc_capacity as u32; num_vcs]; PORTS],
+            rr_va: [0; PORTS],
+            rr_sa: [0; PORTS],
+        }
+    }
+}
+
+/// A packet streaming from a NIC into its router, one flit per cycle.
+#[derive(Debug)]
+pub struct Streaming<T> {
+    id: PacketId,
+    dst: NodeId,
+    len: u16,
+    pos: u16,
+    vc: usize,
+    tag: T,
+}
+
+/// Per-node source NIC state: the packet currently streaming and the
+/// local-VC credit/ownership tracking. (What *waits* to stream — the
+/// source queue — belongs to the policy.)
+#[derive(Debug)]
+pub struct VcNic<T> {
+    current: Option<Streaming<T>>,
+    /// Free slots in each local input VC of the attached router.
+    credits: Vec<u32>,
+    /// Local VCs currently owned by an in-progress NIC packet.
+    owned: Vec<bool>,
+    /// Local VCs whose packet finished but whose credits have not
+    /// fully returned (only under `DRAIN_BEFORE_REUSE`).
+    draining: Vec<bool>,
+    rr: usize,
+}
+
+impl<T> VcNic<T> {
+    fn new(num_vcs: usize, vc_capacity: usize) -> Self {
+        VcNic {
+            current: None,
+            credits: vec![vc_capacity as u32; num_vcs],
+            owned: vec![false; num_vcs],
+            draining: vec![false; num_vcs],
+            rr: 0,
+        }
+    }
+}
+
+/// Physical parameters of the VC datapath, shared by every policy.
+#[derive(Debug, Clone, Copy)]
+pub struct VcParams {
+    /// Network topology (mesh, torus, or ring).
+    pub topo: Topology,
+    /// Routing algorithm.
+    pub routing: Routing,
+    /// Virtual channels per port.
+    pub num_vcs: usize,
+    /// Flit slots per VC buffer.
+    pub vc_capacity: usize,
+    /// Router pipeline + link traversal, in cycles.
+    pub hop_latency: u64,
+    /// Upstream credit return delay, in cycles.
+    pub credit_delay: u64,
+}
+
+/// The complete credit-based VC datapath, parameterized by a
+/// [`RouterPolicy`].
+///
+/// Cycle processing order (every router, every cycle):
+///
+/// 1. link arrivals are written into input VC buffers,
+/// 2. returned credits are applied (releasing drained VCs under
+///    [`RouterPolicy::DRAIN_BEFORE_REUSE`]),
+/// 3. the policy's [`RouterPolicy::pre_inject`] hook runs,
+/// 4. NICs stream source-queue packets into their router's local
+///    input port (one flit/cycle, one VC per packet; packet order
+///    from the policy),
+/// 5. route computation for new head flits,
+/// 6. VC allocation (policy),
+/// 7. switch allocation (policy) + traversal: each output port
+///    forwards at most one flit, consuming a credit; the freed input
+///    slot's credit travels upstream with a configurable delay.
+///
+/// All iteration is in ascending node/link index order with live
+/// worklist semantics, bit-identical to the full scans it replaced.
+#[derive(Debug)]
+pub struct VcFabric<P: RouterPolicy> {
+    policy: P,
+    params: VcParams,
+    link: LinkMap,
+    cycle: u64,
+    routers: Vec<VcRouter<P::Tag>>,
+    nics: Vec<VcNic<P::Tag>>,
+    /// In-flight flits per (node, input port), as `(vc, flit)`.
+    wires: DelayedWires<(usize, VcFlit<P::Tag>)>,
+    /// Credit returns: `(node, port, vc)`; `port == LOCAL` means the
+    /// NIC credit pool of `node`.
+    credits_in_flight: TimedFifo<(usize, usize, usize)>,
+    tracker: EjectTracker,
+    /// Flits forwarded per output link, index `node * PORTS + port`.
+    forwarded: Vec<u64>,
+    /// NICs with a packet streaming or queued.
+    nic_work: ActiveSet,
+    /// Routers with at least one buffered input flit.
+    router_work: ActiveSet,
+    /// Buffered input flits per router (maintains `router_work`).
+    buffered: Vec<u32>,
+}
+
+impl<P: RouterPolicy> VcFabric<P> {
+    /// Builds the datapath for `params`, scheduled by `policy`.
+    pub fn new(params: VcParams, policy: P) -> Self {
+        let n = params.topo.num_nodes();
+        VcFabric {
+            link: LinkMap::new(params.topo, params.routing),
+            routers: (0..n)
+                .map(|_| VcRouter::new(params.num_vcs, params.vc_capacity))
+                .collect(),
+            nics: (0..n)
+                .map(|_| VcNic::new(params.num_vcs, params.vc_capacity))
+                .collect(),
+            wires: DelayedWires::new(n * PORTS),
+            credits_in_flight: TimedFifo::new(),
+            tracker: EjectTracker::new(n),
+            forwarded: vec![0; n * PORTS],
+            nic_work: ActiveSet::new(n),
+            router_work: ActiveSet::new(n),
+            buffered: vec![0; n],
+            cycle: 0,
+            policy,
+            params,
+        }
+    }
+
+    /// The scheduling policy.
+    #[must_use]
+    pub fn policy(&self) -> &P {
+        &self.policy
+    }
+
+    /// Flits forwarded so far on the output link `(node, dir)` —
+    /// divide by elapsed cycles for the link utilization.
+    #[must_use]
+    pub fn link_flits(&self, node: NodeId, dir: Direction) -> u64 {
+        self.forwarded[node.index() * PORTS + dir.index()]
+    }
+
+    fn deliver_arrivals(&mut self, now: u64) {
+        let Self {
+            wires,
+            routers,
+            buffered,
+            router_work,
+            params,
+            ..
+        } = self;
+        let cap = params.vc_capacity;
+        wires.drain_due(now, |widx, (vc, flit)| {
+            let node = widx / PORTS;
+            let port = widx % PORTS;
+            let buf: &mut VcBuf<P::Tag> = &mut routers[node].inputs[port][vc];
+            debug_assert!(
+                buf.q.len() < cap,
+                "credit protocol violated: buffer overflow"
+            );
+            debug_assert!(
+                !P::DRAIN_BEFORE_REUSE || buf.q.iter().all(|f| f.id == flit.id),
+                "strict VC separation forbids mixing packets in one VC"
+            );
+            buf.q.push_back(flit);
+            buffered[node] += 1;
+            router_work.insert(node);
+        });
+    }
+
+    fn apply_credits(&mut self, now: u64) {
+        let cap = self.params.vc_capacity as u32;
+        while let Some((node, port, vc)) = self.credits_in_flight.pop_due(now) {
+            if port == LOCAL {
+                let nic = &mut self.nics[node];
+                nic.credits[vc] += 1;
+                if P::DRAIN_BEFORE_REUSE && nic.draining[vc] && nic.credits[vc] == cap {
+                    nic.draining[vc] = false;
+                    nic.owned[vc] = false;
+                }
+            } else {
+                let r = &mut self.routers[node];
+                r.credits[port][vc] += 1;
+                if P::DRAIN_BEFORE_REUSE && r.out_draining[port][vc] && r.credits[port][vc] == cap {
+                    r.out_draining[port][vc] = false;
+                    r.out_owner[port][vc] = None;
+                }
+            }
+        }
+    }
+
+    fn nic_inject(&mut self, now: u64) {
+        let num_vcs = self.params.num_vcs;
+        let mut cursor = 0;
+        while let Some(node) = self.nic_work.first_from(cursor) {
+            cursor = node + 1;
+            if self.nics[node].current.is_none() && self.policy.peek_source(node).is_some() {
+                // Allocate a free local VC, round-robin; only then
+                // commit the packet.
+                let nic = &self.nics[node];
+                let free = (0..num_vcs)
+                    .map(|k| (nic.rr + k) % num_vcs)
+                    .find(|&v| !nic.owned[v]);
+                if let Some(vc) = free {
+                    let (pid, tag) = self.policy.pop_source(node);
+                    let (dst, len) = {
+                        let p = self.tracker.packet(pid);
+                        (p.dst, p.len_flits)
+                    };
+                    let nic = &mut self.nics[node];
+                    nic.owned[vc] = true;
+                    nic.rr = (vc + 1) % num_vcs;
+                    nic.current = Some(Streaming {
+                        id: pid,
+                        dst,
+                        len,
+                        pos: 0,
+                        vc,
+                        tag,
+                    });
+                }
+            }
+            let nic = &mut self.nics[node];
+            if let Some(cur) = &mut nic.current {
+                if nic.credits[cur.vc] > 0 {
+                    let kind = FlitKind::for_position(cur.pos, cur.len);
+                    let flit = VcFlit {
+                        id: cur.id,
+                        dst: cur.dst,
+                        kind,
+                        tag: cur.tag,
+                    };
+                    nic.credits[cur.vc] -= 1;
+                    if cur.pos == 0 {
+                        self.tracker.packet_mut(cur.id).injected_at = Some(now);
+                    }
+                    cur.pos += 1;
+                    let vc = cur.vc;
+                    let done = cur.pos == cur.len;
+                    if done {
+                        if P::DRAIN_BEFORE_REUSE {
+                            nic.draining[vc] = true;
+                        } else {
+                            nic.owned[vc] = false;
+                        }
+                        nic.current = None;
+                    }
+                    self.routers[node].inputs[LOCAL][vc].q.push_back(flit);
+                    self.buffered[node] += 1;
+                    self.router_work.insert(node);
+                }
+            }
+            if self.nics[node].current.is_none() && self.policy.source_idle(node) {
+                self.nic_work.remove(node);
+            }
+        }
+    }
+
+    fn route_compute(&mut self) {
+        let link = self.link;
+        let mut cursor = 0;
+        while let Some(node) = self.router_work.first_from(cursor) {
+            cursor = node + 1;
+            let router = &mut self.routers[node];
+            for port in router.inputs.iter_mut() {
+                for buf in port.iter_mut() {
+                    if buf.route.is_none() {
+                        if let Some(front) = buf.q.front() {
+                            if front.kind.is_head() {
+                                buf.route = Some(link.route(node, front.dst));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn vc_allocate(&mut self) {
+        let num_vcs = self.params.num_vcs;
+        let mut cursor = 0;
+        while let Some(node) = self.router_work.first_from(cursor) {
+            cursor = node + 1;
+            self.policy.vc_allocate(&mut self.routers[node], num_vcs);
+        }
+    }
+
+    fn switch_traverse(&mut self, now: u64, out: &mut Vec<Packet>) {
+        let num_vcs = self.params.num_vcs;
+        let mut cursor = 0;
+        while let Some(node) = self.router_work.first_from(cursor) {
+            cursor = node + 1;
+            for out_port in 0..PORTS {
+                let Some(SwitchGrant {
+                    in_port: p,
+                    in_vc: v,
+                    out_vc: ov,
+                    slot,
+                }) = self
+                    .policy
+                    .pick_winner(&self.routers[node], out_port, num_vcs)
+                else {
+                    continue;
+                };
+                self.forwarded[node * PORTS + out_port] += 1;
+                let router = &mut self.routers[node];
+                router.rr_sa[out_port] = (slot + 1) % (PORTS * num_vcs);
+                let flit = router.inputs[p][v]
+                    .q
+                    .pop_front()
+                    .expect("winner has a flit");
+                self.buffered[node] -= 1;
+                if self.buffered[node] == 0 {
+                    self.router_work.remove(node);
+                }
+                if flit.kind.is_tail() {
+                    if P::DRAIN_BEFORE_REUSE && out_port != LOCAL {
+                        // The downstream VC stays owned until drained
+                        // (credits fully returned). Ejected flits
+                        // leave no downstream buffer to drain.
+                        router.out_draining[out_port][ov] = true;
+                    } else {
+                        router.out_owner[out_port][ov] = None;
+                    }
+                    router.inputs[p][v].route = None;
+                    router.inputs[p][v].out_vc = None;
+                }
+                if out_port != LOCAL {
+                    router.credits[out_port][ov] -= 1;
+                }
+                // Return the freed input-slot credit upstream.
+                let due = now + self.params.credit_delay;
+                if p == LOCAL {
+                    self.credits_in_flight.push(due, (node, LOCAL, v));
+                } else {
+                    let (up, up_port) = self.link.upstream(node, p);
+                    self.credits_in_flight.push(due, (up, up_port, v));
+                }
+                if out_port == LOCAL {
+                    self.eject(node, flit, now, out);
+                } else {
+                    let (next, in_port) = self.link.downstream(node, out_port);
+                    let widx = next * PORTS + in_port;
+                    self.wires
+                        .push(widx, now + self.params.hop_latency, (ov, flit));
+                }
+            }
+        }
+    }
+
+    fn eject(&mut self, node: usize, flit: VcFlit<P::Tag>, now: u64, out: &mut Vec<Packet>) {
+        self.policy.on_eject_flit(&flit);
+        let total = self.tracker.packet(flit.id).len_flits;
+        if let Some(packet) = self.tracker.on_piece(node, flit.id, total, now) {
+            self.policy.on_eject_packet(packet.id);
+            out.push(packet);
+        }
+    }
+
+    /// Full-scan cross-check of every worklist invariant (debug
+    /// builds only): the active sets must contain exactly the indices
+    /// a naive scan would find work at.
+    #[cfg(debug_assertions)]
+    fn debug_verify_worklists(&self) {
+        self.wires.debug_verify();
+        for (n, nic) in self.nics.iter().enumerate() {
+            let active = nic.current.is_some() || !self.policy.source_idle(n);
+            debug_assert_eq!(self.nic_work.contains(n), active, "nic_work[{n}]");
+        }
+        for (n, router) in self.routers.iter().enumerate() {
+            let count: u32 = router
+                .inputs
+                .iter()
+                .flat_map(|port| port.iter().map(|buf| buf.q.len() as u32))
+                .sum();
+            debug_assert_eq!(self.buffered[n], count, "buffered[{n}]");
+            debug_assert_eq!(self.router_work.contains(n), count > 0, "router_work[{n}]");
+        }
+    }
+}
+
+impl<P: RouterPolicy> Network for VcFabric<P> {
+    fn num_nodes(&self) -> usize {
+        self.routers.len()
+    }
+
+    fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    fn enqueue(&mut self, packet: Packet) {
+        let node = packet.src.index();
+        let Self {
+            policy,
+            tracker,
+            nic_work,
+            ..
+        } = self;
+        let id = tracker.admit(packet);
+        policy.on_enqueue(
+            node,
+            id,
+            &mut PolicyCtx {
+                packets: tracker,
+                nic_work,
+            },
+        );
+    }
+
+    fn step(&mut self, out: &mut Vec<Packet>) {
+        #[cfg(debug_assertions)]
+        self.debug_verify_worklists();
+        let delivered_before = out.len();
+        let now = self.cycle;
+        self.deliver_arrivals(now);
+        self.apply_credits(now);
+        {
+            let Self {
+                policy,
+                tracker,
+                nic_work,
+                ..
+            } = self;
+            policy.pre_inject(
+                now,
+                &mut PolicyCtx {
+                    packets: tracker,
+                    nic_work,
+                },
+            );
+        }
+        self.nic_inject(now);
+        self.route_compute();
+        self.vc_allocate();
+        self.switch_traverse(now, out);
+        self.cycle = now + 1;
+        debug_assert_delivered_once(out, delivered_before);
+    }
+
+    fn in_flight(&self) -> usize {
+        self.tracker.len()
+    }
+}

@@ -101,6 +101,58 @@ mod tests {
     }
 
     #[test]
+    fn hashing_is_deterministic_across_instances() {
+        // No per-instance or per-process seeding: the same key always
+        // hashes to the same value (a prerequisite for reproducible
+        // map iteration avoidance bugs to stay reproducible).
+        let hash = |k: u64| {
+            let mut h = FxHasher::default();
+            h.write_u64(k);
+            h.finish()
+        };
+        for k in [0, 1, 42, u64::MAX] {
+            assert_eq!(hash(k), hash(k));
+        }
+        assert_ne!(hash(1), hash(2));
+    }
+
+    #[test]
+    fn write_order_distinguishes_tuples() {
+        // (a, b) and (b, a) must hash differently in general — the
+        // rotate before each multiply makes the mix order-sensitive.
+        let pair = |a: u64, b: u64| {
+            let mut h = FxHasher::default();
+            h.write_u64(a);
+            h.write_u64(b);
+            h.finish()
+        };
+        assert_ne!(pair(1, 2), pair(2, 1));
+        assert_ne!(pair(0, 7), pair(7, 0));
+    }
+
+    #[test]
+    fn byte_writes_match_word_padding() {
+        // write() folds bytes in little-endian 8-byte chunks,
+        // zero-padding the tail: a 3-byte slice equals the padded
+        // word written directly.
+        let mut bytes = FxHasher::default();
+        bytes.write(&[0xAA, 0xBB, 0xCC]);
+        let mut word = FxHasher::default();
+        word.write_u64(u64::from_le_bytes([0xAA, 0xBB, 0xCC, 0, 0, 0, 0, 0]));
+        assert_eq!(bytes.finish(), word.finish());
+    }
+
+    #[test]
+    fn set_deduplicates_packet_like_keys() {
+        let mut s: FxHashSet<(u32, u64)> = FxHashSet::default();
+        for q in 0..100u64 {
+            assert!(s.insert((3, q)));
+            assert!(!s.insert((3, q)), "duplicate admitted");
+        }
+        assert_eq!(s.len(), 100);
+    }
+
+    #[test]
     fn consecutive_keys_spread() {
         // Consecutive integers must not collapse onto a few buckets:
         // check the low 6 finish bits take many distinct values.

@@ -17,7 +17,11 @@
 //!   per-cycle hot loops (fast integer hashing, active-index bitsets),
 //! * [`engine`] — the [`engine::Network`] trait every network model
 //!   implements plus the [`engine::Simulation`] driver that ties a
-//!   traffic source, a network, and statistics together.
+//!   traffic source, a network, and statistics together,
+//! * [`fabric`] — the shared router fabric: one cycle-accurate
+//!   datapath (links, credits, NICs, ejection, worklists) with
+//!   pluggable [`fabric::RouterPolicy`] scheduling and an optional
+//!   look-ahead channel for flit-reservation policies.
 //!
 //! # Example
 //!
@@ -37,6 +41,7 @@
 
 pub mod engine;
 pub mod error;
+pub mod fabric;
 pub mod flit;
 pub mod flow;
 pub mod fxhash;

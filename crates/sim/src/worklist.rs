@@ -152,6 +152,73 @@ mod tests {
     }
 
     #[test]
+    fn live_remove_ahead_is_skipped() {
+        let mut s = ActiveSet::new(128);
+        for i in [3, 40, 100] {
+            s.insert(i);
+        }
+        let mut seen = Vec::new();
+        let mut cursor = 0;
+        while let Some(i) = s.first_from(cursor) {
+            cursor = i + 1;
+            seen.push(i);
+            if i == 3 {
+                s.remove(40); // ahead of the cursor: must be skipped
+            }
+        }
+        assert_eq!(seen, vec![3, 100]);
+    }
+
+    #[test]
+    fn scan_matches_full_scan_on_dense_pattern() {
+        // The bit-identical contract: an ActiveSet scan over any
+        // static membership pattern equals the filtered 0..n loop.
+        let n = 300;
+        let mut s = ActiveSet::new(n);
+        let member = |i: usize| i.is_multiple_of(3) || i % 7 == 1;
+        for i in (0..n).filter(|&i| member(i)) {
+            s.insert(i);
+        }
+        let mut scanned = Vec::new();
+        let mut cursor = 0;
+        while let Some(i) = s.first_from(cursor) {
+            cursor = i + 1;
+            scanned.push(i);
+        }
+        let full: Vec<usize> = (0..n).filter(|&i| member(i)).collect();
+        assert_eq!(scanned, full);
+        assert_eq!(s.len(), full.len());
+    }
+
+    #[test]
+    fn insert_and_remove_are_idempotent() {
+        let mut s = ActiveSet::new(70);
+        s.insert(69);
+        s.insert(69);
+        assert_eq!(s.len(), 1);
+        s.remove(69);
+        s.remove(69);
+        assert!(s.is_empty());
+        // Removing a never-inserted index is a no-op.
+        s.remove(0);
+        assert_eq!(s.first_from(0), None);
+    }
+
+    #[test]
+    fn first_from_lands_on_word_boundaries() {
+        // from == a multiple of 64 must not skip the word's bit 0,
+        // and from just past an active bit must find the next word.
+        let mut s = ActiveSet::new(256);
+        s.insert(64);
+        s.insert(191);
+        assert_eq!(s.first_from(0), Some(64));
+        assert_eq!(s.first_from(64), Some(64));
+        assert_eq!(s.first_from(65), Some(191));
+        assert_eq!(s.first_from(128), Some(191));
+        assert_eq!(s.first_from(192), None);
+    }
+
+    #[test]
     fn capacity_edges() {
         let mut s = ActiveSet::new(64);
         s.insert(63);

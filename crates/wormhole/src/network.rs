@@ -1,16 +1,14 @@
-//! The wormhole network model.
+//! The wormhole network model: the baseline round-robin policy over
+//! the shared VC fabric ([`noc_sim::fabric::VcFabric`]).
 //!
-//! Cycle processing order (all routers each cycle):
+//! The fabric owns the full cycle-accurate datapath — link arrivals,
+//! credits, NIC streaming, route computation, ejection, worklists.
+//! This crate supplies only what makes the network *wormhole*:
 //!
-//! 1. link arrivals are written into input VC buffers,
-//! 2. returned credits are applied,
-//! 3. NICs stream source-queue packets into their router's local
-//!    input port (one flit/cycle, one VC per packet),
-//! 4. route computation for new head flits,
-//! 5. virtual-channel allocation (round-robin),
-//! 6. switch allocation + traversal: each output port forwards at
-//!    most one flit per cycle, consuming a credit; the freed input
-//!    slot's credit travels upstream with a configurable delay.
+//! * plain FIFO source queues,
+//! * round-robin virtual-channel allocation,
+//! * round-robin switch allocation,
+//! * tail flits free downstream VCs immediately (no drain-before-reuse).
 //!
 //! The per-hop latency (router pipeline + link) is a single
 //! configurable constant, defaulting to 3 cycles like the paper's
@@ -18,78 +16,96 @@
 
 use std::collections::VecDeque;
 
-use noc_sim::flit::{FlitKind, NodeId, Packet, PacketId};
+use noc_sim::fabric::{
+    PolicyCtx, RouterPolicy, SwitchGrant, VcFabric, VcParams, VcRouter, LOCAL, PORTS,
+};
+use noc_sim::flit::{NodeId, Packet, PacketId};
 use noc_sim::routing::Direction;
-use noc_sim::{ActiveSet, FxHashMap, Network};
+use noc_sim::Network;
 
 use crate::config::WormholeConfig;
 
-const PORTS: usize = Direction::COUNT;
-const LOCAL: usize = 4;
-
-#[derive(Debug, Clone, Copy)]
-struct Flit {
-    id: PacketId,
-    dst: NodeId,
-    kind: FlitKind,
-}
-
-#[derive(Debug, Default)]
-struct VcBuf {
-    q: VecDeque<Flit>,
-    route: Option<usize>,
-    out_vc: Option<usize>,
-}
-
+/// The wormhole scheduling policy: FIFO sources, round-robin VC and
+/// switch allocation, immediate VC reuse on tail.
 #[derive(Debug)]
-struct Router {
-    /// `inputs[port][vc]`
-    inputs: Vec<Vec<VcBuf>>,
-    /// `out_owner[port][vc]`: which (in_port, in_vc) currently owns
-    /// the downstream VC reached through this output.
-    out_owner: Vec<Vec<Option<(usize, usize)>>>,
-    /// `credits[port][vc]`: free flit slots in the downstream VC.
-    credits: Vec<Vec<u32>>,
-    rr_va: [usize; PORTS],
-    rr_sa: [usize; PORTS],
+struct WormholePolicy {
+    /// Packets waiting to be flitized, per source node.
+    src: Vec<VecDeque<PacketId>>,
 }
 
-impl Router {
-    fn new(num_vcs: usize, vc_capacity: usize) -> Self {
-        Router {
-            inputs: (0..PORTS)
-                .map(|_| (0..num_vcs).map(|_| VcBuf::default()).collect())
-                .collect(),
-            out_owner: vec![vec![None; num_vcs]; PORTS],
-            credits: vec![vec![vc_capacity as u32; num_vcs]; PORTS],
-            rr_va: [0; PORTS],
-            rr_sa: [0; PORTS],
+impl RouterPolicy for WormholePolicy {
+    type Tag = ();
+    const DRAIN_BEFORE_REUSE: bool = false;
+
+    fn on_enqueue(&mut self, node: usize, id: PacketId, ctx: &mut PolicyCtx<'_>) {
+        self.src[node].push_back(id);
+        ctx.nic_work.insert(node);
+    }
+
+    fn peek_source(&self, node: usize) -> Option<PacketId> {
+        self.src[node].front().copied()
+    }
+
+    fn pop_source(&mut self, node: usize) -> (PacketId, ()) {
+        let id = self.src[node].pop_front().expect("peeked source packet");
+        (id, ())
+    }
+
+    fn source_idle(&self, node: usize) -> bool {
+        self.src[node].is_empty()
+    }
+
+    fn vc_allocate(&mut self, router: &mut VcRouter<()>, num_vcs: usize) {
+        for in_port in 0..PORTS {
+            for in_vc in 0..num_vcs {
+                let buf = &router.inputs[in_port][in_vc];
+                let Some(out) = buf.route else { continue };
+                if buf.out_vc.is_some() || !buf.q.front().is_some_and(|f| f.kind.is_head()) {
+                    continue;
+                }
+                let start = router.rr_va[out];
+                let free = (0..num_vcs)
+                    .map(|k| (start + k) % num_vcs)
+                    .find(|&v| router.out_owner[out][v].is_none());
+                if let Some(v) = free {
+                    router.out_owner[out][v] = Some((in_port, in_vc));
+                    router.inputs[in_port][in_vc].out_vc = Some(v);
+                    router.rr_va[out] = (v + 1) % num_vcs;
+                }
+            }
         }
     }
-}
 
-#[derive(Debug)]
-struct Nic {
-    /// Packets waiting to be flitized (ids into the in-flight map).
-    src_queue: VecDeque<PacketId>,
-    /// The packet currently streaming into the router, if any.
-    current: Option<Streaming>,
-    /// Free slots in each local input VC of the attached router.
-    credits: Vec<u32>,
-    /// Local VCs currently owned by an in-progress NIC packet.
-    owned: Vec<bool>,
-    rr: usize,
-    /// Flits received per partially ejected packet.
-    eject_progress: FxHashMap<PacketId, u16>,
-}
-
-#[derive(Debug)]
-struct Streaming {
-    id: PacketId,
-    dst: NodeId,
-    len: u16,
-    pos: u16,
-    vc: usize,
+    fn pick_winner(
+        &self,
+        router: &VcRouter<()>,
+        out_port: usize,
+        num_vcs: usize,
+    ) -> Option<SwitchGrant> {
+        // First candidate in round-robin order: an input VC routed
+        // here with a flit ready and downstream credit (ejection
+        // needs none).
+        let start = router.rr_sa[out_port];
+        for k in 0..PORTS * num_vcs {
+            let slot = (start + k) % (PORTS * num_vcs);
+            let (p, v) = (slot / num_vcs, slot % num_vcs);
+            let buf = &router.inputs[p][v];
+            if buf.route != Some(out_port) || buf.q.is_empty() {
+                continue;
+            }
+            let Some(ov) = buf.out_vc else { continue };
+            if out_port != LOCAL && router.credits[out_port][ov] == 0 {
+                continue;
+            }
+            return Some(SwitchGrant {
+                in_port: p,
+                in_vc: v,
+                out_vc: ov,
+                slot,
+            });
+        }
+        None
+    }
 }
 
 /// The baseline credit-based wormhole network.
@@ -98,55 +114,27 @@ struct Streaming {
 #[derive(Debug)]
 pub struct WormholeNetwork {
     cfg: WormholeConfig,
-    cycle: u64,
-    routers: Vec<Router>,
-    nics: Vec<Nic>,
-    /// In-flight flits per (node, input port): `(arrival, vc, flit)`.
-    wires: Vec<VecDeque<(u64, usize, Flit)>>,
-    /// Credit returns: `(due, node, port, vc)`; `port == LOCAL` means
-    /// the NIC credit pool of `node`.
-    credit_events: VecDeque<(u64, usize, usize, usize)>,
-    inflight: FxHashMap<PacketId, Packet>,
-    /// Flits forwarded per output link, index `node * 5 + port`.
-    forwarded: Vec<u64>,
-    /// Wires with queued flits, index `node * 5 + port`.
-    wire_work: ActiveSet,
-    /// NICs with a packet streaming or queued.
-    nic_work: ActiveSet,
-    /// Routers with at least one buffered input flit.
-    router_work: ActiveSet,
-    /// Buffered input flits per router (maintains `router_work`).
-    buffered: Vec<u32>,
+    fabric: VcFabric<WormholePolicy>,
 }
 
 impl WormholeNetwork {
     /// Builds the network.
     pub fn new(cfg: WormholeConfig) -> Self {
         let n = cfg.topo.num_nodes();
+        let params = VcParams {
+            topo: cfg.topo,
+            routing: cfg.routing,
+            num_vcs: cfg.num_vcs,
+            vc_capacity: cfg.vc_capacity,
+            hop_latency: cfg.hop_latency,
+            credit_delay: cfg.credit_delay,
+        };
+        let policy = WormholePolicy {
+            src: vec![VecDeque::new(); n],
+        };
         WormholeNetwork {
-            routers: (0..n)
-                .map(|_| Router::new(cfg.num_vcs, cfg.vc_capacity))
-                .collect(),
-            nics: (0..n)
-                .map(|_| Nic {
-                    src_queue: VecDeque::new(),
-                    current: None,
-                    credits: vec![cfg.vc_capacity as u32; cfg.num_vcs],
-                    owned: vec![false; cfg.num_vcs],
-                    rr: 0,
-                    eject_progress: FxHashMap::default(),
-                })
-                .collect(),
-            wires: vec![VecDeque::new(); n * PORTS],
-            credit_events: VecDeque::new(),
-            inflight: FxHashMap::default(),
-            forwarded: vec![0; n * PORTS],
-            wire_work: ActiveSet::new(n * PORTS),
-            nic_work: ActiveSet::new(n),
-            router_work: ActiveSet::new(n),
-            buffered: vec![0; n],
-            cycle: 0,
             cfg,
+            fabric: VcFabric::new(params, policy),
         }
     }
 
@@ -158,314 +146,29 @@ impl WormholeNetwork {
     /// Flits forwarded so far on the output link `(node, dir)` —
     /// divide by elapsed cycles for the link utilization.
     pub fn link_flits(&self, node: NodeId, dir: Direction) -> u64 {
-        self.forwarded[node.index() * PORTS + dir.index()]
-    }
-
-    fn deliver_arrivals(&mut self, now: u64) {
-        let mut cursor = 0;
-        while let Some(widx) = self.wire_work.first_from(cursor) {
-            cursor = widx + 1;
-            let node = widx / PORTS;
-            let port = widx % PORTS;
-            let wire = &mut self.wires[widx];
-            while wire.front().is_some_and(|&(t, _, _)| t <= now) {
-                let (_, vc, flit) = wire.pop_front().expect("checked front");
-                let buf = &mut self.routers[node].inputs[port][vc];
-                debug_assert!(
-                    buf.q.len() < self.cfg.vc_capacity,
-                    "credit protocol violated: buffer overflow"
-                );
-                buf.q.push_back(flit);
-                self.buffered[node] += 1;
-                self.router_work.insert(node);
-            }
-            if wire.is_empty() {
-                self.wire_work.remove(widx);
-            }
-        }
-    }
-
-    fn apply_credits(&mut self, now: u64) {
-        while self.credit_events.front().is_some_and(|&(t, ..)| t <= now) {
-            let (_, node, port, vc) = self.credit_events.pop_front().expect("checked front");
-            if port == LOCAL {
-                self.nics[node].credits[vc] += 1;
-            } else {
-                self.routers[node].credits[port][vc] += 1;
-            }
-        }
-    }
-
-    fn nic_inject(&mut self, now: u64) {
-        let mut cursor = 0;
-        while let Some(node) = self.nic_work.first_from(cursor) {
-            cursor = node + 1;
-            let nic = &mut self.nics[node];
-            if nic.current.is_none() {
-                if let Some(&pid) = nic.src_queue.front() {
-                    // Allocate a free local VC, round-robin.
-                    let v = (0..self.cfg.num_vcs)
-                        .map(|k| (nic.rr + k) % self.cfg.num_vcs)
-                        .find(|&v| !nic.owned[v]);
-                    if let Some(vc) = v {
-                        nic.src_queue.pop_front();
-                        nic.owned[vc] = true;
-                        nic.rr = (vc + 1) % self.cfg.num_vcs;
-                        let p = &self.inflight[&pid];
-                        nic.current = Some(Streaming {
-                            id: pid,
-                            dst: p.dst,
-                            len: p.len_flits,
-                            pos: 0,
-                            vc,
-                        });
-                    }
-                }
-            }
-            if let Some(cur) = &mut nic.current {
-                if nic.credits[cur.vc] > 0 {
-                    let kind = FlitKind::for_position(cur.pos, cur.len);
-                    let flit = Flit {
-                        id: cur.id,
-                        dst: cur.dst,
-                        kind,
-                    };
-                    nic.credits[cur.vc] -= 1;
-                    if cur.pos == 0 {
-                        self.inflight
-                            .get_mut(&cur.id)
-                            .expect("streaming packet is in flight")
-                            .injected_at = Some(now);
-                    }
-                    cur.pos += 1;
-                    let vc = cur.vc;
-                    let done = cur.pos == cur.len;
-                    if done {
-                        nic.owned[vc] = false;
-                        nic.current = None;
-                    }
-                    self.routers[node].inputs[LOCAL][vc].q.push_back(flit);
-                    self.buffered[node] += 1;
-                    self.router_work.insert(node);
-                }
-            }
-            let nic = &self.nics[node];
-            if nic.current.is_none() && nic.src_queue.is_empty() {
-                self.nic_work.remove(node);
-            }
-        }
-    }
-
-    fn route_compute(&mut self) {
-        let topo = self.cfg.topo;
-        let routing = self.cfg.routing;
-        let mut cursor = 0;
-        while let Some(node) = self.router_work.first_from(cursor) {
-            cursor = node + 1;
-            let router = &mut self.routers[node];
-            for port in router.inputs.iter_mut() {
-                for buf in port.iter_mut() {
-                    if buf.route.is_none() {
-                        if let Some(front) = buf.q.front() {
-                            if front.kind.is_head() {
-                                let dir =
-                                    routing.next_hop(&topo, NodeId::new(node as u32), front.dst);
-                                buf.route = Some(dir.index());
-                            }
-                        }
-                    }
-                }
-            }
-        }
-    }
-
-    fn vc_allocate(&mut self) {
-        let num_vcs = self.cfg.num_vcs;
-        let mut cursor = 0;
-        while let Some(node) = self.router_work.first_from(cursor) {
-            cursor = node + 1;
-            let router = &mut self.routers[node];
-            for in_port in 0..PORTS {
-                for in_vc in 0..num_vcs {
-                    let buf = &router.inputs[in_port][in_vc];
-                    let needs = buf.out_vc.is_none()
-                        && buf.route.is_some()
-                        && buf.q.front().is_some_and(|f| f.kind.is_head());
-                    if !needs {
-                        continue;
-                    }
-                    let out = buf.route.expect("checked above");
-                    let start = router.rr_va[out];
-                    let free = (0..num_vcs)
-                        .map(|k| (start + k) % num_vcs)
-                        .find(|&v| router.out_owner[out][v].is_none());
-                    if let Some(v) = free {
-                        router.out_owner[out][v] = Some((in_port, in_vc));
-                        router.inputs[in_port][in_vc].out_vc = Some(v);
-                        router.rr_va[out] = (v + 1) % num_vcs;
-                    }
-                }
-            }
-        }
-    }
-
-    fn switch_traverse(&mut self, now: u64, out: &mut Vec<Packet>) {
-        let num_vcs = self.cfg.num_vcs;
-        let topo = self.cfg.topo;
-        let mut cursor = 0;
-        while let Some(node) = self.router_work.first_from(cursor) {
-            cursor = node + 1;
-            for out_port in 0..PORTS {
-                // Gather candidates: input VCs routed here with a flit
-                // ready and downstream credit (ejection needs none).
-                let router = &self.routers[node];
-                let start = router.rr_sa[out_port];
-                let mut winner = None;
-                for k in 0..PORTS * num_vcs {
-                    let slot = (start + k) % (PORTS * num_vcs);
-                    let (p, v) = (slot / num_vcs, slot % num_vcs);
-                    let buf = &router.inputs[p][v];
-                    if buf.route != Some(out_port) || buf.q.is_empty() {
-                        continue;
-                    }
-                    let Some(ov) = buf.out_vc else { continue };
-                    if out_port != LOCAL && router.credits[out_port][ov] == 0 {
-                        continue;
-                    }
-                    winner = Some((p, v, ov, slot));
-                    break;
-                }
-                let Some((p, v, ov, slot)) = winner else {
-                    continue;
-                };
-                self.forwarded[node * PORTS + out_port] += 1;
-                let router = &mut self.routers[node];
-                router.rr_sa[out_port] = (slot + 1) % (PORTS * num_vcs);
-                let flit = router.inputs[p][v]
-                    .q
-                    .pop_front()
-                    .expect("winner has a flit");
-                self.buffered[node] -= 1;
-                if self.buffered[node] == 0 {
-                    self.router_work.remove(node);
-                }
-                if flit.kind.is_tail() {
-                    router.out_owner[out_port][ov] = None;
-                    router.inputs[p][v].route = None;
-                    router.inputs[p][v].out_vc = None;
-                }
-                if out_port != LOCAL {
-                    router.credits[out_port][ov] -= 1;
-                }
-                // Return the freed input-slot credit upstream.
-                if p == LOCAL {
-                    self.credit_events
-                        .push_back((now + self.cfg.credit_delay, node, LOCAL, v));
-                } else {
-                    let dir = Direction::from_index(p);
-                    let upstream = topo
-                        .neighbor(NodeId::new(node as u32), dir)
-                        .expect("input port implies a neighbor");
-                    self.credit_events.push_back((
-                        now + self.cfg.credit_delay,
-                        upstream.index(),
-                        dir.opposite().index(),
-                        v,
-                    ));
-                }
-                if out_port == LOCAL {
-                    self.eject(node, flit, now, out);
-                } else {
-                    let dir = Direction::from_index(out_port);
-                    let next = topo
-                        .neighbor(NodeId::new(node as u32), dir)
-                        .expect("route leads to a neighbor");
-                    let in_port = dir.opposite().index();
-                    let widx = next.index() * PORTS + in_port;
-                    self.wires[widx].push_back((now + self.cfg.hop_latency, ov, flit));
-                    self.wire_work.insert(widx);
-                }
-            }
-        }
-    }
-
-    /// Full-scan cross-check of every worklist invariant (debug
-    /// builds only): the active sets must contain exactly the indices
-    /// a naive scan would find work at.
-    #[cfg(debug_assertions)]
-    fn debug_verify_worklists(&self) {
-        for (i, wire) in self.wires.iter().enumerate() {
-            debug_assert_eq!(
-                self.wire_work.contains(i),
-                !wire.is_empty(),
-                "wire_work[{i}]"
-            );
-        }
-        for (n, nic) in self.nics.iter().enumerate() {
-            let active = nic.current.is_some() || !nic.src_queue.is_empty();
-            debug_assert_eq!(self.nic_work.contains(n), active, "nic_work[{n}]");
-        }
-        for (n, router) in self.routers.iter().enumerate() {
-            let count: u32 = router
-                .inputs
-                .iter()
-                .flat_map(|port| port.iter().map(|buf| buf.q.len() as u32))
-                .sum();
-            debug_assert_eq!(self.buffered[n], count, "buffered[{n}]");
-            debug_assert_eq!(self.router_work.contains(n), count > 0, "router_work[{n}]");
-        }
-    }
-
-    fn eject(&mut self, node: usize, flit: Flit, now: u64, out: &mut Vec<Packet>) {
-        let nic = &mut self.nics[node];
-        let seen = nic.eject_progress.entry(flit.id).or_insert(0);
-        *seen += 1;
-        let total = self.inflight[&flit.id].len_flits;
-        if *seen == total {
-            nic.eject_progress.remove(&flit.id);
-            let mut packet = self
-                .inflight
-                .remove(&flit.id)
-                .expect("ejecting packet is in flight");
-            packet.ejected_at = Some(now);
-            debug_assert_eq!(packet.dst.index(), node, "packet ejected at wrong node");
-            out.push(packet);
-        }
+        self.fabric.link_flits(node, dir)
     }
 }
 
 impl Network for WormholeNetwork {
     fn num_nodes(&self) -> usize {
-        self.routers.len()
+        self.fabric.num_nodes()
     }
 
     fn cycle(&self) -> u64 {
-        self.cycle
+        self.fabric.cycle()
     }
 
     fn enqueue(&mut self, packet: Packet) {
-        let node = packet.src.index();
-        let id = packet.id;
-        self.inflight.insert(id, packet);
-        self.nics[node].src_queue.push_back(id);
-        self.nic_work.insert(node);
+        self.fabric.enqueue(packet);
     }
 
     fn step(&mut self, out: &mut Vec<Packet>) {
-        #[cfg(debug_assertions)]
-        self.debug_verify_worklists();
-        let now = self.cycle;
-        self.deliver_arrivals(now);
-        self.apply_credits(now);
-        self.nic_inject(now);
-        self.route_compute();
-        self.vc_allocate();
-        self.switch_traverse(now, out);
-        self.cycle = now + 1;
+        self.fabric.step(out);
     }
 
     fn in_flight(&self) -> usize {
-        self.inflight.len()
+        self.fabric.in_flight()
     }
 }
 
@@ -536,7 +239,8 @@ mod tests {
         let out = run_until_empty(&mut net, 20_000);
         assert_eq!(out.len(), 240);
         // Every packet reached its own destination (checked by the
-        // debug assertion in eject) and has sane timestamps.
+        // debug assertion in the fabric's ejection path) and has sane
+        // timestamps.
         for p in &out {
             assert!(p.injected_at.unwrap() <= p.ejected_at.unwrap());
         }

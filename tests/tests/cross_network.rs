@@ -143,6 +143,99 @@ fn frs_beats_gsf_on_back_to_back_stream() {
     );
 }
 
+/// Drives a fixed half-way-around pattern (3 packets per node, node
+/// `i` → node `(i + n/2) % n`) to completion and returns the sorted
+/// per-packet ejection times. Destination correctness is checked by
+/// the fabric's debug assertions while draining.
+fn drain_pattern<N: Network>(mut net: N) -> Vec<(u32, u64, u64)> {
+    let n = net.num_nodes() as u32;
+    for node in 0..n {
+        let dst = (node + n / 2) % n;
+        for seq in 0..3 {
+            net.enqueue(Packet::new(
+                PacketId {
+                    flow: FlowId::new(node),
+                    seq,
+                },
+                NodeId::new(node),
+                NodeId::new(dst),
+                4,
+                0,
+            ));
+        }
+    }
+    let mut out = Vec::new();
+    let mut guard = 0;
+    while net.in_flight() > 0 {
+        net.step(&mut out);
+        guard += 1;
+        assert!(guard < 200_000, "network failed to drain");
+    }
+    let mut done: Vec<(u32, u64, u64)> = out
+        .iter()
+        .map(|p| (p.id.flow.index() as u32, p.id.seq, p.ejected_at.unwrap()))
+        .collect();
+    done.sort_unstable();
+    done
+}
+
+fn loft_on(topo: Topology) -> LoftNetwork {
+    let cfg = LoftConfig {
+        topo,
+        frame_size: 64,
+        nonspec_buffer: 64,
+        ..LoftConfig::default()
+    };
+    LoftNetwork::new(cfg, &vec![8; topo.num_nodes()])
+}
+
+fn gsf_on(topo: Topology) -> GsfNetwork {
+    GsfNetwork::new(GsfConfig::on(topo), &vec![100; topo.num_nodes()])
+}
+
+/// Every network delivers every packet on a 4×4 torus — the wrap
+/// links (which the mesh goldens never exercise) carry real traffic.
+#[test]
+fn all_networks_deliver_on_torus() {
+    let topo = Topology::torus(4, 4);
+    for done in [
+        drain_pattern(WormholeNetwork::new(WormholeConfig::on(topo))),
+        drain_pattern(gsf_on(topo)),
+        drain_pattern(loft_on(topo)),
+    ] {
+        assert_eq!(done.len(), 16 * 3);
+    }
+}
+
+/// Every network delivers every packet on an 8-node ring (1-D line:
+/// only East/West ports ever carry traffic).
+#[test]
+fn all_networks_deliver_on_ring() {
+    let topo = Topology::ring(8);
+    for done in [
+        drain_pattern(WormholeNetwork::new(WormholeConfig::on(topo))),
+        drain_pattern(gsf_on(topo)),
+        drain_pattern(loft_on(topo)),
+    ] {
+        assert_eq!(done.len(), 8 * 3);
+    }
+}
+
+/// Identical runs on torus and ring produce identical per-packet
+/// ejection times for all three networks (determinism beyond the
+/// mesh goldens).
+#[test]
+fn torus_and_ring_runs_are_deterministic() {
+    for topo in [Topology::torus(4, 4), Topology::ring(8)] {
+        assert_eq!(
+            drain_pattern(WormholeNetwork::new(WormholeConfig::on(topo))),
+            drain_pattern(WormholeNetwork::new(WormholeConfig::on(topo)))
+        );
+        assert_eq!(drain_pattern(gsf_on(topo)), drain_pattern(gsf_on(topo)));
+        assert_eq!(drain_pattern(loft_on(topo)), drain_pattern(loft_on(topo)));
+    }
+}
+
 /// The storage model agrees with the simulator's configuration types
 /// end-to-end (Table 2 headline).
 #[test]
