@@ -1,6 +1,6 @@
 //! Hot-loop throughput benchmark: simulated cycles/second and
 //! delivered packets/second for each network architecture, at a low
-//! load point and near saturation.
+//! load point, near saturation, and under hotspot traffic.
 //!
 //! Run with:
 //!
@@ -14,7 +14,8 @@
 //! {"net":"loft","scenario":"uniform","load":0.05,"sim_cycles":24000,
 //!  "wall_secs":0.0123,"cycles_per_sec":1951219.5,
 //!  "packets_delivered":730,"packets_per_sec":59349.6,
-//!  "flits_delivered":2920,"avg_latency":27.41}
+//!  "flits_delivered":2920,"avg_latency":27.41,
+//!  "allocs_per_cycle":null}
 //! ```
 //!
 //! `cycles_per_sec` is the headline number for hot-path optimization
@@ -22,13 +23,22 @@
 //! simulations are fully deterministic, so the simulated work is
 //! identical and only the wall clock moves).
 //!
-//! `--smoke` runs a single tiny low-load point per network with one
-//! timed iteration — a seconds-long CI check that the harness and all
-//! three hot loops still run end to end (the numbers it prints are
-//! not comparable across machines).
+//! `allocs_per_cycle` is the steady-state allocation rate: heap
+//! allocations between the warmup/measurement boundary and the end of
+//! the run, divided by the measurement window. It requires the
+//! `alloc-count` feature (which installs a counting global allocator)
+//! and prints `null` without it. With `--alloc-budget X` the process
+//! exits nonzero if any measured point exceeds `X` — the CI gate that
+//! keeps the steady state allocation-free.
+//!
+//! `--smoke` runs tiny windows with one timed iteration — a
+//! seconds-long CI check that the harness and all three hot loops
+//! still run end to end (the numbers it prints are not comparable
+//! across machines, but `allocs_per_cycle` is machine-independent and
+//! gateable even in smoke mode).
 
 use loft::LoftConfig;
-use loft_bench::{run_gsf, run_loft, run_wormhole, SEED};
+use loft_bench::{run_gsf_hooked, run_loft_hooked, run_wormhole_hooked, SEED};
 use noc_gsf::GsfConfig;
 use noc_sim::{RunConfig, SimReport};
 use noc_traffic::Scenario;
@@ -54,59 +64,108 @@ fn run(smoke: bool) -> RunConfig {
     }
 }
 
+/// Runs one benchmark point and prints its JSON line. `f` receives
+/// the `after_warmup` hook to pass through to the simulation; the
+/// untimed first run uses it to snapshot the allocation counter at
+/// the warmup/measurement boundary. Returns the measured
+/// `allocs_per_cycle` (`None` without the `alloc-count` feature).
 fn measure(
     net: &str,
     scenario: &str,
     load: f64,
     iters: u32,
     cfg: RunConfig,
-    f: impl Fn() -> SimReport,
-) {
-    // One untimed warmup run, then the mean of `iters` timed runs.
-    let report = f();
+    f: impl Fn(&mut dyn FnMut()) -> SimReport,
+) -> Option<f64> {
+    // One untimed warmup run (doubling as the allocation
+    // measurement), then the mean of `iters` timed runs.
+    #[cfg(feature = "alloc-count")]
+    let (report, allocs_per_cycle) = {
+        let mut at_boundary = 0u64;
+        let report = f(&mut || at_boundary = loft_bench::alloc_count::total());
+        let after = loft_bench::alloc_count::total();
+        // The counted span also covers the drain phase, so dividing
+        // by the measurement window alone slightly overestimates the
+        // rate — conservative for a budget gate.
+        let apc = (after - at_boundary) as f64 / cfg.measure as f64;
+        (report, Some(apc))
+    };
+    #[cfg(not(feature = "alloc-count"))]
+    let (report, allocs_per_cycle) = (f(&mut || {}), None::<f64>);
+
     let start = std::time::Instant::now();
     for _ in 0..iters {
-        std::hint::black_box(f());
+        std::hint::black_box(f(&mut || {}));
     }
     let wall = start.elapsed().as_secs_f64() / f64::from(iters);
 
     let sim_cycles = cfg.warmup + cfg.measure + cfg.drain;
     let packets = report.total_latency.count();
+    let allocs = allocs_per_cycle.map_or_else(|| "null".to_string(), |a| format!("{a:.4}"));
     println!(
         "{{\"net\":\"{net}\",\"scenario\":\"{scenario}\",\"load\":{load},\
          \"sim_cycles\":{sim_cycles},\"wall_secs\":{wall:.6},\
          \"cycles_per_sec\":{:.1},\"packets_delivered\":{packets},\
          \"packets_per_sec\":{:.1},\"flits_delivered\":{},\
-         \"avg_latency\":{:.4}}}",
+         \"avg_latency\":{:.4},\"allocs_per_cycle\":{allocs}}}",
         sim_cycles as f64 / wall,
         packets as f64 / wall,
         report.flits_delivered,
         report.avg_latency(),
     );
+    allocs_per_cycle
 }
 
 fn main() {
-    let smoke = std::env::args().any(|a| a == "--smoke");
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let budget: Option<f64> = args.iter().position(|a| a == "--alloc-budget").map(|i| {
+        args.get(i + 1)
+            .and_then(|v| v.parse().ok())
+            .expect("--alloc-budget takes a numeric argument")
+    });
+    if budget.is_some() && cfg!(not(feature = "alloc-count")) {
+        eprintln!("--alloc-budget requires --features alloc-count (nothing to gate on)");
+        std::process::exit(1);
+    }
+
     let cfg = run(smoke);
     let iters = if smoke { 1 } else { 5 };
     // Low load: the hot loop is dominated by per-cycle scans over
     // mostly-idle state — exactly what active-set worklists target.
-    // Near saturation: dominated by real queue/allocator work.
-    let points: &[f64] = if smoke { &[0.05] } else { &[0.05, 0.60] };
-    for &load in points {
-        measure("loft", "uniform", load, iters, cfg, || {
-            run_loft(&Scenario::uniform(load), LoftConfig::default(), cfg, SEED)
-        });
-        measure("gsf", "uniform", load, iters, cfg, || {
-            run_gsf(&Scenario::uniform(load), GsfConfig::default(), cfg, SEED)
-        });
-        measure("wormhole", "uniform", load, iters, cfg, || {
-            run_wormhole(
-                &Scenario::uniform(load),
-                WormholeConfig::default(),
-                cfg,
-                SEED,
-            )
-        });
+    // Near saturation: dominated by real queue and slab work, which
+    // is where steady-state allocations would hide. Hotspot
+    // concentrates that pressure on a few links.
+    let points: &[(&str, f64)] = if smoke {
+        &[("uniform", 0.05), ("uniform", 0.60)]
+    } else {
+        &[("uniform", 0.05), ("uniform", 0.60), ("hotspot", 0.60)]
+    };
+    let mut worst: f64 = 0.0;
+    for &(scenario, load) in points {
+        let make = |sc: &str| match sc {
+            "uniform" => Scenario::uniform(load),
+            "hotspot" => Scenario::hotspot(load),
+            _ => unreachable!(),
+        };
+        let rows = [
+            measure("loft", scenario, load, iters, cfg, |hook| {
+                run_loft_hooked(&make(scenario), LoftConfig::default(), cfg, SEED, hook)
+            }),
+            measure("gsf", scenario, load, iters, cfg, |hook| {
+                run_gsf_hooked(&make(scenario), GsfConfig::default(), cfg, SEED, hook)
+            }),
+            measure("wormhole", scenario, load, iters, cfg, |hook| {
+                run_wormhole_hooked(&make(scenario), WormholeConfig::default(), cfg, SEED, hook)
+            }),
+        ];
+        worst = rows.iter().flatten().fold(worst, |w, &a| w.max(a));
+    }
+    if let Some(b) = budget {
+        if worst > b {
+            eprintln!("alloc budget exceeded: worst allocs_per_cycle {worst:.4} > budget {b}");
+            std::process::exit(1);
+        }
+        eprintln!("alloc budget ok: worst allocs_per_cycle {worst:.4} <= budget {b}");
     }
 }

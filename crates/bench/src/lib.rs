@@ -25,6 +25,49 @@ use noc_wormhole::{WormholeConfig, WormholeNetwork};
 /// Default seed for all experiments (fully deterministic runs).
 pub const SEED: u64 = 0xC0FFEE;
 
+/// Allocation counting for the zero-allocation steady-state gate
+/// (`alloc-count` feature): wraps the system allocator, counting
+/// every `alloc`/`realloc` so the `perf` binary can report
+/// `allocs_per_cycle` and CI can fail when the steady state regresses
+/// into per-cycle heap traffic.
+#[cfg(feature = "alloc-count")]
+pub mod alloc_count {
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+    /// System allocator wrapper that counts allocations.
+    pub struct CountingAlloc;
+
+    // SAFETY: defers every operation to `System`; the counter is a
+    // relaxed atomic with no other side effects.
+    unsafe impl GlobalAlloc for CountingAlloc {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            unsafe { System.alloc(layout) }
+        }
+
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            unsafe { System.dealloc(ptr, layout) }
+        }
+
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            unsafe { System.realloc(ptr, layout, new_size) }
+        }
+    }
+
+    #[global_allocator]
+    static GLOBAL: CountingAlloc = CountingAlloc;
+
+    /// Heap allocations (including reallocations) since process
+    /// start.
+    pub fn total() -> u64 {
+        ALLOCS.load(Ordering::Relaxed)
+    }
+}
+
 /// Runs a scenario on a LOFT network.
 ///
 /// # Panics
@@ -32,11 +75,28 @@ pub const SEED: u64 = 0xC0FFEE;
 /// Panics if the scenario's reservations are infeasible for the
 /// configured frame size.
 pub fn run_loft(scenario: &Scenario, cfg: LoftConfig, run: RunConfig, seed: u64) -> SimReport {
+    run_loft_hooked(scenario, cfg, run, seed, || {})
+}
+
+/// [`run_loft`] with an `after_warmup` hook (see
+/// [`Simulation::run_hooked`]); the allocation-counting perf harness
+/// snapshots its counter there.
+///
+/// # Panics
+///
+/// Same conditions as [`run_loft`].
+pub fn run_loft_hooked(
+    scenario: &Scenario,
+    cfg: LoftConfig,
+    run: RunConfig,
+    seed: u64,
+    after_warmup: impl FnMut(),
+) -> SimReport {
     let reservations = scenario
         .reservations(cfg.frame_size)
         .expect("scenario reservations must fit the LOFT frame");
     let network = LoftNetwork::new(cfg, &reservations);
-    Simulation::new(network, scenario.workload(seed), run).run()
+    Simulation::new(network, scenario.workload(seed), run).run_hooked(after_warmup)
 }
 
 /// Runs a scenario on a GSF network.
@@ -46,11 +106,27 @@ pub fn run_loft(scenario: &Scenario, cfg: LoftConfig, run: RunConfig, seed: u64)
 /// Panics if the scenario's reservations are infeasible for the
 /// configured frame size.
 pub fn run_gsf(scenario: &Scenario, cfg: GsfConfig, run: RunConfig, seed: u64) -> SimReport {
+    run_gsf_hooked(scenario, cfg, run, seed, || {})
+}
+
+/// [`run_gsf`] with an `after_warmup` hook (see
+/// [`Simulation::run_hooked`]).
+///
+/// # Panics
+///
+/// Same conditions as [`run_gsf`].
+pub fn run_gsf_hooked(
+    scenario: &Scenario,
+    cfg: GsfConfig,
+    run: RunConfig,
+    seed: u64,
+    after_warmup: impl FnMut(),
+) -> SimReport {
     let reservations = scenario
         .reservations(cfg.frame_size)
         .expect("scenario reservations must fit the GSF frame");
     let network = GsfNetwork::new(cfg, &reservations);
-    Simulation::new(network, scenario.workload(seed), run).run()
+    Simulation::new(network, scenario.workload(seed), run).run_hooked(after_warmup)
 }
 
 /// Runs a scenario on the baseline wormhole network (no QoS).
@@ -60,8 +136,20 @@ pub fn run_wormhole(
     run: RunConfig,
     seed: u64,
 ) -> SimReport {
+    run_wormhole_hooked(scenario, cfg, run, seed, || {})
+}
+
+/// [`run_wormhole`] with an `after_warmup` hook (see
+/// [`Simulation::run_hooked`]).
+pub fn run_wormhole_hooked(
+    scenario: &Scenario,
+    cfg: WormholeConfig,
+    run: RunConfig,
+    seed: u64,
+    after_warmup: impl FnMut(),
+) -> SimReport {
     let network = WormholeNetwork::new(cfg);
-    Simulation::new(network, scenario.workload(seed), run).run()
+    Simulation::new(network, scenario.workload(seed), run).run_hooked(after_warmup)
 }
 
 /// Maps `f` over `items` on a bounded pool of scoped worker threads,

@@ -29,8 +29,6 @@
 //! scheduler returning a departure at slot `d` increments
 //! `credit(d..)`.
 
-use std::collections::BTreeMap;
-
 use noc_sim::flit::FlowId;
 
 /// Static parameters of one link scheduler.
@@ -109,12 +107,40 @@ pub struct LinkScheduler {
     ctotal: i64,
     /// Ring of busy flags.
     busy: Vec<bool>,
+    /// Busy slots per frame, index `frame % WF` — lets the Algorithm 2
+    /// slot search (`try_find`) bail out in O(1) when a frame is fully
+    /// booked (the common case at saturation).
+    frame_busy: Vec<u32>,
+    /// Per-frame sums of `cdelta`, index `frame % (WF + 1)`:
+    /// `frame_delta[f]` is `Σ cdelta[ring(s)]` over the in-window
+    /// slots of absolute frame `f`. Condition (1) only ever reads the
+    /// credit at a frame boundary, which is `cbase` plus whole-frame
+    /// sums — so the per-retry hot path of a stalled look-ahead flit
+    /// costs O(WF) adds instead of O(log window) Fenwick walks. The
+    /// ring is one longer than `WF` because the window spans partial
+    /// head and tail frames that share `frame % WF`.
+    frame_delta: Vec<i64>,
+    /// `ring(cp)`, maintained incrementally so the per-slot hot paths
+    /// never divide by the window size.
+    cp_ring: usize,
+    /// `cp / F`, maintained incrementally (see `cp_ring`).
+    head: u64,
+    /// `head % WF`, maintained incrementally (see `cp_ring`).
+    head_ring: usize,
+    /// `cp % F`, maintained incrementally (see `cp_ring`).
+    frame_pos: u32,
     /// Per-frame skipped counters (quanta), index `frame % WF`.
     skipped: Vec<u32>,
     /// Registered flows, dense by flow id.
     flows: Vec<FlowLsf>,
-    /// Scheduled-but-not-yet-forwarded quanta, keyed by slot.
-    pending: BTreeMap<u64, PendingQuantum>,
+    /// Scheduled-but-not-yet-forwarded quanta, sorted by slot. A
+    /// sorted vector, not a tree: the set holds a handful of entries,
+    /// the data plane polls the minimum on every output link of every
+    /// active node each slot, and a vector reuses its buffer forever
+    /// where a `BTreeMap` would allocate and free nodes every time
+    /// the set drains and refills (which at steady state is every
+    /// few slots on every active link).
+    pending: Vec<(u64, PendingQuantum)>,
     /// Set whenever state changed in a way that could unblock a
     /// previously failed scheduling attempt.
     dirty: bool,
@@ -148,6 +174,12 @@ impl LinkScheduler {
             ctree: vec![0; window],
             ctotal: 0,
             busy: vec![false; window],
+            frame_busy: vec![0; params.frame_window as usize],
+            frame_delta: vec![0; params.frame_window as usize + 1],
+            cp_ring: 0,
+            head: 0,
+            head_ring: 0,
+            frame_pos: 0,
             skipped: vec![0; params.frame_window as usize],
             flows: reservations_flits
                 .iter()
@@ -159,7 +191,7 @@ impl LinkScheduler {
                     epoch: 0,
                 })
                 .collect(),
-            pending: BTreeMap::new(),
+            pending: Vec::new(),
             dirty: true,
             reset_epoch: 0,
             fresh: true,
@@ -180,7 +212,7 @@ impl LinkScheduler {
 
     /// Absolute head frame number (`cp / F`).
     pub fn head_frame(&self) -> u64 {
-        self.cp / self.params.frame_quanta as u64
+        self.head
     }
 
     /// Number of local status resets performed.
@@ -196,7 +228,17 @@ impl LinkScheduler {
     }
 
     fn ring(&self, slot: u64) -> usize {
-        (slot % self.params.window_quanta()) as usize
+        // Every caller passes a slot inside the live window
+        // `[cp, cp + window)`, so the ring index follows from `cp`'s
+        // maintained index by wraparound addition — no division.
+        debug_assert!(slot >= self.cp && slot < self.cp + self.params.window_quanta());
+        let d = (slot - self.cp) as usize + self.cp_ring;
+        let w = self.cdelta.len();
+        if d >= w {
+            d - w
+        } else {
+            d
+        }
     }
 
     /// Adds `v` to `cdelta[i]`'s mirror in the Fenwick tree.
@@ -253,8 +295,9 @@ impl LinkScheduler {
     }
 
     /// The earliest scheduled-and-unforwarded quantum, if any.
+    #[inline]
     pub fn first_pending(&self) -> Option<(u64, PendingQuantum)> {
-        self.pending.iter().next().map(|(&s, &p)| (s, p))
+        self.pending.first().copied()
     }
 
     /// Number of scheduled-and-unforwarded quanta.
@@ -269,32 +312,59 @@ impl LinkScheduler {
     /// reservations and the incoming fresh frame's `skipped` counter
     /// clears.
     pub fn advance_slot(&mut self) {
-        let leaving = self.cp;
-        let idx = self.ring(leaving);
-        // The ring entry now represents slot `leaving + window`: it
+        let idx = self.cp_ring;
+        // The ring entry now represents slot `cp + window`: it
         // inherits the credit of the youngest slot (delta 0 — the
         // entry is already 0 by the `cdelta[ring(cp)] == 0`
         // invariant) and is not busy.
-        self.busy[idx] = false;
-        self.cp = leaving + 1;
+        if self.busy[idx] {
+            self.busy[idx] = false;
+            self.frame_busy[self.head_ring] -= 1;
+        }
+        self.cp += 1;
+        self.cp_ring += 1;
+        if self.cp_ring == self.cdelta.len() {
+            self.cp_ring = 0;
+        }
         // Fold the new base slot's delta into `cbase` so the
         // invariant holds for the new `cp`.
-        let nb = self.ring(self.cp);
+        let nb = self.cp_ring;
         let d = self.cdelta[nb];
         if d != 0 {
             self.cbase += d;
             self.cdelta[nb] = 0;
             self.ctree_add(nb, -d);
+            // The folded slot is the new `cp`: frame `head`, unless
+            // this advance crosses into the next frame.
+            let nf = if self.frame_pos + 1 == self.params.frame_quanta {
+                self.head + 1
+            } else {
+                self.head
+            };
+            let m = self.frame_delta.len() as u64;
+            self.frame_delta[(nf % m) as usize] -= d;
         }
-        let fq = self.params.frame_quanta as u64;
-        if self.cp.is_multiple_of(fq) {
+        self.frame_pos += 1;
+        if self.frame_pos == self.params.frame_quanta {
             // Head frame recycled: flows stuck at the old head catch
             // up lazily in `normalize_flow` on their next access —
             // eagerly sweeping every registered flow here would cost
             // O(flows) per frame on every link in the network.
-            let new_head = self.cp / fq;
-            let fresh = new_head + self.params.frame_window as u64 - 1;
-            self.skipped[(fresh % self.params.frame_window as u64) as usize] = 0;
+            self.frame_pos = 0;
+            self.head += 1;
+            self.head_ring += 1;
+            if self.head_ring == self.skipped.len() {
+                self.head_ring = 0;
+            }
+            // The fresh incoming frame `head + WF − 1` maps to the
+            // ring entry just behind the new head.
+            let fresh = if self.head_ring == 0 {
+                self.skipped.len() - 1
+            } else {
+                self.head_ring - 1
+            };
+            debug_assert_eq!(self.frame_busy[fresh], 0, "future frame has busy slots");
+            self.skipped[fresh] = 0;
             self.dirty = true;
         }
     }
@@ -334,11 +404,31 @@ impl LinkScheduler {
         if frame == head {
             return true;
         }
-        let fq = self.params.frame_quanta as u64;
-        let prior = frame * fq - 1;
-        debug_assert!(prior >= self.cp);
+        // `Prior` is the last slot of frame `frame − 1`, so its credit
+        // is `cbase` plus the whole-frame delta sums of every earlier
+        // in-window frame — no Fenwick walk.
+        let m = self.frame_delta.len();
+        let mut credit = self.cbase;
+        let mut gi = (head % m as u64) as usize;
+        for _ in head..frame {
+            credit += self.frame_delta[gi];
+            gi += 1;
+            if gi == m {
+                gi = 0;
+            }
+        }
+        #[cfg(debug_assertions)]
+        {
+            let prior = frame * self.params.frame_quanta as u64 - 1;
+            debug_assert!(prior >= self.cp);
+            debug_assert_eq!(
+                credit,
+                self.credit_value(prior),
+                "frame_delta sums diverged from the Fenwick credit"
+            );
+        }
         let skipped = self.skipped[(frame % self.params.frame_window as u64) as usize];
-        (self.params.frame_quanta.saturating_sub(skipped)) as i64 <= self.credit_value(prior)
+        (self.params.frame_quanta.saturating_sub(skipped)) as i64 <= credit
     }
 
     /// Algorithm 2: searches `frame` for a valid slot at or after
@@ -357,24 +447,67 @@ impl LinkScheduler {
         if candidate >= end {
             return None;
         }
-        // One O(log window) reconstruction for the first candidate;
-        // each later candidate updates the running value with the
-        // O(1) neighbouring delta.
-        let mut credit = if self.params.sink {
-            0
+        // Fully booked frame (the common case at saturation): every
+        // in-window slot of the frame is busy, so no candidate can
+        // exist — bail without scanning.
+        let in_window = end - (frame * fq).max(self.cp);
+        if self.frame_busy[(frame % self.params.frame_window as u64) as usize] as u64 >= in_window {
+            return None;
+        }
+        let w = self.cdelta.len();
+        // Reconstruct the first candidate's credit from the nearest
+        // cheap anchor — `cbase` plus whole-frame `frame_delta` sums
+        // up to the frame boundary, then a short `cdelta` walk to the
+        // candidate (usually a handful of slots past `cp` or the
+        // frame start) — instead of an O(log window) Fenwick descent.
+        let base = if frame == head { self.cp } else { frame * fq };
+        let mut idx = self.ring(base);
+        let mut credit = 0;
+        if !self.params.sink {
+            let m = self.frame_delta.len();
+            credit = self.cbase;
+            let mut gi = (head % m as u64) as usize;
+            for _ in head..frame {
+                credit += self.frame_delta[gi];
+                gi += 1;
+                if gi == m {
+                    gi = 0;
+                }
+            }
+            // `cdelta[ring(cp)]` is zero by invariant, so starting
+            // the inclusive walk at `base` is exact for both anchors.
+            credit += self.cdelta[idx];
+            let mut s = base;
+            while s < candidate {
+                s += 1;
+                idx += 1;
+                if idx == w {
+                    idx = 0;
+                }
+                credit += self.cdelta[idx];
+            }
+            debug_assert_eq!(
+                credit,
+                self.credit_value(candidate),
+                "incremental credit walk diverged from the Fenwick credit"
+            );
         } else {
-            self.credit_value(candidate)
-        };
+            idx = self.ring(candidate);
+        }
         loop {
-            if !self.busy[self.ring(candidate)] && (self.params.sink || credit > 0) {
+            if !self.busy[idx] && (self.params.sink || credit > 0) {
                 return Some(candidate);
             }
             candidate += 1;
             if candidate >= end {
                 return None;
             }
+            idx += 1;
+            if idx == w {
+                idx = 0;
+            }
             if !self.params.sink {
-                credit += self.cdelta[self.ring(candidate)];
+                credit += self.cdelta[idx];
             }
         }
     }
@@ -408,14 +541,18 @@ impl LinkScheduler {
                 if let Some(slot) = self.try_find(st.frame, earliest) {
                     let idx = self.ring(slot);
                     self.busy[idx] = true;
+                    self.frame_busy[(st.frame % window) as usize] += 1;
                     if !self.params.sink {
-                        self.consume_credit(slot);
+                        self.consume_credit(slot, st.frame);
                     }
                     let st = &mut self.flows[flow.index()];
                     st.c_flits = st.c_flits.saturating_sub(q);
                     st.last_slot = slot;
-                    let prev = self.pending.insert(slot, entry);
-                    debug_assert!(prev.is_none(), "slot double-booked");
+                    let at = self
+                        .pending
+                        .binary_search_by_key(&slot, |&(s, _)| s)
+                        .expect_err("slot double-booked");
+                    self.pending.insert(at, (slot, entry));
                     self.fresh = false;
                     return Some(slot);
                 }
@@ -437,9 +574,11 @@ impl LinkScheduler {
 
     /// Consumes one unit of virtual credit from `slot` to the end of
     /// the window (a quantum will occupy the downstream buffer from
-    /// its arrival until its — yet unknown — departure).
-    fn consume_credit(&mut self, slot: u64) {
+    /// its arrival until its — yet unknown — departure). `frame` is
+    /// the absolute frame containing `slot` (the caller knows it).
+    fn consume_credit(&mut self, slot: u64, frame: u64) {
         debug_assert!(slot >= self.cp && slot < self.cp + self.params.window_quanta());
+        debug_assert_eq!(frame, slot / self.params.frame_quanta as u64);
         // Decrementing the suffix `credit(slot..)` is one point
         // update in the difference representation.
         if slot == self.cp {
@@ -448,6 +587,8 @@ impl LinkScheduler {
             let idx = self.ring(slot);
             self.cdelta[idx] -= 1;
             self.ctree_add(idx, -1);
+            let m = self.frame_delta.len() as u64;
+            self.frame_delta[(frame % m) as usize] -= 1;
         }
     }
 
@@ -465,6 +606,9 @@ impl LinkScheduler {
             let idx = self.ring(start);
             self.cdelta[idx] += 1;
             self.ctree_add(idx, 1);
+            let frame = start / self.params.frame_quanta as u64;
+            let m = self.frame_delta.len() as u64;
+            self.frame_delta[(frame % m) as usize] += 1;
         }
         // A return beyond the window is dropped, exactly like the
         // paper's bounded table: the slot is not representable yet.
@@ -480,13 +624,19 @@ impl LinkScheduler {
     ///
     /// Panics if no quantum is pending at `slot`.
     pub fn complete(&mut self, slot: u64) -> PendingQuantum {
-        let entry = self
+        let at = self
             .pending
-            .remove(&slot)
+            .binary_search_by_key(&slot, |&(s, _)| s)
             .expect("completing a slot with no pending quantum");
+        let (_, entry) = self.pending.remove(at);
         if slot >= self.cp && slot < self.cp + self.params.window_quanta() {
             let idx = self.ring(slot);
-            self.busy[idx] = false;
+            if self.busy[idx] {
+                self.busy[idx] = false;
+                let fq = self.params.frame_quanta as u64;
+                let wf = self.params.frame_window as u64;
+                self.frame_busy[((slot / fq) % wf) as usize] -= 1;
+            }
         }
         self.dirty = true;
         entry
@@ -516,6 +666,8 @@ impl LinkScheduler {
         for b in self.busy.iter_mut() {
             *b = false;
         }
+        self.frame_busy.fill(0);
+        self.frame_delta.fill(0);
         for s in self.skipped.iter_mut() {
             *s = 0;
         }

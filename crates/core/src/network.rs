@@ -56,8 +56,9 @@ use std::collections::VecDeque;
 use noc_sim::fabric::{
     debug_assert_delivered_once, DelayedWires, EjectTracker, LinkMap, LookaheadQueues, LOCAL, PORTS,
 };
-use noc_sim::flit::{FlowId, NodeId, Packet, PacketId};
+use noc_sim::flit::{FlowId, NodeId, Packet};
 use noc_sim::routing::Direction;
+use noc_sim::slab::PacketRef;
 use noc_sim::{ActiveSet, FxHashMap, Network};
 
 use crate::config::LoftConfig;
@@ -83,12 +84,15 @@ struct DataQuantum {
     qid: u64,
     /// Destination buffer at the receiver: speculative or not.
     spec: bool,
+    /// Handle of the owning packet.
+    pref: PacketRef,
 }
 
 #[derive(Debug)]
 struct SrcQuantum {
     qid: u64,
     dst: NodeId,
+    pref: PacketRef,
 }
 
 /// Per-node source NIC.
@@ -111,8 +115,9 @@ struct SourceNic {
     rr_flows: Vec<u32>,
     rr: usize,
     /// Quanta whose look-ahead has launched, awaiting their data
-    /// transfer into the router (FIFO, one per slot).
-    staged: VecDeque<QKey>,
+    /// transfer into the router (FIFO, one per slot), with the owning
+    /// packet's handle.
+    staged: VecDeque<(QKey, PacketRef)>,
 }
 
 impl SourceNic {
@@ -148,10 +153,10 @@ pub struct LoftNetwork {
     /// Round-robin pointers for speculative output arbitration.
     rr_spec: Vec<usize>,
     nics: Vec<SourceNic>,
-    /// In-flight packets + per-node ejection progress.
+    /// In-flight packets (slab-owned) + ejection progress. Quanta
+    /// carry their packet's [`PacketRef`] through the data plane, so
+    /// ejection accounting needs no side map.
     tracker: EjectTracker,
-    /// (flow, qid) → owning packet, for ejection accounting.
-    quantum_meta: FxHashMap<QKey, PacketId>,
     /// Look-ahead flits currently in the look-ahead plane, per flow
     /// (capped by `la_flow_window`).
     la_outstanding: Vec<u32>,
@@ -172,6 +177,12 @@ pub struct LoftNetwork {
     /// Links whose scheduler is not in its power-up state
     /// (`!is_fresh()`): the only candidates for a local status reset.
     stale_links: ActiveSet,
+    /// Links to re-examine for a local status reset: a reset becomes
+    /// possible only when a link's last pending quantum forwards or
+    /// its downstream non-speculative buffer drains back to capacity,
+    /// so only those events queue a check — idle and saturated links
+    /// alike cost nothing per cycle.
+    reset_check: ActiveSet,
 }
 
 impl LoftNetwork {
@@ -212,13 +223,15 @@ impl LoftNetwork {
             data_ports: (0..n * PORTS)
                 .map(|_| DataPort::new(cfg.nonspec_quanta() as i64, cfg.spec_quanta() as i64))
                 .collect(),
-            data_wires: DelayedWires::new(n * PORTS),
-            la_wires: DelayedWires::new(n * PORTS),
+            // One quantum (resp. look-ahead flit) enters a link per
+            // slot (resp. cycle), so in-flight occupancy per link is
+            // bounded by the traversal delay: pre-size to that bound.
+            data_wires: DelayedWires::with_capacity(n * PORTS, cfg.dep_offset() as usize + 1),
+            la_wires: DelayedWires::with_capacity(n * PORTS, cfg.la_hop_latency as usize + 1),
             la_queues: LookaheadQueues::new(n * PORTS, reservations_flits.len()),
             rr_spec: vec![0; n * PORTS],
             nics: (0..n).map(|_| SourceNic::new()).collect(),
-            tracker: EjectTracker::new(n),
-            quantum_meta: FxHashMap::default(),
+            tracker: EjectTracker::new(),
             la_outstanding: vec![0; reservations_flits.len()],
             forwarded: vec![0; n * PORTS],
             total_resets: 0,
@@ -227,6 +240,7 @@ impl LoftNetwork {
             stage_work: ActiveSet::new(n),
             launch_work: ActiveSet::new(n),
             stale_links: ActiveSet::new(n * PORTS),
+            reset_check: ActiveSet::new(n * PORTS),
             link_sched,
             cycle: 0,
             cfg,
@@ -328,7 +342,7 @@ impl LoftNetwork {
                     continue; // the flow's look-ahead window is full
                 }
                 let nic = &mut self.nics[node];
-                let Some(SrcQuantum { qid, dst }) =
+                let Some(SrcQuantum { qid, dst, pref }) =
                     nic.flow_q.get_mut(&fid).and_then(VecDeque::pop_front)
                 else {
                     continue;
@@ -339,7 +353,7 @@ impl LoftNetwork {
                 // staged predecessor from now; the look-ahead carries
                 // that planned slot as its upstream departure time.
                 let plan = now / q + 1 + nic.staged.len() as u64;
-                nic.staged.push_back((fid, qid));
+                nic.staged.push_back(((fid, qid), pref));
                 if self.nics[node].queued == 0 {
                     self.launch_work.remove(node);
                 }
@@ -388,6 +402,7 @@ impl LoftNetwork {
             );
             la_queues.push(
                 node * PORTS + out_port,
+                la.flow.index(),
                 LaFlit {
                     in_port: in_port as u8,
                     ..la
@@ -420,21 +435,17 @@ impl LoftNetwork {
                     link_sched,
                     ..
                 } = self;
-                la_queues.book_first(
-                    qidx,
-                    |la| la.flow.index(),
-                    |la| {
-                        link_sched[qidx].schedule(
-                            la.flow,
-                            la.dep_slot + dep_off,
-                            PendingQuantum {
-                                flow: la.flow,
-                                qid: la.qid,
-                                in_port: la.in_port,
-                            },
-                        )
-                    },
-                )
+                la_queues.book_first(qidx, |la| {
+                    link_sched[qidx].schedule(
+                        la.flow,
+                        la.dep_slot + dep_off,
+                        PendingQuantum {
+                            flow: la.flow,
+                            qid: la.qid,
+                            in_port: la.in_port,
+                        },
+                    )
+                })
             };
             let Some((la, slot)) = booked else { continue };
             // The booking un-freshens the scheduler and adds a
@@ -446,12 +457,7 @@ impl LoftNetwork {
             let key = (la.flow.index() as u32, la.qid);
             // Input reservation table: record the booked slot.
             let pidx = node * PORTS + la.in_port as usize;
-            let e = self.data_ports[pidx]
-                .expect
-                .get_mut(&key)
-                .expect("look-ahead flit wrote its expectation on arrival");
-            e.dep_slot = Some(slot);
-            self.data_ports[pidx].mark_ready_if_complete(key);
+            self.data_ports[pidx].record_booking(key, slot);
             // Return the virtual credit upstream: the upstream
             // link now knows when its consumed buffer frees. The
             // local input port is fed by the NIC, which uses
@@ -491,10 +497,13 @@ impl LoftNetwork {
         } = self;
         data_wires.drain_due(slot, |widx, w| {
             let key = (w.flow.index() as u32, w.qid);
-            let port = &mut data_ports[widx];
-            let prev = port.arrived.insert(key, Arrived { spec: w.spec });
-            debug_assert!(prev.is_none(), "quantum delivered twice");
-            port.mark_ready_if_complete(key);
+            data_ports[widx].record_arrival(
+                key,
+                Arrived {
+                    spec: w.spec,
+                    pref: w.pref,
+                },
+            );
             node_data_work[widx / PORTS] += 1;
             data_node_work.insert(widx / PORTS);
         });
@@ -512,7 +521,7 @@ impl LoftNetwork {
             if self.data_ports[ridx].nonspec_free == 0 {
                 continue;
             }
-            let key = *self.nics[node]
+            let (key, pref) = *self.nics[node]
                 .staged
                 .front()
                 .expect("stage_work implies staged");
@@ -521,8 +530,7 @@ impl LoftNetwork {
                 self.stage_work.remove(node);
             }
             self.data_ports[ridx].nonspec_free -= 1;
-            let pid = self.quantum_meta[&key];
-            let packet = self.tracker.packet_mut(pid);
+            let packet = self.tracker.packet_mut(pref);
             if packet.injected_at.is_none() {
                 packet.injected_at = Some(slot * self.cfg.flits_per_quantum as u64);
             }
@@ -533,6 +541,7 @@ impl LoftNetwork {
                     flow: FlowId::new(key.0),
                     qid: key.1,
                     spec: false,
+                    pref,
                 },
             );
         }
@@ -587,10 +596,9 @@ impl LoftNetwork {
         for k in 0..PORTS {
             let p = (start + k) % PORTS;
             let pidx = node * PORTS + p;
-            if let Some(&(dep, f, q)) = self.data_ports[pidx].ready[out_port].iter().next() {
-                if best.is_none() {
-                    best = Some((dep, FlowId::new(f), q, p as u8));
-                }
+            if let Some((dep, f, q)) = self.data_ports[pidx].ready_min(out_port) {
+                best = Some((dep, FlowId::new(f), q, p as u8));
+                break;
             }
         }
         if best.is_some() {
@@ -639,6 +647,9 @@ impl LoftNetwork {
         // holding place. One pending booking and one arrived quantum
         // leave this node's data plane.
         self.link_sched[lidx].complete(dep);
+        if self.link_sched[lidx].can_reset() {
+            self.reset_check.insert(lidx);
+        }
         self.node_data_work[node] -= 2;
         if self.node_data_work[node] == 0 {
             self.data_node_work.remove(node);
@@ -653,14 +664,20 @@ impl LoftNetwork {
             .expect
             .remove(&key)
             .expect("forwarded quantum expected");
-        port.ready[e.out_port as usize].remove(&(dep, key.0, key.1));
+        port.ready_remove(e.out_port as usize, (dep, key.0, key.1));
         if arr.spec {
             port.spec_free += 1;
         } else {
             port.nonspec_free += 1;
+            // The buffer the upstream scheduler's reset waits on just
+            // gained a slot: if it is full again, queue the check.
+            if port.nonspec_free == self.cfg.nonspec_quanta() as i64 && in_port as usize != LOCAL {
+                let (up, up_port) = self.link.upstream(node, in_port as usize);
+                self.reset_check.insert(up * PORTS + up_port);
+            }
         }
         match target {
-            None => self.eject(node, key, slot, out),
+            None => self.eject(node, arr.pref, slot, out),
             Some((ridx, spec)) => {
                 if spec {
                     self.data_ports[ridx].spec_free -= 1;
@@ -670,21 +687,22 @@ impl LoftNetwork {
                 self.data_wires.push(
                     ridx,
                     slot + self.cfg.dep_offset(),
-                    DataQuantum { flow, qid, spec },
+                    DataQuantum {
+                        flow,
+                        qid,
+                        spec,
+                        pref: arr.pref,
+                    },
                 );
             }
         }
     }
 
-    fn eject(&mut self, node: usize, key: QKey, slot: u64, out: &mut Vec<Packet>) {
-        let pid = self
-            .quantum_meta
-            .remove(&key)
-            .expect("ejected quantum has an owner");
-        let total = self.quanta_per_packet(self.tracker.packet(pid).len_flits) as u16;
+    fn eject(&mut self, node: usize, pref: PacketRef, slot: u64, out: &mut Vec<Packet>) {
+        let total = self.quanta_per_packet(self.tracker.packet(pref).len_flits) as u16;
         let q = self.cfg.flits_per_quantum as u64;
         let ejected_at = slot * q + self.cfg.hop_latency + q - 1;
-        if let Some(packet) = self.tracker.on_piece(node, pid, total, ejected_at) {
+        if let Some(packet) = self.tracker.on_piece(node, pref, total, ejected_at) {
             out.push(packet);
         }
     }
@@ -704,6 +722,24 @@ impl LoftNetwork {
                 !self.link_sched[i].is_fresh(),
                 "stale_links out of sync at link {i}"
             );
+            // No reset may be missed: a stale link that could reset
+            // right now must have a queued check.
+            let (node, port) = (i / PORTS, i % PORTS);
+            let downstream_empty = port == LOCAL
+                || match self.link.try_downstream(node, port) {
+                    Some((next, in_port)) => {
+                        self.data_ports[next * PORTS + in_port].nonspec_free
+                            == self.cfg.nonspec_quanta() as i64
+                    }
+                    None => true,
+                };
+            if !self.link_sched[i].is_fresh() && self.link_sched[i].can_reset() && downstream_empty
+            {
+                debug_assert!(
+                    self.reset_check.contains(i),
+                    "eligible reset not queued for link {i}"
+                );
+            }
         }
         for node in 0..self.nics.len() {
             let pending: usize = (0..PORTS)
@@ -741,17 +777,20 @@ impl LoftNetwork {
         }
     }
 
-    /// Local status reset on every eligible idle link. Only links
-    /// whose scheduler left its power-up state (booked since the
-    /// last reset) are candidates; `stale_links` tracks exactly
-    /// those, so fully idle regions cost nothing here.
+    /// Local status reset on every eligible idle link. Eligibility
+    /// can only *begin* at one of the events feeding `reset_check`
+    /// (last pending quantum forwarded, or downstream buffer drained
+    /// to capacity), so processing that event set each cycle resets
+    /// every link on the first cycle it qualifies — identical
+    /// behaviour to scanning all of `stale_links`, without the scan.
     fn reset_idle_links(&mut self) {
         let nonspec_cap = self.cfg.nonspec_quanta() as i64;
         let mut cursor = 0;
-        while let Some(lidx) = self.stale_links.first_from(cursor) {
+        while let Some(lidx) = self.reset_check.first_from(cursor) {
             cursor = lidx + 1;
+            self.reset_check.remove(lidx);
             let (node, port) = (lidx / PORTS, lidx % PORTS);
-            if !self.link_sched[lidx].can_reset() {
+            if self.link_sched[lidx].is_fresh() || !self.link_sched[lidx].can_reset() {
                 continue;
             }
             let downstream_empty = if port == LOCAL {
@@ -787,17 +826,16 @@ impl Network for LoftNetwork {
         let node = packet.src.index();
         let quanta = self.quanta_per_packet(packet.len_flits);
         let dst = packet.dst;
-        let pid = self.tracker.admit(packet);
+        let (fid, seq) = (packet.id.flow.index() as u32, packet.id.seq);
+        let pref = self.tracker.admit(packet);
         let nic = &mut self.nics[node];
-        let fid = pid.flow.index() as u32;
         let q = nic.flow_q.entry(fid).or_insert_with(|| {
             nic.rr_flows.push(fid);
             VecDeque::new()
         });
         for half in 0..quanta {
-            let qid = pid.seq * quanta + half;
-            q.push_back(SrcQuantum { qid, dst });
-            self.quantum_meta.insert((fid, qid), pid);
+            let qid = seq * quanta + half;
+            q.push_back(SrcQuantum { qid, dst, pref });
         }
         nic.queued += quanta as usize;
         self.launch_work.insert(node);
@@ -840,6 +878,7 @@ impl Network for LoftNetwork {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use noc_sim::flit::PacketId;
     use noc_sim::topology::Topology;
 
     fn packet(flow: u32, seq: u64, src: u32, dst: u32, at: u64) -> Packet {

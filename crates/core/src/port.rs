@@ -8,12 +8,13 @@
 //! port its data quantum will take ([`Expect`]) and — once booked —
 //! in which slot. A quantum becomes *ready* when it has physically
 //! arrived and its onward slot is booked; ready quanta are indexed per
-//! output port, ordered by booked slot, so the speculative arbiter can
-//! find the earliest candidate in O(log n).
-
-use std::collections::BTreeSet;
+//! output port so the speculative arbiter can find the earliest
+//! candidate. The per-port ready sets are tiny (bounded by the input
+//! buffer depth), so they are plain vectors with a linear minimum scan
+//! — no tree nodes to allocate and free every booking.
 
 use noc_sim::fabric::PORTS;
+use noc_sim::slab::PacketRef;
 use noc_sim::FxHashMap;
 
 /// A quantum's identity: `(flow, qid)`.
@@ -33,6 +34,8 @@ pub(crate) struct Expect {
 pub(crate) struct Arrived {
     /// Whether it occupies the speculative buffer.
     pub spec: bool,
+    /// Handle of the owning packet (for ejection accounting).
+    pub pref: PacketRef,
 }
 
 /// Input-port state of a data router: buffers + input reservation
@@ -47,36 +50,131 @@ pub(crate) struct DataPort {
     pub arrived: FxHashMap<QKey, Arrived>,
     /// The input reservation table.
     pub expect: FxHashMap<QKey, Expect>,
-    /// Arrived quanta with a booked departure, per output port,
-    /// ordered by booked slot: `(dep_slot, flow, qid)`.
-    pub ready: Vec<BTreeSet<(u64, u32, u64)>>,
+    /// Arrived quanta with a booked departure, per output port, as
+    /// `(dep_slot, flow, qid)`; unordered, min cached because the
+    /// speculative arbiter reads it every slot while entries change
+    /// only when quanta arrive or forward.
+    ready: Vec<ReadySet>,
+}
+
+/// One output port's ready set with its cached minimum. Entries are
+/// unique `(dep_slot, flow, qid)` tuples, so the minimum is
+/// storage-order independent and the cache is deterministic.
+#[derive(Debug, Default)]
+struct ReadySet {
+    items: Vec<(u64, u32, u64)>,
+    min: Option<(u64, u32, u64)>,
+}
+
+impl ReadySet {
+    fn push(&mut self, e: (u64, u32, u64)) {
+        self.items.push(e);
+        if self.min.is_none_or(|m| e < m) {
+            self.min = Some(e);
+        }
+    }
+
+    fn remove(&mut self, e: (u64, u32, u64)) {
+        if let Some(i) = self.items.iter().position(|&x| x == e) {
+            self.items.swap_remove(i);
+            // The speculative arbiter almost always removes the
+            // minimum itself, so the rescan runs once per forwarded
+            // quantum rather than once per arbitration read.
+            if self.min == Some(e) {
+                self.min = self.items.iter().min().copied();
+            }
+        }
+    }
 }
 
 impl DataPort {
     pub fn new(nonspec: i64, spec: i64) -> Self {
+        let cap = (nonspec + spec) as usize;
         DataPort {
             nonspec_free: nonspec,
             spec_free: spec,
             arrived: FxHashMap::default(),
             expect: FxHashMap::default(),
-            ready: vec![BTreeSet::new(); PORTS],
+            ready: (0..PORTS)
+                .map(|_| ReadySet {
+                    items: Vec::with_capacity(cap),
+                    min: None,
+                })
+                .collect(),
         }
     }
 
-    /// Indexes the quantum as ready if it has both arrived and been
-    /// booked an onward slot.
-    pub fn mark_ready_if_complete(&mut self, key: QKey) {
-        if let (Some(e), true) = (self.expect.get(&key), self.arrived.contains_key(&key)) {
+    /// Records a booked departure slot for `key` (the reservation
+    /// entry must exist) and indexes the quantum as ready if it has
+    /// already arrived — one reservation-table lookup instead of the
+    /// write-then-[`Self::mark_ready_if_complete`] pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no reservation entry exists for `key`.
+    pub fn record_booking(&mut self, key: QKey, slot: u64) {
+        let e = self
+            .expect
+            .get_mut(&key)
+            .expect("look-ahead flit wrote its expectation on arrival");
+        e.dep_slot = Some(slot);
+        let out = e.out_port as usize;
+        if self.arrived.contains_key(&key) {
+            self.ready[out].push((slot, key.0, key.1));
+        }
+    }
+
+    /// Records a physical arrival for `key` and indexes the quantum
+    /// as ready if its onward slot is already booked — skips the
+    /// arrival-presence re-check of [`Self::mark_ready_if_complete`].
+    ///
+    /// # Panics
+    ///
+    /// Debug builds panic if the quantum already arrived.
+    pub fn record_arrival(&mut self, key: QKey, arr: Arrived) {
+        let prev = self.arrived.insert(key, arr);
+        debug_assert!(prev.is_none(), "quantum delivered twice");
+        if let Some(e) = self.expect.get(&key) {
             if let Some(dep) = e.dep_slot {
-                self.ready[e.out_port as usize].insert((dep, key.0, key.1));
+                self.ready[e.out_port as usize].push((dep, key.0, key.1));
             }
         }
+    }
+
+    /// The ready quantum with the earliest booked slot for `out`
+    /// (ties broken by `(flow, qid)` — entries are unique, so the
+    /// minimum is storage-order independent).
+    #[inline]
+    pub fn ready_min(&self, out: usize) -> Option<(u64, u32, u64)> {
+        self.ready[out].min
+    }
+
+    /// Unindexes a ready quantum (it forwarded or ejected).
+    #[inline]
+    pub fn ready_remove(&mut self, out: usize, entry: (u64, u32, u64)) {
+        self.ready[out].remove(entry);
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use noc_sim::flit::{FlowId, NodeId, Packet, PacketId};
+    use noc_sim::slab::PacketStore;
+
+    fn some_pref() -> PacketRef {
+        let mut store = PacketStore::new();
+        store.insert(Packet::new(
+            PacketId {
+                flow: FlowId::new(0),
+                seq: 0,
+            },
+            NodeId::new(0),
+            NodeId::new(1),
+            4,
+            0,
+        ))
+    }
 
     #[test]
     fn ready_requires_arrival_and_booking() {
@@ -89,13 +187,65 @@ mod tests {
                 dep_slot: None,
             },
         );
-        p.mark_ready_if_complete(key);
-        assert!(p.ready[1].is_empty(), "not arrived, not booked");
-        p.arrived.insert(key, Arrived { spec: false });
-        p.mark_ready_if_complete(key);
-        assert!(p.ready[1].is_empty(), "arrived but not booked");
-        p.expect.get_mut(&key).unwrap().dep_slot = Some(9);
-        p.mark_ready_if_complete(key);
-        assert_eq!(p.ready[1].iter().next(), Some(&(9, 0, 7)));
+        p.record_arrival(
+            key,
+            Arrived {
+                spec: false,
+                pref: some_pref(),
+            },
+        );
+        assert!(p.ready_min(1).is_none(), "arrived but not booked");
+        p.record_booking(key, 9);
+        assert_eq!(p.ready_min(1), Some((9, 0, 7)));
+        p.ready_remove(1, (9, 0, 7));
+        assert!(p.ready_min(1).is_none());
+    }
+
+    #[test]
+    fn booking_before_arrival_defers_readiness() {
+        let mut p = DataPort::new(4, 2);
+        let key: QKey = (3, 1);
+        p.expect.insert(
+            key,
+            Expect {
+                out_port: 4,
+                dep_slot: None,
+            },
+        );
+        p.record_booking(key, 12);
+        assert!(p.ready_min(4).is_none(), "booked but not arrived");
+        p.record_arrival(
+            key,
+            Arrived {
+                spec: true,
+                pref: some_pref(),
+            },
+        );
+        assert_eq!(p.ready_min(4), Some((12, 3, 1)));
+    }
+
+    #[test]
+    fn ready_min_is_order_independent() {
+        let mut p = DataPort::new(8, 2);
+        for (dep, qid) in [(9u64, 1u64), (3, 2), (7, 3)] {
+            let key: QKey = (0, qid);
+            p.expect.insert(
+                key,
+                Expect {
+                    out_port: 2,
+                    dep_slot: Some(dep),
+                },
+            );
+            p.record_arrival(
+                key,
+                Arrived {
+                    spec: false,
+                    pref: some_pref(),
+                },
+            );
+        }
+        assert_eq!(p.ready_min(2), Some((3, 0, 2)));
+        p.ready_remove(2, (3, 0, 2));
+        assert_eq!(p.ready_min(2), Some((7, 0, 3)));
     }
 }

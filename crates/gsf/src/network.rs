@@ -23,13 +23,15 @@
 //! after `barrier_delay` cycles. While the barrier is in flight the
 //! head frame is closed to new injections.
 
-use std::collections::{BTreeMap, VecDeque};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
 
 use noc_sim::fabric::{
     PolicyCtx, RouterPolicy, SwitchGrant, VcFabric, VcParams, VcRouter, LOCAL, PORTS,
 };
-use noc_sim::flit::{NodeId, Packet, PacketId};
+use noc_sim::flit::{NodeId, Packet};
 use noc_sim::routing::Direction;
+use noc_sim::slab::PacketRef;
 use noc_sim::{FxHashMap, Network};
 
 use crate::config::GsfConfig;
@@ -41,58 +43,73 @@ use crate::framing::Framing;
 #[derive(Debug)]
 struct GsfPolicy {
     framing: Framing,
-    /// Frame-tagged packets awaiting streaming, ordered by (frame,
+    /// Frame-tagged packets awaiting streaming, min-ordered by (frame,
     /// arrival sequence) — GSF streams oldest frames first. Per node.
-    tagged: Vec<BTreeMap<(u64, u64), PacketId>>,
+    /// The (frame, seq) key is unique, so the handle never takes part
+    /// in an ordering decision.
+    tagged: Vec<BinaryHeap<Reverse<(u64, u64, PacketRef)>>>,
     /// Packets that could not be tagged yet (every active frame's
-    /// quota exhausted), per node and flow, FIFO.
-    untagged: Vec<FxHashMap<u32, VecDeque<PacketId>>>,
-    /// Frame tag of every tagged, not-yet-fully-ejected packet.
-    packet_frame: FxHashMap<PacketId, u64>,
+    /// quota exhausted), per node and flow, FIFO. Drained queues stay
+    /// in the map with their capacity — a flow that backs up once
+    /// tends to back up again.
+    untagged: Vec<FxHashMap<u32, VecDeque<PacketRef>>>,
     /// Arrival sequence counter for FIFO tie-breaks within a frame.
     tag_seq: u64,
+    /// Per-output VC-allocation requests, reused every cycle:
+    /// (frame, input slot).
+    req_scratch: Vec<(u64, usize)>,
+    /// Free downstream VCs for one output, reused every cycle.
+    free_scratch: Vec<usize>,
+    /// Flow ids with untagged backlog at one node, reused per recycle.
+    flow_scratch: Vec<u32>,
 }
 
 impl GsfPolicy {
     /// Tags a freshly enqueued or previously untagged packet with the
     /// earliest active frame that has quota, charging the flow's
     /// reservation and registering its flits as alive in that frame.
-    fn tag_packet(&mut self, pid: PacketId, ctx: &mut PolicyCtx<'_>) -> bool {
-        let (len, node) = {
-            let p = ctx.packets.packet(pid);
-            (p.len_flits, p.src.index())
+    fn tag_packet(&mut self, pref: PacketRef, ctx: &mut PolicyCtx<'_>) -> bool {
+        let (flow, len, node) = {
+            let p = ctx.packets.packet(pref);
+            (p.id.flow, p.len_flits, p.src.index())
         };
-        let Some(frame) = self.framing.claim(pid.flow, len) else {
+        let Some(frame) = self.framing.claim(flow, len) else {
             return false;
         };
-        self.packet_frame.insert(pid, frame);
         let seq = self.tag_seq;
         self.tag_seq += 1;
-        self.tagged[node].insert((frame, seq), pid);
+        self.tagged[node].push(Reverse((frame, seq, pref)));
         ctx.nic_work.insert(node);
         true
     }
 
     /// After a window shift, untagged backlog may fit the fresh frame.
     fn retag_backlog(&mut self, ctx: &mut PolicyCtx<'_>) {
+        let mut flows = std::mem::take(&mut self.flow_scratch);
         for node in 0..self.untagged.len() {
-            let mut flows: Vec<u32> = self.untagged[node].keys().copied().collect();
+            flows.clear();
+            flows.extend(
+                self.untagged[node]
+                    .iter()
+                    .filter(|(_, q)| !q.is_empty())
+                    .map(|(&fid, _)| fid),
+            );
             // Hash-map key order is arbitrary; sort so the retag (and
             // hence frame-tag sequence) order is deterministic.
             flows.sort_unstable();
-            for fid in flows {
-                while let Some(&pid) = self.untagged[node].get(&fid).and_then(|q| q.front()) {
-                    if !self.tag_packet(pid, ctx) {
+            for &fid in &flows {
+                while let Some(&pref) = self.untagged[node].get(&fid).and_then(|q| q.front()) {
+                    if !self.tag_packet(pref, ctx) {
                         break;
                     }
-                    let q = self.untagged[node].get_mut(&fid).expect("queue exists");
-                    q.pop_front();
-                    if q.is_empty() {
-                        self.untagged[node].remove(&fid);
-                    }
+                    self.untagged[node]
+                        .get_mut(&fid)
+                        .expect("queue exists")
+                        .pop_front();
                 }
             }
         }
+        self.flow_scratch = flows;
     }
 }
 
@@ -106,29 +123,31 @@ impl RouterPolicy for GsfPolicy {
         }
     }
 
-    fn on_enqueue(&mut self, node: usize, id: PacketId, ctx: &mut PolicyCtx<'_>) {
+    fn on_enqueue(&mut self, node: usize, pref: PacketRef, ctx: &mut PolicyCtx<'_>) {
+        let flow = ctx.packets.packet(pref).id.flow;
         assert!(
-            id.flow.index() < self.framing.num_flows(),
+            flow.index() < self.framing.num_flows(),
             "packet flow id outside configured reservations"
         );
         // GSF tags packets with frames as they enter the source
         // queue, consuming the flow's quota up-front; packets that
         // find every active frame exhausted wait untagged.
-        let fid = id.flow.index() as u32;
-        // Empty per-flow queues are removed eagerly, so presence in
-        // the map means a packet of this flow is already parked.
-        if self.untagged[node].contains_key(&fid) || !self.tag_packet(id, ctx) {
-            self.untagged[node].entry(fid).or_default().push_back(id);
+        let fid = flow.index() as u32;
+        // A nonempty per-flow queue means a packet of this flow is
+        // already parked; tagging out of order would reorder the flow.
+        let parked = self.untagged[node].get(&fid).is_some_and(|q| !q.is_empty());
+        if parked || !self.tag_packet(pref, ctx) {
+            self.untagged[node].entry(fid).or_default().push_back(pref);
         }
     }
 
-    fn peek_source(&self, node: usize) -> Option<PacketId> {
-        self.tagged[node].values().next().copied()
+    fn peek_source(&self, node: usize) -> Option<PacketRef> {
+        self.tagged[node].peek().map(|&Reverse((_, _, pref))| pref)
     }
 
-    fn pop_source(&mut self, node: usize) -> (PacketId, u64) {
-        let ((frame, _), pid) = self.tagged[node].pop_first().expect("peeked source packet");
-        (pid, frame)
+    fn pop_source(&mut self, node: usize) -> (PacketRef, u64) {
+        let Reverse((frame, _, pref)) = self.tagged[node].pop().expect("peeked source packet");
+        (pref, frame)
     }
 
     fn source_idle(&self, node: usize) -> bool {
@@ -139,26 +158,32 @@ impl RouterPolicy for GsfPolicy {
     /// are served oldest frame first.
     fn vc_allocate(&mut self, router: &mut VcRouter<u64>, num_vcs: usize) {
         for out in 0..PORTS {
-            let mut requests: Vec<(u64, usize, usize)> = Vec::new();
-            for in_port in 0..PORTS {
-                for in_vc in 0..num_vcs {
-                    let buf = &router.inputs[in_port][in_vc];
-                    if buf.out_vc.is_none()
-                        && buf.route == Some(out)
-                        && buf.q.front().is_some_and(|f| f.kind.is_head())
-                    {
-                        requests.push((buf.head_tag().expect("nonempty"), in_port, in_vc));
-                    }
+            // No input VC routed here means no requests either.
+            if router.routed[out] == 0 {
+                continue;
+            }
+            self.req_scratch.clear();
+            for slot in 0..PORTS * num_vcs {
+                let buf = &router.inputs[slot];
+                if buf.out_vc.is_none()
+                    && buf.route == Some(out)
+                    && buf.q.front().is_some_and(|f| f.kind.is_head())
+                {
+                    self.req_scratch
+                        .push((buf.head_tag().expect("nonempty"), slot));
                 }
             }
-            requests.sort_unstable();
-            let mut free: VecDeque<usize> = (0..num_vcs)
-                .filter(|&v| router.out_owner[out][v].is_none())
-                .collect();
-            for (_, in_port, in_vc) in requests {
-                let Some(v) = free.pop_front() else { break };
-                router.out_owner[out][v] = Some((in_port, in_vc));
-                router.inputs[in_port][in_vc].out_vc = Some(v);
+            if self.req_scratch.is_empty() {
+                continue;
+            }
+            self.req_scratch.sort_unstable();
+            let base = out * num_vcs;
+            self.free_scratch.clear();
+            self.free_scratch
+                .extend((0..num_vcs).filter(|&v| !router.out_owner[base + v]));
+            for (&(_, slot), &v) in self.req_scratch.iter().zip(&self.free_scratch) {
+                router.out_owner[base + v] = true;
+                router.inputs[slot].out_vc = Some(v);
             }
         }
     }
@@ -171,41 +196,37 @@ impl RouterPolicy for GsfPolicy {
         out_port: usize,
         num_vcs: usize,
     ) -> Option<SwitchGrant> {
+        let total = PORTS * num_vcs;
         let start = router.rr_sa[out_port];
-        let mut winner: Option<(u64, SwitchGrant)> = None;
-        for k in 0..PORTS * num_vcs {
-            let slot = (start + k) % (PORTS * num_vcs);
-            let (p, v) = (slot / num_vcs, slot % num_vcs);
-            let buf = &router.inputs[p][v];
+        let mut winner: Option<(u64, usize, usize)> = None;
+        for k in 0..total {
+            let mut slot = start + k;
+            if slot >= total {
+                slot -= total;
+            }
+            let buf = &router.inputs[slot];
             if buf.route != Some(out_port) || buf.q.is_empty() {
                 continue;
             }
             let Some(ov) = buf.out_vc else { continue };
-            if out_port != LOCAL && router.credits[out_port][ov] == 0 {
+            if out_port != LOCAL && router.credits[out_port * num_vcs + ov] == 0 {
                 continue;
             }
             let frame = buf.head_tag().expect("nonempty");
-            if winner.as_ref().is_none_or(|&(wf, _)| frame < wf) {
-                winner = Some((
-                    frame,
-                    SwitchGrant {
-                        in_port: p,
-                        in_vc: v,
-                        out_vc: ov,
-                        slot,
-                    },
-                ));
+            if winner.is_none_or(|(wf, _, _)| frame < wf) {
+                winner = Some((frame, slot, ov));
             }
         }
-        winner.map(|(_, grant)| grant)
+        winner.map(|(_, slot, ov)| SwitchGrant {
+            in_port: slot / num_vcs,
+            in_vc: slot % num_vcs,
+            out_vc: ov,
+            slot,
+        })
     }
 
     fn on_eject_flit(&mut self, flit: &noc_sim::fabric::VcFlit<u64>) {
         self.framing.on_flit_ejected(flit.tag);
-    }
-
-    fn on_eject_packet(&mut self, id: PacketId) {
-        self.packet_frame.remove(&id);
     }
 }
 
@@ -245,10 +266,12 @@ impl GsfNetwork {
                 cfg.frame_window,
                 cfg.barrier_delay,
             ),
-            tagged: vec![BTreeMap::new(); n],
+            tagged: (0..n).map(|_| BinaryHeap::new()).collect(),
             untagged: vec![FxHashMap::default(); n],
-            packet_frame: FxHashMap::default(),
             tag_seq: 0,
+            req_scratch: Vec::new(),
+            free_scratch: Vec::new(),
+            flow_scratch: Vec::new(),
         };
         GsfNetwork {
             cfg,
@@ -303,7 +326,7 @@ impl Network for GsfNetwork {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use noc_sim::flit::FlowId;
+    use noc_sim::flit::{FlowId, PacketId};
 
     fn packet(flow: u32, seq: u64, src: u32, dst: u32, at: u64) -> Packet {
         Packet::new(

@@ -1,51 +1,47 @@
 //! In-flight packet ownership and ejection accounting.
 
-use crate::flit::{Packet, PacketId};
-use crate::fxhash::FxHashMap;
+use crate::flit::Packet;
+use crate::slab::{PacketRef, PacketStore};
 
 /// Owns every packet currently inside a network (source queue to last
-/// ejected piece) and the per-node ejection progress counters.
+/// ejected piece), backed by a generational [`PacketStore`].
 ///
-/// Networks move flits or quanta; this tracker reassembles them into
-/// delivered packets. A packet is handed back exactly once, by the
-/// [`EjectTracker::on_piece`] call that delivers its final piece —
-/// the fabric-level delivered-once invariant
-/// ([`super::debug_assert_delivered_once`] cross-checks it per step).
-#[derive(Debug, Clone)]
+/// Networks move flits or quanta carrying [`PacketRef`] handles; this
+/// tracker reassembles them into delivered packets. The per-packet
+/// piece counter lives in the packet's slab slot — a packet ejects at
+/// exactly one node (its destination, cross-checked by a debug
+/// assertion), so no per-node progress map is needed. A packet is
+/// handed back exactly once, by the [`EjectTracker::on_piece`] call
+/// that delivers its final piece — the fabric-level delivered-once
+/// invariant ([`super::debug_assert_delivered_once`] cross-checks it
+/// per step).
+#[derive(Debug, Clone, Default)]
 pub struct EjectTracker {
-    inflight: FxHashMap<PacketId, Packet>,
-    /// Pieces (flits or quanta) received per partially ejected
-    /// packet, per destination node.
-    progress: Vec<FxHashMap<PacketId, u16>>,
+    store: PacketStore,
 }
 
 impl EjectTracker {
-    /// An empty tracker for `num_nodes` destinations.
+    /// An empty tracker.
     #[must_use]
-    pub fn new(num_nodes: usize) -> Self {
-        EjectTracker {
-            inflight: FxHashMap::default(),
-            progress: (0..num_nodes).map(|_| FxHashMap::default()).collect(),
-        }
+    pub fn new() -> Self {
+        EjectTracker::default()
     }
 
     /// Takes ownership of a packet entering the network; returns its
-    /// id for subsequent lookups.
-    pub fn admit(&mut self, packet: Packet) -> PacketId {
-        let id = packet.id;
-        self.inflight.insert(id, packet);
-        id
+    /// handle for subsequent lookups.
+    pub fn admit(&mut self, packet: Packet) -> PacketRef {
+        self.store.insert(packet)
     }
 
-    /// The in-flight packet with this id.
+    /// The in-flight packet behind this handle.
     ///
     /// # Panics
     ///
     /// Panics if the packet is not in flight.
     #[inline]
     #[must_use]
-    pub fn packet(&self, id: PacketId) -> &Packet {
-        &self.inflight[&id]
+    pub fn packet(&self, r: PacketRef) -> &Packet {
+        self.store.get(r)
     }
 
     /// Mutable access to an in-flight packet (timestamp stamping).
@@ -54,26 +50,26 @@ impl EjectTracker {
     ///
     /// Panics if the packet is not in flight.
     #[inline]
-    pub fn packet_mut(&mut self, id: PacketId) -> &mut Packet {
-        self.inflight.get_mut(&id).expect("packet is in flight")
+    pub fn packet_mut(&mut self, r: PacketRef) -> &mut Packet {
+        self.store.get_mut(r)
     }
 
-    /// Number of packets in flight.
+    /// Number of packets in flight. O(1) — a maintained counter.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.inflight.len()
+        self.store.len()
     }
 
     /// Whether no packet is in flight.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.inflight.is_empty()
+        self.store.is_empty()
     }
 
-    /// Records one ejected piece of `id` at `node`. On the piece that
+    /// Records one ejected piece of `r` at `node`. On the piece that
     /// completes the packet (`total` pieces seen), removes it from
-    /// flight, stamps `ejected_at`, and returns it — exactly once per
-    /// packet.
+    /// flight (recycling its slab slot), stamps `ejected_at`, and
+    /// returns it — exactly once per packet.
     ///
     /// # Panics
     ///
@@ -81,20 +77,14 @@ impl EjectTracker {
     pub fn on_piece(
         &mut self,
         node: usize,
-        id: PacketId,
+        r: PacketRef,
         total: u16,
         ejected_at: u64,
     ) -> Option<Packet> {
-        let seen = self.progress[node].entry(id).or_insert(0);
-        *seen += 1;
-        if *seen != total {
+        if self.store.bump_pieces(r) != total {
             return None;
         }
-        self.progress[node].remove(&id);
-        let mut packet = self
-            .inflight
-            .remove(&id)
-            .expect("ejecting packet is in flight");
+        let mut packet = self.store.remove(r);
         packet.ejected_at = Some(ejected_at);
         debug_assert_eq!(packet.dst.index(), node, "packet ejected at wrong node");
         Some(packet)
@@ -104,7 +94,7 @@ impl EjectTracker {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::flit::{FlowId, NodeId};
+    use crate::flit::{FlowId, NodeId, PacketId};
 
     fn packet(seq: u64, dst: u32) -> Packet {
         Packet::new(
@@ -121,20 +111,20 @@ mod tests {
 
     #[test]
     fn completes_exactly_once_after_all_pieces() {
-        let mut t = EjectTracker::new(4);
-        let id = t.admit(packet(0, 3));
+        let mut t = EjectTracker::new();
+        let r = t.admit(packet(0, 3));
         assert_eq!(t.len(), 1);
-        assert!(t.on_piece(3, id, 4, 10).is_none());
-        assert!(t.on_piece(3, id, 4, 11).is_none());
-        assert!(t.on_piece(3, id, 4, 12).is_none());
-        let done = t.on_piece(3, id, 4, 13).expect("fourth piece completes");
+        assert!(t.on_piece(3, r, 4, 10).is_none());
+        assert!(t.on_piece(3, r, 4, 11).is_none());
+        assert!(t.on_piece(3, r, 4, 12).is_none());
+        let done = t.on_piece(3, r, 4, 13).expect("fourth piece completes");
         assert_eq!(done.ejected_at, Some(13));
         assert!(t.is_empty());
     }
 
     #[test]
-    fn progress_is_per_destination() {
-        let mut t = EjectTracker::new(4);
+    fn progress_is_per_packet() {
+        let mut t = EjectTracker::new();
         let a = t.admit(packet(0, 1));
         let b = t.admit(packet(1, 2));
         assert!(t.on_piece(1, a, 2, 5).is_none());
@@ -145,10 +135,21 @@ mod tests {
 
     #[test]
     fn timestamps_reach_the_delivered_packet() {
-        let mut t = EjectTracker::new(2);
-        let id = t.admit(packet(0, 1));
-        t.packet_mut(id).injected_at = Some(3);
-        let done = t.on_piece(1, id, 1, 9).unwrap();
+        let mut t = EjectTracker::new();
+        let r = t.admit(packet(0, 1));
+        t.packet_mut(r).injected_at = Some(3);
+        let done = t.on_piece(1, r, 1, 9).unwrap();
         assert_eq!(done.network_latency(), Some(6));
+    }
+
+    #[test]
+    fn slots_recycle_across_deliveries() {
+        let mut t = EjectTracker::new();
+        for seq in 0..50 {
+            let r = t.admit(packet(seq, 1));
+            assert!(t.on_piece(1, r, 2, 0).is_none());
+            assert!(t.on_piece(1, r, 2, 1).is_some());
+        }
+        assert!(t.is_empty());
     }
 }

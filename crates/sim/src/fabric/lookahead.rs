@@ -6,65 +6,112 @@
 //! look-ahead flit whose flow cannot book (its window is exhausted)
 //! must *not* block flits of other flows queued behind it — the
 //! paper's look-ahead router gives each flow its own virtual channel.
-//! [`LookaheadQueues`] models that as one queue per output port with
-//! per-flow fair bypass:
+//! [`LookaheadQueues`] models that literally: one FIFO subqueue per
+//! flow, with each flow's *front* flit held inline in a per-port scan
+//! order sorted by arrival stamp. A booking pass then touches each
+//! *flow* exactly once and reads its candidate flit straight out of
+//! the scan vector — no per-try hash lookups — so the scan cost tracks
+//! the number of contending flows, not the number of queued flits. A
+//! queue whose scan failed outright is marked *blocked* and skipped
+//! until its scheduler changes or a new flit arrives.
 //!
-//! * booking scans the queue front-to-back, trying each distinct flow
-//!   once (an epoch-stamped failed set makes the skip O(1)),
-//! * the booked entry is extracted mid-queue by tombstoning, so live
-//!   entries never move relative to each other and per-flow FIFO
-//!   order is preserved,
-//! * a queue whose scan failed outright is marked *blocked* and is
-//!   skipped until its scheduler changes or a new flit arrives.
+//! Entries are stamped with a global arrival sequence number; the scan
+//! visits flows ordered by their front entry's stamp, which is exactly
+//! the "try each distinct flow once, in queue order" discipline of a
+//! single FIFO with fair bypass.
 
 use std::collections::VecDeque;
 
 use crate::worklist::ActiveSet;
+use crate::FxHashMap;
+
+/// The queued flits of one flow *behind* its front entry (which lives
+/// in the scan order). Kept in the map after draining so the
+/// `VecDeque` capacity is reused.
+#[derive(Debug, Clone)]
+struct Tail<T> {
+    /// Entries behind the front, oldest first, with arrival stamps.
+    q: VecDeque<(u64, T)>,
+    /// Whether the flow currently has a front entry in the scan order.
+    present: bool,
+}
+
+impl<T> Default for Tail<T> {
+    fn default() -> Self {
+        Tail {
+            q: VecDeque::new(),
+            present: false,
+        }
+    }
+}
+
+/// One output port's look-ahead queue: the scan order holding each
+/// present flow's front flit inline, plus per-flow tail FIFOs.
+#[derive(Debug, Clone)]
+struct LaQueue<T> {
+    /// `(front entry stamp, flow, front flit)` for every flow with
+    /// entries, sorted ascending by stamp. New flows append (stamps
+    /// are monotonic); a flow whose front was booked re-inserts its
+    /// next entry at that entry's stamp.
+    order: Vec<(u64, usize, T)>,
+    /// Entries behind each flow's front.
+    rest: FxHashMap<usize, Tail<T>>,
+}
 
 /// Per-output-port look-ahead queues with per-flow fair bypass.
 ///
-/// `T` is the look-ahead flit type; the caller supplies the flow
-/// index and the booking attempt as closures, so the queues know
-/// nothing about schedulers.
+/// `T` is the look-ahead flit type; the caller supplies the booking
+/// attempt as a closure, so the queues know nothing about schedulers.
 #[derive(Debug, Clone)]
 pub struct LookaheadQueues<T> {
-    /// `None` entries are tombstones of mid-queue removals; the front
-    /// entry is always live.
-    queues: Vec<VecDeque<Option<T>>>,
-    /// Live (non-tombstone) entry count per queue.
+    queues: Vec<LaQueue<T>>,
+    /// Live entry count per queue.
     live: Vec<u32>,
-    /// Whether the queue front already failed to book and nothing
-    /// relevant has changed since.
+    /// Whether the queue already failed to book and nothing relevant
+    /// has changed since.
     blocked: Vec<bool>,
     /// Queues with live entries.
     work: ActiveSet,
-    /// Per-flow epoch stamps: flow `f` failed in the current scan iff
-    /// `failed_epoch[f] == scan_epoch` (an O(1) membership test
-    /// instead of a list search).
-    failed_epoch: Vec<u64>,
-    scan_epoch: u64,
+    /// Global arrival stamp counter.
+    next_stamp: u64,
 }
 
 impl<T: Copy> LookaheadQueues<T> {
-    /// Empty queues for `num_queues` output ports and `num_flows`
-    /// flows.
+    /// Empty queues for `num_queues` output ports. (`num_flows` is
+    /// unused but kept so constructors read naturally alongside the
+    /// per-flow reservation tables.)
     #[must_use]
     pub fn new(num_queues: usize, num_flows: usize) -> Self {
+        let _ = num_flows;
         LookaheadQueues {
-            queues: (0..num_queues).map(|_| VecDeque::new()).collect(),
+            queues: (0..num_queues)
+                .map(|_| LaQueue {
+                    order: Vec::new(),
+                    rest: FxHashMap::default(),
+                })
+                .collect(),
             live: vec![0; num_queues],
             blocked: vec![false; num_queues],
             work: ActiveSet::new(num_queues),
-            failed_epoch: vec![0; num_flows],
-            scan_epoch: 0,
+            next_stamp: 0,
         }
     }
 
-    /// Appends a look-ahead flit to queue `qidx`. Any new arrival may
-    /// belong to a flow that can book where the stalled ones cannot,
-    /// so the queue's blocked mark is cleared.
-    pub fn push(&mut self, qidx: usize, item: T) {
-        self.queues[qidx].push_back(Some(item));
+    /// Appends a look-ahead flit of `flow` to queue `qidx`. Any new
+    /// arrival may belong to a flow that can book where the stalled
+    /// ones cannot, so the queue's blocked mark is cleared.
+    pub fn push(&mut self, qidx: usize, flow: usize, item: T) {
+        let stamp = self.next_stamp;
+        self.next_stamp += 1;
+        let q = &mut self.queues[qidx];
+        let tail = q.rest.entry(flow).or_default();
+        if tail.present {
+            tail.q.push_back((stamp, item));
+        } else {
+            tail.present = true;
+            // The new stamp is the largest yet: sorted order holds.
+            q.order.push((stamp, flow, item));
+        }
         self.live[qidx] += 1;
         self.work.insert(qidx);
         self.blocked[qidx] = false;
@@ -87,44 +134,30 @@ impl<T: Copy> LookaheadQueues<T> {
         self.blocked[qidx]
     }
 
-    /// Queue length *including tombstones* (diagnostics only).
+    /// Live entries in queue `qidx` (diagnostics only).
     #[must_use]
     pub fn raw_len(&self, qidx: usize) -> usize {
-        self.queues[qidx].len()
+        self.live[qidx] as usize
     }
 
-    /// One output-scheduling pass over queue `qidx`: scans for the
-    /// first entry whose flow can book, trying each distinct flow
-    /// once. `flow_of` maps an entry to its flow index; `try_book`
-    /// attempts the booking and returns its result on success.
+    /// One output-scheduling pass over queue `qidx`: tries each
+    /// present flow's oldest flit once, in order of arrival stamp,
+    /// until `try_book` succeeds.
     ///
-    /// On success the entry is extracted (tombstone + dead-prefix
-    /// drain) and `(entry, booking)` is returned; the queue is
-    /// unmarked blocked. On failure the queue is marked blocked and
-    /// `None` is returned.
+    /// On success the entry is popped from its flow's subqueue and
+    /// `(entry, booking)` is returned; the queue is unmarked blocked.
+    /// On failure the queue is marked blocked and `None` is returned.
     pub fn book_first<R>(
         &mut self,
         qidx: usize,
-        flow_of: impl Fn(&T) -> usize,
         mut try_book: impl FnMut(&T) -> Option<R>,
     ) -> Option<(T, R)> {
-        self.scan_epoch += 1;
-        let epoch = self.scan_epoch;
+        let q = &mut self.queues[qidx];
         let mut booked: Option<(usize, R)> = None;
-        for (i, entry) in self.queues[qidx].iter().enumerate() {
-            let Some(item) = entry else {
-                continue; // tombstone of an earlier mid-queue removal
-            };
-            let flow = flow_of(item);
-            if self.failed_epoch[flow] == epoch {
-                continue;
-            }
-            match try_book(item) {
-                Some(r) => {
-                    booked = Some((i, r));
-                    break;
-                }
-                None => self.failed_epoch[flow] = epoch,
+        for (i, (_, _, item)) in q.order.iter().enumerate() {
+            if let Some(r) = try_book(item) {
+                booked = Some((i, r));
+                break;
             }
         }
         let Some((i, r)) = booked else {
@@ -132,36 +165,57 @@ impl<T: Copy> LookaheadQueues<T> {
             return None;
         };
         self.blocked[qidx] = false;
-        // Mid-queue extraction without shifting: tombstone the slot,
-        // then drain any dead prefix so the front entry stays live.
-        let item = self.queues[qidx][i].take().expect("booked entry is live");
-        while self.queues[qidx].front().is_some_and(Option::is_none) {
-            self.queues[qidx].pop_front();
+        let (_, flow, item) = q.order.remove(i);
+        let tail = q.rest.get_mut(&flow).expect("present flow has a tail");
+        if let Some((next_stamp, next_item)) = tail.q.pop_front() {
+            // Re-insert the flow at its next entry's stamp.
+            let pos = q.order.partition_point(|&(s, _, _)| s < next_stamp);
+            q.order.insert(pos, (next_stamp, flow, next_item));
+        } else {
+            tail.present = false;
         }
         self.live[qidx] -= 1;
         if self.live[qidx] == 0 {
-            debug_assert!(self.queues[qidx].is_empty());
             self.work.remove(qidx);
         }
         Some((item, r))
     }
 
     /// Full-scan cross-check (debug builds): live counts, worklist
-    /// membership, and the live-front invariant. Call under
-    /// `#[cfg(debug_assertions)]`.
+    /// membership, scan-order sortedness and presence agreement.
+    /// Call under `#[cfg(debug_assertions)]`.
     pub fn debug_verify(&self) {
         for i in 0..self.queues.len() {
-            let live = self.queues[i].iter().filter(|e| e.is_some()).count();
-            debug_assert_eq!(self.live[i] as usize, live, "live miscounts queue {i}");
+            let q = &self.queues[i];
+            let fronts = q.order.len();
+            let tails: usize = q.rest.values().map(|t| t.q.len()).sum();
+            debug_assert_eq!(
+                self.live[i] as usize,
+                fronts + tails,
+                "live miscounts queue {i}"
+            );
             debug_assert_eq!(
                 self.work.contains(i),
-                live > 0,
+                fronts > 0,
                 "look-ahead worklist out of sync at queue {i}"
             );
             debug_assert!(
-                self.queues[i].front().is_none_or(Option::is_some),
-                "dead prefix not drained in queue {i}"
+                q.order.windows(2).all(|w| w[0].0 < w[1].0),
+                "scan order unsorted in queue {i}"
             );
+            debug_assert_eq!(
+                fronts,
+                q.rest.values().filter(|t| t.present).count(),
+                "presence marks disagree with scan order in queue {i}"
+            );
+            for &(stamp, flow, _) in &q.order {
+                let tail = &q.rest[&flow];
+                debug_assert!(tail.present, "ordered flow {flow} unmarked in queue {i}");
+                debug_assert!(
+                    tail.q.front().is_none_or(|&(s, _)| s > stamp),
+                    "tail older than front for flow {flow} in queue {i}"
+                );
+            }
         }
     }
 }
@@ -176,11 +230,9 @@ mod tests {
     #[test]
     fn books_front_when_possible() {
         let mut q: LookaheadQueues<Flit> = LookaheadQueues::new(2, 4);
-        q.push(0, (1, 10));
-        q.push(0, (2, 20));
-        let (item, slot) = q
-            .book_first(0, |f| f.0, |f| Some(f.1 * 2))
-            .expect("front books");
+        q.push(0, 1, (1, 10));
+        q.push(0, 2, (2, 20));
+        let (item, slot) = q.book_first(0, |f| Some(f.1 * 2)).expect("front books");
         assert_eq!(item, (1, 10));
         assert_eq!(slot, 20);
         assert_eq!(q.raw_len(0), 1);
@@ -190,33 +242,49 @@ mod tests {
     #[test]
     fn blocked_flow_is_bypassed_by_other_flows_only() {
         let mut q: LookaheadQueues<Flit> = LookaheadQueues::new(1, 4);
-        q.push(0, (1, 10)); // flow 1: cannot book
-        q.push(0, (1, 11)); // flow 1 again: must not even be tried
-        q.push(0, (2, 20)); // flow 2: books
+        q.push(0, 1, (1, 10)); // flow 1: cannot book
+        q.push(0, 1, (1, 11)); // flow 1 again: must not even be tried
+        q.push(0, 2, (2, 20)); // flow 2: books
         let mut tried = Vec::new();
-        let got = q.book_first(
-            0,
-            |f| f.0,
-            |f| {
-                tried.push(*f);
-                (f.0 == 2).then_some(())
-            },
-        );
+        let got = q.book_first(0, |f| {
+            tried.push(*f);
+            (f.0 == 2).then_some(())
+        });
         assert_eq!(got, Some(((2, 20), ())));
-        // Flow 1 was tried once; its second flit was epoch-skipped.
+        // Flow 1 was tried once with its oldest flit; its second flit
+        // was never offered.
         assert_eq!(tried, vec![(1, 10), (2, 20)]);
-        // Mid-queue extraction preserves flow 1's order.
-        assert_eq!(q.raw_len(0), 3); // two live + one tombstone
+        // Flow 1's order is preserved.
+        assert_eq!(q.raw_len(0), 2);
+        q.debug_verify();
+    }
+
+    #[test]
+    fn booked_flow_rejoins_scan_at_next_entry_stamp() {
+        let mut q: LookaheadQueues<Flit> = LookaheadQueues::new(1, 4);
+        q.push(0, 1, (1, 10)); // stamp 0
+        q.push(0, 2, (2, 20)); // stamp 1
+        q.push(0, 1, (1, 11)); // stamp 2
+                               // Book flow 1's front; its next entry (stamp 2) must now scan
+                               // AFTER flow 2 (stamp 1).
+        let got = q.book_first(0, |f| (f.0 == 1).then_some(()));
+        assert_eq!(got, Some(((1, 10), ())));
+        let mut tried = Vec::new();
+        let _ = q.book_first(0, |f| {
+            tried.push(*f);
+            None::<()>
+        });
+        assert_eq!(tried, vec![(2, 20), (1, 11)]);
         q.debug_verify();
     }
 
     #[test]
     fn total_failure_blocks_until_push() {
         let mut q: LookaheadQueues<Flit> = LookaheadQueues::new(1, 2);
-        q.push(0, (0, 1));
-        assert!(q.book_first(0, |f| f.0, |_| None::<()>).is_none());
+        q.push(0, 0, (0, 1));
+        assert!(q.book_first(0, |_| None::<()>).is_none());
         assert!(q.is_blocked(0));
-        q.push(0, (1, 2));
+        q.push(0, 1, (1, 2));
         assert!(!q.is_blocked(0));
         q.debug_verify();
     }
@@ -224,9 +292,9 @@ mod tests {
     #[test]
     fn draining_empties_the_worklist() {
         let mut q: LookaheadQueues<Flit> = LookaheadQueues::new(3, 2);
-        q.push(2, (0, 1));
+        q.push(2, 0, (0, 1));
         assert_eq!(q.first_from(0), Some(2));
-        let _ = q.book_first(2, |f| f.0, |_| Some(()));
+        let _ = q.book_first(2, |_| Some(()));
         assert_eq!(q.first_from(0), None);
         assert_eq!(q.raw_len(2), 0);
         q.debug_verify();

@@ -38,9 +38,11 @@
 //!   order once due, with worklist registration built in.
 //! * [`TimedFifo`] is the global in-order event queue used for credit
 //!   returns.
-//! * [`EjectTracker`] owns the in-flight packet map and per-node
-//!   ejection progress, and enforces the fabric-level invariant that
-//!   every packet is delivered exactly once.
+//! * [`EjectTracker`] owns every in-flight packet in a generational
+//!   slab ([`crate::slab::PacketStore`]) — the datapaths move
+//!   [`crate::slab::PacketRef`] handles, not packet structs — and
+//!   enforces the fabric-level invariant that every packet is
+//!   delivered exactly once.
 //! * [`LookaheadQueues`] is the *optional look-ahead channel* used by
 //!   flit-reservation (FRS) policies: per-output-port queues with
 //!   per-flow fair bypass, tombstone extraction, and epoch-stamped

@@ -1,6 +1,7 @@
 //! The policy interface of the shared VC datapath.
 
 use crate::flit::PacketId;
+use crate::slab::PacketRef;
 use crate::worklist::ActiveSet;
 
 use super::eject::EjectTracker;
@@ -16,8 +17,10 @@ pub struct SwitchGrant {
     pub in_vc: usize,
     /// The downstream VC the flit travels on.
     pub out_vc: usize,
-    /// The winner's arbitration slot (`in_port * num_vcs + in_vc`);
-    /// the fabric advances the port's round-robin pointer past it.
+    /// The winner's arbitration slot (`in_port * num_vcs + in_vc`) —
+    /// the flat index of the winning buffer in
+    /// [`VcRouter::inputs`]; the fabric advances the port's
+    /// round-robin pointer past it.
     pub slot: usize,
 }
 
@@ -47,6 +50,10 @@ pub struct PolicyCtx<'a> {
 /// * **per-cycle bookkeeping** — e.g. GSF's barrier frame recycling
 ///   in [`RouterPolicy::pre_inject`].
 ///
+/// Packets are referenced by [`PacketRef`] slab handles everywhere on
+/// the datapath; resolve one through [`PolicyCtx::packets`] when flow
+/// or length information is needed.
+///
 /// Flit-reservation policies that need a look-ahead channel build on
 /// [`super::LookaheadQueues`] instead of this trait — see the module
 /// docs for where each network sits.
@@ -69,15 +76,15 @@ pub trait RouterPolicy {
 
     /// A packet entered the network at `node`: queue it at the source
     /// (and mark `ctx.nic_work` if it is ready to stream).
-    fn on_enqueue(&mut self, node: usize, id: PacketId, ctx: &mut PolicyCtx<'_>);
+    fn on_enqueue(&mut self, node: usize, pref: PacketRef, ctx: &mut PolicyCtx<'_>);
 
     /// The packet that would stream next from `node`'s source queue,
     /// if any. The fabric only commits (via
     /// [`RouterPolicy::pop_source`]) once a free VC is found.
-    fn peek_source(&self, node: usize) -> Option<PacketId>;
+    fn peek_source(&self, node: usize) -> Option<PacketRef>;
 
     /// Removes and returns the packet just peeked, with its tag.
-    fn pop_source(&mut self, node: usize) -> (PacketId, Self::Tag);
+    fn pop_source(&mut self, node: usize) -> (PacketRef, Self::Tag);
 
     /// Whether `node`'s source queue holds nothing ready to stream
     /// (the NIC worklist predicate, together with the streaming
@@ -92,7 +99,8 @@ pub trait RouterPolicy {
     /// Switch allocation for one output port: pick the input VC that
     /// forwards this cycle. Candidates need a flit routed to
     /// `out_port`, an allocated `out_vc`, and (except for ejection)
-    /// downstream credit — the policy chooses among them.
+    /// downstream credit — the policy chooses among them. The fabric
+    /// only calls this when `router.routed[out_port] > 0`.
     fn pick_winner(
         &self,
         router: &VcRouter<Self::Tag>,

@@ -3,8 +3,9 @@
 use std::collections::VecDeque;
 
 use crate::engine::Network;
-use crate::flit::{FlitKind, NodeId, Packet, PacketId};
+use crate::flit::{FlitKind, NodeId, Packet};
 use crate::routing::{Direction, Routing};
+use crate::slab::PacketRef;
 use crate::topology::Topology;
 use crate::worklist::ActiveSet;
 
@@ -15,10 +16,14 @@ use super::wires::{DelayedWires, TimedFifo};
 use super::{debug_assert_delivered_once, LOCAL, PORTS};
 
 /// A flit inside the VC datapath, carrying the policy's per-flit tag.
+///
+/// Flits move a [`PacketRef`] handle, not the packet itself — the
+/// packet lives in the fabric's [`EjectTracker`] slab from admission
+/// to delivery.
 #[derive(Debug, Clone, Copy)]
 pub struct VcFlit<T> {
-    /// Owning packet.
-    pub id: PacketId,
+    /// Handle of the owning packet.
+    pub pref: PacketRef,
     /// Destination node.
     pub dst: NodeId,
     /// Position within the packet (head/body/tail).
@@ -38,10 +43,10 @@ pub struct VcBuf<T> {
     pub out_vc: Option<usize>,
 }
 
-impl<T> Default for VcBuf<T> {
-    fn default() -> Self {
+impl<T> VcBuf<T> {
+    fn with_capacity(cap: usize) -> Self {
         VcBuf {
-            q: VecDeque::new(),
+            q: VecDeque::with_capacity(cap),
             route: None,
             out_vc: None,
         }
@@ -63,35 +68,49 @@ impl<T: Copy> VcBuf<T> {
 /// This is the superset the policies need — wormhole uses `rr_va` and
 /// ignores `out_draining`; GSF is the reverse. Policies index these
 /// fields directly in their allocation hooks.
+///
+/// All per-(port, vc) state is stored flat with stride `num_vcs`: the
+/// *slot* of input VC `(port, vc)` is `port * num_vcs + vc`, and the
+/// same flat index addresses `out_owner`/`out_draining`/`credits` for
+/// output `(port, vc)`. Arbitration scans walk slots directly, so the
+/// per-candidate div/mod of a nested layout disappears from the hot
+/// loops.
 #[derive(Debug)]
 pub struct VcRouter<T> {
-    /// `inputs[port][vc]`.
-    pub inputs: Vec<Vec<VcBuf<T>>>,
-    /// `out_owner[port][vc]`: which `(in_port, in_vc)` currently owns
-    /// the downstream VC reached through this output; `None` = free.
-    pub out_owner: Vec<Vec<Option<(usize, usize)>>>,
+    /// Input VC buffers; slot `port * num_vcs + vc`.
+    pub inputs: Vec<VcBuf<T>>,
+    /// Whether the downstream VC reached through output slot
+    /// `port * num_vcs + vc` is currently owned by a packet.
+    /// (`false` = free for allocation.)
+    pub out_owner: Vec<bool>,
     /// Tail already forwarded, VC still draining: not yet reusable
     /// (only meaningful under [`RouterPolicy::DRAIN_BEFORE_REUSE`]).
-    pub out_draining: Vec<Vec<bool>>,
-    /// `credits[port][vc]`: free flit slots in the downstream VC.
-    pub credits: Vec<Vec<u32>>,
+    pub out_draining: Vec<bool>,
+    /// Free flit slots in the downstream VC at output slot
+    /// `port * num_vcs + vc`.
+    pub credits: Vec<u32>,
     /// Per-output round-robin pointer for VC allocation.
     pub rr_va: [usize; PORTS],
     /// Per-output round-robin pointer for switch allocation.
     pub rr_sa: [usize; PORTS],
+    /// Input VCs currently routed to each output port (maintained by
+    /// the fabric). `routed[out] == 0` means no input VC can possibly
+    /// request `out`, so allocation scans for it are skipped.
+    pub routed: [u32; PORTS],
 }
 
 impl<T> VcRouter<T> {
     fn new(num_vcs: usize, vc_capacity: usize) -> Self {
         VcRouter {
-            inputs: (0..PORTS)
-                .map(|_| (0..num_vcs).map(|_| VcBuf::default()).collect())
+            inputs: (0..PORTS * num_vcs)
+                .map(|_| VcBuf::with_capacity(vc_capacity))
                 .collect(),
-            out_owner: vec![vec![None; num_vcs]; PORTS],
-            out_draining: vec![vec![false; num_vcs]; PORTS],
-            credits: vec![vec![vc_capacity as u32; num_vcs]; PORTS],
+            out_owner: vec![false; PORTS * num_vcs],
+            out_draining: vec![false; PORTS * num_vcs],
+            credits: vec![vc_capacity as u32; PORTS * num_vcs],
             rr_va: [0; PORTS],
             rr_sa: [0; PORTS],
+            routed: [0; PORTS],
         }
     }
 }
@@ -99,7 +118,7 @@ impl<T> VcRouter<T> {
 /// A packet streaming from a NIC into its router, one flit per cycle.
 #[derive(Debug)]
 pub struct Streaming<T> {
-    id: PacketId,
+    pref: PacketRef,
     dst: NodeId,
     len: u16,
     pos: u16,
@@ -200,6 +219,12 @@ impl<P: RouterPolicy> VcFabric<P> {
     /// Builds the datapath for `params`, scheduled by `policy`.
     pub fn new(params: VcParams, policy: P) -> Self {
         let n = params.topo.num_nodes();
+        // At most one flit enters a link per cycle, so a link never
+        // carries more than `hop_latency` flits at once; credits obey
+        // the same bound per (port, vc). Pre-sizing to those bounds
+        // means warmup never reallocates.
+        let per_link = params.hop_latency as usize + 1;
+        let credit_cap = n * PORTS * (params.credit_delay as usize + 1);
         VcFabric {
             link: LinkMap::new(params.topo, params.routing),
             routers: (0..n)
@@ -208,9 +233,9 @@ impl<P: RouterPolicy> VcFabric<P> {
             nics: (0..n)
                 .map(|_| VcNic::new(params.num_vcs, params.vc_capacity))
                 .collect(),
-            wires: DelayedWires::new(n * PORTS),
-            credits_in_flight: TimedFifo::new(),
-            tracker: EjectTracker::new(n),
+            wires: DelayedWires::with_capacity(n * PORTS, per_link),
+            credits_in_flight: TimedFifo::with_capacity(credit_cap),
+            tracker: EjectTracker::new(),
             forwarded: vec![0; n * PORTS],
             nic_work: ActiveSet::new(n),
             router_work: ActiveSet::new(n),
@@ -244,16 +269,17 @@ impl<P: RouterPolicy> VcFabric<P> {
             ..
         } = self;
         let cap = params.vc_capacity;
+        let num_vcs = params.num_vcs;
         wires.drain_due(now, |widx, (vc, flit)| {
             let node = widx / PORTS;
             let port = widx % PORTS;
-            let buf: &mut VcBuf<P::Tag> = &mut routers[node].inputs[port][vc];
+            let buf: &mut VcBuf<P::Tag> = &mut routers[node].inputs[port * num_vcs + vc];
             debug_assert!(
                 buf.q.len() < cap,
                 "credit protocol violated: buffer overflow"
             );
             debug_assert!(
-                !P::DRAIN_BEFORE_REUSE || buf.q.iter().all(|f| f.id == flit.id),
+                !P::DRAIN_BEFORE_REUSE || buf.q.iter().all(|f| f.pref == flit.pref),
                 "strict VC separation forbids mixing packets in one VC"
             );
             buf.q.push_back(flit);
@@ -264,6 +290,7 @@ impl<P: RouterPolicy> VcFabric<P> {
 
     fn apply_credits(&mut self, now: u64) {
         let cap = self.params.vc_capacity as u32;
+        let num_vcs = self.params.num_vcs;
         while let Some((node, port, vc)) = self.credits_in_flight.pop_due(now) {
             if port == LOCAL {
                 let nic = &mut self.nics[node];
@@ -274,10 +301,11 @@ impl<P: RouterPolicy> VcFabric<P> {
                 }
             } else {
                 let r = &mut self.routers[node];
-                r.credits[port][vc] += 1;
-                if P::DRAIN_BEFORE_REUSE && r.out_draining[port][vc] && r.credits[port][vc] == cap {
-                    r.out_draining[port][vc] = false;
-                    r.out_owner[port][vc] = None;
+                let slot = port * num_vcs + vc;
+                r.credits[slot] += 1;
+                if P::DRAIN_BEFORE_REUSE && r.out_draining[slot] && r.credits[slot] == cap {
+                    r.out_draining[slot] = false;
+                    r.out_owner[slot] = false;
                 }
             }
         }
@@ -296,16 +324,16 @@ impl<P: RouterPolicy> VcFabric<P> {
                     .map(|k| (nic.rr + k) % num_vcs)
                     .find(|&v| !nic.owned[v]);
                 if let Some(vc) = free {
-                    let (pid, tag) = self.policy.pop_source(node);
+                    let (pref, tag) = self.policy.pop_source(node);
                     let (dst, len) = {
-                        let p = self.tracker.packet(pid);
+                        let p = self.tracker.packet(pref);
                         (p.dst, p.len_flits)
                     };
                     let nic = &mut self.nics[node];
                     nic.owned[vc] = true;
                     nic.rr = (vc + 1) % num_vcs;
                     nic.current = Some(Streaming {
-                        id: pid,
+                        pref,
                         dst,
                         len,
                         pos: 0,
@@ -319,14 +347,14 @@ impl<P: RouterPolicy> VcFabric<P> {
                 if nic.credits[cur.vc] > 0 {
                     let kind = FlitKind::for_position(cur.pos, cur.len);
                     let flit = VcFlit {
-                        id: cur.id,
+                        pref: cur.pref,
                         dst: cur.dst,
                         kind,
                         tag: cur.tag,
                     };
                     nic.credits[cur.vc] -= 1;
                     if cur.pos == 0 {
-                        self.tracker.packet_mut(cur.id).injected_at = Some(now);
+                        self.tracker.packet_mut(cur.pref).injected_at = Some(now);
                     }
                     cur.pos += 1;
                     let vc = cur.vc;
@@ -339,7 +367,9 @@ impl<P: RouterPolicy> VcFabric<P> {
                         }
                         nic.current = None;
                     }
-                    self.routers[node].inputs[LOCAL][vc].q.push_back(flit);
+                    self.routers[node].inputs[LOCAL * num_vcs + vc]
+                        .q
+                        .push_back(flit);
                     self.buffered[node] += 1;
                     self.router_work.insert(node);
                 }
@@ -356,16 +386,18 @@ impl<P: RouterPolicy> VcFabric<P> {
         while let Some(node) = self.router_work.first_from(cursor) {
             cursor = node + 1;
             let router = &mut self.routers[node];
-            for port in router.inputs.iter_mut() {
-                for buf in port.iter_mut() {
-                    if buf.route.is_none() {
-                        if let Some(front) = buf.q.front() {
-                            if front.kind.is_head() {
-                                buf.route = Some(link.route(node, front.dst));
-                            }
-                        }
-                    }
+            for slot in 0..router.inputs.len() {
+                let buf = &router.inputs[slot];
+                if buf.route.is_some() {
+                    continue;
                 }
+                let Some(front) = buf.q.front() else { continue };
+                if !front.kind.is_head() {
+                    continue;
+                }
+                let out = link.route(node, front.dst);
+                router.inputs[slot].route = Some(out);
+                router.routed[out] += 1;
             }
         }
     }
@@ -381,15 +413,20 @@ impl<P: RouterPolicy> VcFabric<P> {
 
     fn switch_traverse(&mut self, now: u64, out: &mut Vec<Packet>) {
         let num_vcs = self.params.num_vcs;
+        let total = PORTS * num_vcs;
         let mut cursor = 0;
         while let Some(node) = self.router_work.first_from(cursor) {
             cursor = node + 1;
             for out_port in 0..PORTS {
+                // No input VC is routed here: nothing to arbitrate.
+                if self.routers[node].routed[out_port] == 0 {
+                    continue;
+                }
                 let Some(SwitchGrant {
-                    in_port: p,
                     in_vc: v,
                     out_vc: ov,
                     slot,
+                    ..
                 }) = self
                     .policy
                     .pick_winner(&self.routers[node], out_port, num_vcs)
@@ -398,8 +435,8 @@ impl<P: RouterPolicy> VcFabric<P> {
                 };
                 self.forwarded[node * PORTS + out_port] += 1;
                 let router = &mut self.routers[node];
-                router.rr_sa[out_port] = (slot + 1) % (PORTS * num_vcs);
-                let flit = router.inputs[p][v]
+                router.rr_sa[out_port] = if slot + 1 == total { 0 } else { slot + 1 };
+                let flit = router.inputs[slot]
                     .q
                     .pop_front()
                     .expect("winner has a flit");
@@ -408,26 +445,29 @@ impl<P: RouterPolicy> VcFabric<P> {
                     self.router_work.remove(node);
                 }
                 if flit.kind.is_tail() {
+                    let oslot = out_port * num_vcs + ov;
                     if P::DRAIN_BEFORE_REUSE && out_port != LOCAL {
                         // The downstream VC stays owned until drained
                         // (credits fully returned). Ejected flits
                         // leave no downstream buffer to drain.
-                        router.out_draining[out_port][ov] = true;
+                        router.out_draining[oslot] = true;
                     } else {
-                        router.out_owner[out_port][ov] = None;
+                        router.out_owner[oslot] = false;
                     }
-                    router.inputs[p][v].route = None;
-                    router.inputs[p][v].out_vc = None;
+                    router.inputs[slot].route = None;
+                    router.inputs[slot].out_vc = None;
+                    router.routed[out_port] -= 1;
                 }
                 if out_port != LOCAL {
-                    router.credits[out_port][ov] -= 1;
+                    router.credits[out_port * num_vcs + ov] -= 1;
                 }
                 // Return the freed input-slot credit upstream.
                 let due = now + self.params.credit_delay;
-                if p == LOCAL {
+                let in_port = slot / num_vcs;
+                if in_port == LOCAL {
                     self.credits_in_flight.push(due, (node, LOCAL, v));
                 } else {
-                    let (up, up_port) = self.link.upstream(node, p);
+                    let (up, up_port) = self.link.upstream(node, in_port);
                     self.credits_in_flight.push(due, (up, up_port, v));
                 }
                 if out_port == LOCAL {
@@ -444,8 +484,8 @@ impl<P: RouterPolicy> VcFabric<P> {
 
     fn eject(&mut self, node: usize, flit: VcFlit<P::Tag>, now: u64, out: &mut Vec<Packet>) {
         self.policy.on_eject_flit(&flit);
-        let total = self.tracker.packet(flit.id).len_flits;
-        if let Some(packet) = self.tracker.on_piece(node, flit.id, total, now) {
+        let total = self.tracker.packet(flit.pref).len_flits;
+        if let Some(packet) = self.tracker.on_piece(node, flit.pref, total, now) {
             self.policy.on_eject_packet(packet.id);
             out.push(packet);
         }
@@ -462,13 +502,16 @@ impl<P: RouterPolicy> VcFabric<P> {
             debug_assert_eq!(self.nic_work.contains(n), active, "nic_work[{n}]");
         }
         for (n, router) in self.routers.iter().enumerate() {
-            let count: u32 = router
-                .inputs
-                .iter()
-                .flat_map(|port| port.iter().map(|buf| buf.q.len() as u32))
-                .sum();
+            let count: u32 = router.inputs.iter().map(|buf| buf.q.len() as u32).sum();
             debug_assert_eq!(self.buffered[n], count, "buffered[{n}]");
             debug_assert_eq!(self.router_work.contains(n), count > 0, "router_work[{n}]");
+            let mut routed = [0u32; PORTS];
+            for buf in &router.inputs {
+                if let Some(out) = buf.route {
+                    routed[out] += 1;
+                }
+            }
+            debug_assert_eq!(router.routed, routed, "routed[{n}]");
         }
     }
 }
@@ -490,10 +533,10 @@ impl<P: RouterPolicy> Network for VcFabric<P> {
             nic_work,
             ..
         } = self;
-        let id = tracker.admit(packet);
+        let pref = tracker.admit(packet);
         policy.on_enqueue(
             node,
-            id,
+            pref,
             &mut PolicyCtx {
                 packets: tracker,
                 nic_work,

@@ -24,8 +24,18 @@ impl<T> DelayedWires<T> {
     /// Empty wires for `num_links` links.
     #[must_use]
     pub fn new(num_links: usize) -> Self {
+        DelayedWires::with_capacity(num_links, 0)
+    }
+
+    /// Empty wires for `num_links` links, each pre-sized for
+    /// `per_link` in-flight items (one flit per cycle for a link
+    /// delay of `per_link - 1` cycles) so warmup never reallocates.
+    #[must_use]
+    pub fn with_capacity(num_links: usize, per_link: usize) -> Self {
         DelayedWires {
-            wires: (0..num_links).map(|_| VecDeque::new()).collect(),
+            wires: (0..num_links)
+                .map(|_| VecDeque::with_capacity(per_link))
+                .collect(),
             work: ActiveSet::new(num_links),
         }
     }
@@ -98,6 +108,14 @@ impl<T> TimedFifo<T> {
     #[must_use]
     pub fn new() -> Self {
         TimedFifo { q: VecDeque::new() }
+    }
+
+    /// An empty queue pre-sized for `cap` in-flight events.
+    #[must_use]
+    pub fn with_capacity(cap: usize) -> Self {
+        TimedFifo {
+            q: VecDeque::with_capacity(cap),
+        }
     }
 
     /// Enqueues `item`, due at `due` (must be non-decreasing across

@@ -21,7 +21,10 @@
 //! * [`fabric`] — the shared router fabric: one cycle-accurate
 //!   datapath (links, credits, NICs, ejection, worklists) with
 //!   pluggable [`fabric::RouterPolicy`] scheduling and an optional
-//!   look-ahead channel for flit-reservation policies.
+//!   look-ahead channel for flit-reservation policies,
+//! * [`slab`] — the generational [`slab::PacketStore`] that owns every
+//!   in-flight packet; the datapaths move `Copy`-able
+//!   [`slab::PacketRef`] handles instead of structs.
 //!
 //! # Example
 //!
@@ -47,6 +50,7 @@ pub mod flow;
 pub mod fxhash;
 pub mod rng;
 pub mod routing;
+pub mod slab;
 pub mod stats;
 pub mod topology;
 pub mod worklist;
@@ -57,6 +61,7 @@ pub use flit::{FlowId, NodeId, Packet, PacketId};
 pub use flow::{FlowSet, FlowSpec};
 pub use fxhash::{FxHashMap, FxHashSet};
 pub use routing::{Direction, Routing};
+pub use slab::{PacketRef, PacketStore};
 pub use stats::SimReport;
 pub use topology::Topology;
 pub use worklist::ActiveSet;

@@ -23,7 +23,7 @@ use crate::flit::{FlowId, Packet};
 /// assert_eq!(s.min(), 1.0);
 /// assert_eq!(s.max(), 4.0);
 /// ```
-#[derive(Debug, Clone, Default, PartialEq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct RunningStats {
     n: u64,
     mean: f64,
@@ -107,7 +107,7 @@ impl RunningStats {
             return;
         }
         if self.n == 0 {
-            *self = other.clone();
+            *self = *other;
             return;
         }
         let n = self.n + other.n;

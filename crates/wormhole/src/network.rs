@@ -19,8 +19,9 @@ use std::collections::VecDeque;
 use noc_sim::fabric::{
     PolicyCtx, RouterPolicy, SwitchGrant, VcFabric, VcParams, VcRouter, LOCAL, PORTS,
 };
-use noc_sim::flit::{NodeId, Packet, PacketId};
+use noc_sim::flit::{NodeId, Packet};
 use noc_sim::routing::Direction;
+use noc_sim::slab::PacketRef;
 use noc_sim::Network;
 
 use crate::config::WormholeConfig;
@@ -30,25 +31,25 @@ use crate::config::WormholeConfig;
 #[derive(Debug)]
 struct WormholePolicy {
     /// Packets waiting to be flitized, per source node.
-    src: Vec<VecDeque<PacketId>>,
+    src: Vec<VecDeque<PacketRef>>,
 }
 
 impl RouterPolicy for WormholePolicy {
     type Tag = ();
     const DRAIN_BEFORE_REUSE: bool = false;
 
-    fn on_enqueue(&mut self, node: usize, id: PacketId, ctx: &mut PolicyCtx<'_>) {
-        self.src[node].push_back(id);
+    fn on_enqueue(&mut self, node: usize, pref: PacketRef, ctx: &mut PolicyCtx<'_>) {
+        self.src[node].push_back(pref);
         ctx.nic_work.insert(node);
     }
 
-    fn peek_source(&self, node: usize) -> Option<PacketId> {
+    fn peek_source(&self, node: usize) -> Option<PacketRef> {
         self.src[node].front().copied()
     }
 
-    fn pop_source(&mut self, node: usize) -> (PacketId, ()) {
-        let id = self.src[node].pop_front().expect("peeked source packet");
-        (id, ())
+    fn pop_source(&mut self, node: usize) -> (PacketRef, ()) {
+        let pref = self.src[node].pop_front().expect("peeked source packet");
+        (pref, ())
     }
 
     fn source_idle(&self, node: usize) -> bool {
@@ -56,22 +57,28 @@ impl RouterPolicy for WormholePolicy {
     }
 
     fn vc_allocate(&mut self, router: &mut VcRouter<()>, num_vcs: usize) {
-        for in_port in 0..PORTS {
-            for in_vc in 0..num_vcs {
-                let buf = &router.inputs[in_port][in_vc];
-                let Some(out) = buf.route else { continue };
-                if buf.out_vc.is_some() || !buf.q.front().is_some_and(|f| f.kind.is_head()) {
-                    continue;
-                }
-                let start = router.rr_va[out];
-                let free = (0..num_vcs)
-                    .map(|k| (start + k) % num_vcs)
-                    .find(|&v| router.out_owner[out][v].is_none());
-                if let Some(v) = free {
-                    router.out_owner[out][v] = Some((in_port, in_vc));
-                    router.inputs[in_port][in_vc].out_vc = Some(v);
-                    router.rr_va[out] = (v + 1) % num_vcs;
-                }
+        for slot in 0..PORTS * num_vcs {
+            let buf = &router.inputs[slot];
+            let Some(out) = buf.route else { continue };
+            if buf.out_vc.is_some() || !buf.q.front().is_some_and(|f| f.kind.is_head()) {
+                continue;
+            }
+            let start = router.rr_va[out];
+            let base = out * num_vcs;
+            let free = (0..num_vcs)
+                .map(|k| {
+                    let v = start + k;
+                    if v >= num_vcs {
+                        v - num_vcs
+                    } else {
+                        v
+                    }
+                })
+                .find(|&v| !router.out_owner[base + v]);
+            if let Some(v) = free {
+                router.out_owner[base + v] = true;
+                router.inputs[slot].out_vc = Some(v);
+                router.rr_va[out] = if v + 1 == num_vcs { 0 } else { v + 1 };
             }
         }
     }
@@ -84,22 +91,26 @@ impl RouterPolicy for WormholePolicy {
     ) -> Option<SwitchGrant> {
         // First candidate in round-robin order: an input VC routed
         // here with a flit ready and downstream credit (ejection
-        // needs none).
+        // needs none). The scan walks flat buffer slots; port/VC
+        // indices are only derived for the winner.
+        let total = PORTS * num_vcs;
         let start = router.rr_sa[out_port];
-        for k in 0..PORTS * num_vcs {
-            let slot = (start + k) % (PORTS * num_vcs);
-            let (p, v) = (slot / num_vcs, slot % num_vcs);
-            let buf = &router.inputs[p][v];
+        for k in 0..total {
+            let mut slot = start + k;
+            if slot >= total {
+                slot -= total;
+            }
+            let buf = &router.inputs[slot];
             if buf.route != Some(out_port) || buf.q.is_empty() {
                 continue;
             }
             let Some(ov) = buf.out_vc else { continue };
-            if out_port != LOCAL && router.credits[out_port][ov] == 0 {
+            if out_port != LOCAL && router.credits[out_port * num_vcs + ov] == 0 {
                 continue;
             }
             return Some(SwitchGrant {
-                in_port: p,
-                in_vc: v,
+                in_port: slot / num_vcs,
+                in_vc: slot % num_vcs,
                 out_vc: ov,
                 slot,
             });
@@ -175,7 +186,7 @@ impl Network for WormholeNetwork {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use noc_sim::flit::FlowId;
+    use noc_sim::flit::{FlowId, PacketId};
     use noc_sim::topology::Topology;
 
     fn packet(flow: u32, seq: u64, src: u32, dst: u32, at: u64) -> Packet {

@@ -62,6 +62,50 @@ fn wormhole_uniform_low_load_is_pinned() {
     check(&r, 16_576, 0x4034_1027_9CF7_951A); // avg_latency = 20.0631044487428
 }
 
+/// The high-load run configuration used by the near-saturation pins:
+/// long enough that the networks reach congested steady state, short
+/// enough for the test suite.
+fn high_load_run() -> RunConfig {
+    RunConfig {
+        warmup: 200,
+        measure: 2_000,
+        drain: 1_000,
+    }
+}
+
+#[test]
+fn loft_uniform_high_load_is_pinned() {
+    let r = run_loft(
+        &Scenario::uniform(0.60),
+        LoftConfig::default(),
+        high_load_run(),
+        SEED,
+    );
+    check(&r, 34_320, 0x408D_00E2_3BCB_98CA); // avg_latency = 928.110465612984
+}
+
+#[test]
+fn gsf_uniform_high_load_is_pinned() {
+    let r = run_gsf(
+        &Scenario::uniform(0.60),
+        GsfConfig::default(),
+        high_load_run(),
+        SEED,
+    );
+    check(&r, 58_728, 0x4079_52F9_3A63_492D); // avg_latency = 405.18584669860394
+}
+
+#[test]
+fn wormhole_uniform_high_load_is_pinned() {
+    let r = run_wormhole(
+        &Scenario::uniform(0.60),
+        WormholeConfig::default(),
+        high_load_run(),
+        SEED,
+    );
+    check(&r, 56_360, 0x407C_6563_4EEE_6F0D); // avg_latency = 454.3367451967068
+}
+
 #[test]
 fn loft_hotspot_is_pinned() {
     let r = run_loft(
