@@ -33,6 +33,7 @@ fn lsf_schedule() {
                     flow,
                     qid,
                     in_port: 0,
+                    res_idx: 0,
                 };
                 match s.schedule(flow, 1, entry) {
                     Some(_) => {

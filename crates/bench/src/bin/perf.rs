@@ -14,7 +14,7 @@
 //! {"net":"loft","scenario":"uniform","load":0.05,"sim_cycles":24000,
 //!  "wall_secs":0.0123,"cycles_per_sec":1951219.5,
 //!  "packets_delivered":730,"packets_per_sec":59349.6,
-//!  "flits_delivered":2920,"avg_latency":27.41,
+//!  "flits_delivered":2920,"avg_latency":27.41,"saturated":false,
 //!  "allocs_per_cycle":null}
 //! ```
 //!
@@ -22,6 +22,14 @@
 //! work: compare it across commits at the same load point (the
 //! simulations are fully deterministic, so the simulated work is
 //! identical and only the wall clock moves).
+//!
+//! `packets_delivered` counts packets *ejected during the measurement
+//! window* (the windowed throughput convention), so a saturated
+//! network still reports its real delivery rate. `avg_latency` is the
+//! mean over packets *created* in the window; past saturation none of
+//! those complete, so the latency prints `null` and `saturated` is
+//! `true` — offered load beyond capacity has unbounded latency, not
+//! zero.
 //!
 //! `allocs_per_cycle` is the steady-state allocation rate: heap
 //! allocations between the warmup/measurement boundary and the end of
@@ -36,6 +44,14 @@
 //! still run end to end (the numbers it prints are not comparable
 //! across machines, but `allocs_per_cycle` is machine-independent and
 //! gateable even in smoke mode).
+//!
+//! `--min-cps net=floor[,net=floor...]` (e.g.
+//! `--min-cps loft=200000,gsf=100000`) fails the process if any
+//! measured point of a named network falls below its floor in
+//! simulated cycles/second. Floors for CI must sit far below typical
+//! hardware (they catch order-of-magnitude hot-loop regressions, not
+//! percent-level drift — wall-clock gates on shared runners cannot do
+//! better).
 
 use loft::LoftConfig;
 use loft_bench::{run_gsf_hooked, run_loft_hooked, run_wormhole_hooked, SEED};
@@ -64,11 +80,17 @@ fn run(smoke: bool) -> RunConfig {
     }
 }
 
+/// One measured point: the simulated-cycle rate and the steady-state
+/// allocation rate (`None` without the `alloc-count` feature).
+struct Point {
+    cycles_per_sec: f64,
+    allocs_per_cycle: Option<f64>,
+}
+
 /// Runs one benchmark point and prints its JSON line. `f` receives
 /// the `after_warmup` hook to pass through to the simulation; the
 /// untimed first run uses it to snapshot the allocation counter at
-/// the warmup/measurement boundary. Returns the measured
-/// `allocs_per_cycle` (`None` without the `alloc-count` feature).
+/// the warmup/measurement boundary.
 fn measure(
     net: &str,
     scenario: &str,
@@ -76,7 +98,7 @@ fn measure(
     iters: u32,
     cfg: RunConfig,
     f: impl Fn(&mut dyn FnMut()) -> SimReport,
-) -> Option<f64> {
+) -> Point {
     // One untimed warmup run (doubling as the allocation
     // measurement), then the mean of `iters` timed runs.
     #[cfg(feature = "alloc-count")]
@@ -100,20 +122,34 @@ fn measure(
     let wall = start.elapsed().as_secs_f64() / f64::from(iters);
 
     let sim_cycles = cfg.warmup + cfg.measure + cfg.drain;
-    let packets = report.total_latency.count();
+    // Windowed delivery: packets ejected inside the measurement
+    // window, regardless of when they were created. The latency mean
+    // only covers created-in-window packets; under saturation none of
+    // those finish, which is a property of the load point — report it
+    // instead of a fake 0 latency.
+    let packets: u64 = report.flows.iter().map(|f| f.packets_delivered).sum();
+    let saturated = report.total_latency.count() == 0 && packets > 0;
+    let avg_latency = if report.total_latency.count() == 0 {
+        "null".to_string()
+    } else {
+        format!("{:.4}", report.avg_latency())
+    };
+    let cycles_per_sec = sim_cycles as f64 / wall;
     let allocs = allocs_per_cycle.map_or_else(|| "null".to_string(), |a| format!("{a:.4}"));
     println!(
         "{{\"net\":\"{net}\",\"scenario\":\"{scenario}\",\"load\":{load},\
          \"sim_cycles\":{sim_cycles},\"wall_secs\":{wall:.6},\
-         \"cycles_per_sec\":{:.1},\"packets_delivered\":{packets},\
+         \"cycles_per_sec\":{cycles_per_sec:.1},\"packets_delivered\":{packets},\
          \"packets_per_sec\":{:.1},\"flits_delivered\":{},\
-         \"avg_latency\":{:.4},\"allocs_per_cycle\":{allocs}}}",
-        sim_cycles as f64 / wall,
+         \"avg_latency\":{avg_latency},\"saturated\":{saturated},\
+         \"allocs_per_cycle\":{allocs}}}",
         packets as f64 / wall,
         report.flits_delivered,
-        report.avg_latency(),
     );
-    allocs_per_cycle
+    Point {
+        cycles_per_sec,
+        allocs_per_cycle,
+    }
 }
 
 fn main() {
@@ -128,6 +164,28 @@ fn main() {
         eprintln!("--alloc-budget requires --features alloc-count (nothing to gate on)");
         std::process::exit(1);
     }
+    // Per-network cycles/second floors: "loft=200000,gsf=100000".
+    let floors: Vec<(String, f64)> = args
+        .iter()
+        .position(|a| a == "--min-cps")
+        .map(|i| {
+            args.get(i + 1)
+                .map(|v| {
+                    v.split(',')
+                        .map(|pair| {
+                            let (net, cps) = pair
+                                .split_once('=')
+                                .expect("--min-cps entries look like net=cycles_per_sec");
+                            (
+                                net.to_string(),
+                                cps.parse().expect("--min-cps floor must be numeric"),
+                            )
+                        })
+                        .collect()
+                })
+                .expect("--min-cps takes net=floor[,net=floor...]")
+        })
+        .unwrap_or_default();
 
     let cfg = run(smoke);
     let iters = if smoke { 1 } else { 5 };
@@ -142,6 +200,12 @@ fn main() {
         &[("uniform", 0.05), ("uniform", 0.60), ("hotspot", 0.60)]
     };
     let mut worst: f64 = 0.0;
+    // Slowest measured point per network, for the --min-cps gate.
+    let mut min_cps = [
+        ("loft", f64::INFINITY),
+        ("gsf", f64::INFINITY),
+        ("wormhole", f64::INFINITY),
+    ];
     for &(scenario, load) in points {
         let make = |sc: &str| match sc {
             "uniform" => Scenario::uniform(load),
@@ -159,13 +223,37 @@ fn main() {
                 run_wormhole_hooked(&make(scenario), WormholeConfig::default(), cfg, SEED, hook)
             }),
         ];
-        worst = rows.iter().flatten().fold(worst, |w, &a| w.max(a));
+        for (row, slot) in rows.iter().zip(min_cps.iter_mut()) {
+            worst = row.allocs_per_cycle.iter().fold(worst, |w, &a| w.max(a));
+            slot.1 = slot.1.min(row.cycles_per_sec);
+        }
     }
+    let mut failed = false;
     if let Some(b) = budget {
         if worst > b {
             eprintln!("alloc budget exceeded: worst allocs_per_cycle {worst:.4} > budget {b}");
-            std::process::exit(1);
+            failed = true;
+        } else {
+            eprintln!("alloc budget ok: worst allocs_per_cycle {worst:.4} <= budget {b}");
         }
-        eprintln!("alloc budget ok: worst allocs_per_cycle {worst:.4} <= budget {b}");
+    }
+    for (net, floor) in &floors {
+        match min_cps.iter().find(|(n, _)| n == net) {
+            Some(&(_, got)) => {
+                if got < *floor {
+                    eprintln!("cps floor violated: {net} ran at {got:.0} < floor {floor:.0}");
+                    failed = true;
+                } else {
+                    eprintln!("cps floor ok: {net} ran at {got:.0} >= floor {floor:.0}");
+                }
+            }
+            None => {
+                eprintln!("--min-cps names unknown network {net:?}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
     }
 }

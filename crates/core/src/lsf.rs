@@ -81,6 +81,11 @@ pub struct PendingQuantum {
     pub qid: u64,
     /// Input port of the router holding the quantum.
     pub in_port: u8,
+    /// Slot of the quantum's entry in that input port's reservation
+    /// store (`crate::port`): carrying the handle here makes
+    /// the data plane's emergent present-check and forward path
+    /// direct array reads instead of keyed lookups.
+    pub res_idx: u16,
 }
 
 /// The LSF scheduler of one output link. See the module docs.
@@ -742,6 +747,7 @@ mod tests {
             flow: FlowId::new(flow),
             qid,
             in_port: 0,
+            res_idx: 0,
         }
     }
 
@@ -965,6 +971,7 @@ mod tests {
                             flow,
                             qid,
                             in_port: 0,
+                            res_idx: 0,
                         },
                     ) {
                         outstanding.push(slot);

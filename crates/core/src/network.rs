@@ -59,11 +59,11 @@ use noc_sim::fabric::{
 use noc_sim::flit::{FlowId, NodeId, Packet};
 use noc_sim::routing::Direction;
 use noc_sim::slab::PacketRef;
-use noc_sim::{ActiveSet, FxHashMap, Network};
+use noc_sim::{ActiveSet, Network};
 
 use crate::config::LoftConfig;
 use crate::lsf::{LinkScheduler, LsfParams, PendingQuantum};
-use crate::port::{Arrived, DataPort, Expect, QKey};
+use crate::port::{DataPort, QKey, ResIdx};
 
 #[derive(Debug, Clone, Copy)]
 struct LaFlit {
@@ -74,6 +74,10 @@ struct LaFlit {
     dep_slot: u64,
     /// Input port at the router currently holding the flit.
     in_port: u8,
+    /// Slot of the quantum's entry in that port's reservation store,
+    /// assigned when the flit arrives and writes its expectation
+    /// (stale while the flit is in flight to the next router).
+    res_idx: u16,
 }
 
 /// A data quantum in flight on a link (availability time lives in the
@@ -105,13 +109,15 @@ struct SrcQuantum {
 /// input port, one per slot, as buffer space permits.
 #[derive(Debug)]
 struct SourceNic {
-    /// Quanta awaiting look-ahead launch, per flow (only flows
-    /// sourced here are used).
-    flow_q: FxHashMap<u32, VecDeque<SrcQuantum>>,
+    /// Quanta awaiting look-ahead launch, per flow sourced here,
+    /// parallel to `rr_flows` — the launch scan indexes both by
+    /// round-robin position, so no keyed lookup is needed.
+    flow_q: Vec<VecDeque<SrcQuantum>>,
     /// Total quanta across all of `flow_q` (the launch worklist's
     /// activity predicate).
     queued: usize,
-    /// Round-robin over flows for look-ahead launch.
+    /// Round-robin over flows for look-ahead launch; `rr_flows[i]`
+    /// owns `flow_q[i]`.
     rr_flows: Vec<u32>,
     rr: usize,
     /// Quanta whose look-ahead has launched, awaiting their data
@@ -123,7 +129,7 @@ struct SourceNic {
 impl SourceNic {
     fn new() -> Self {
         SourceNic {
-            flow_q: FxHashMap::default(),
+            flow_q: Vec::new(),
             queued: 0,
             rr_flows: Vec::new(),
             rr: 0,
@@ -218,10 +224,27 @@ impl LoftNetwork {
                 LinkScheduler::new(p, reservations_flits)
             })
             .collect();
+        // Reservation entries live from look-ahead arrival to data
+        // forward: at most the upstream link's in-window bookings,
+        // quanta in flight on the wire, buffered quanta, and (for the
+        // local port) the staged backlog — plus slack. The store
+        // grows if a configuration escapes the bound.
+        let res_cap = (params.window_quanta()
+            + cfg.dep_offset()
+            + 1
+            + cfg.nonspec_quanta() as u64
+            + cfg.spec_quanta() as u64
+            + cfg.la_flow_window as u64) as usize;
         LoftNetwork {
             link: LinkMap::new(cfg.topo, cfg.routing),
             data_ports: (0..n * PORTS)
-                .map(|_| DataPort::new(cfg.nonspec_quanta() as i64, cfg.spec_quanta() as i64))
+                .map(|_| {
+                    DataPort::new(
+                        cfg.nonspec_quanta() as i64,
+                        cfg.spec_quanta() as i64,
+                        res_cap,
+                    )
+                })
                 .collect(),
             // One quantum (resp. look-ahead flit) enters a link per
             // slot (resp. cycle), so in-flight occupancy per link is
@@ -267,7 +290,7 @@ impl LoftNetwork {
     /// debugging and tests).
     pub fn debug_injection(&self, node: usize) -> String {
         let nic = &self.nics[node];
-        let queued: usize = nic.flow_q.values().map(|q| q.len()).sum();
+        let queued: usize = nic.flow_q.iter().map(VecDeque::len).sum();
         let ridx = node * PORTS + LOCAL;
         format!(
             "inj n{node}: queued={} staged={} local_nonspec_free={} outstanding={:?}",
@@ -337,14 +360,13 @@ impl LoftNetwork {
             }
             let len = self.nics[node].rr_flows.len();
             for k in 0..len {
-                let fid = self.nics[node].rr_flows[(self.nics[node].rr + k) % len];
+                let fi = (self.nics[node].rr + k) % len;
+                let fid = self.nics[node].rr_flows[fi];
                 if self.la_outstanding[fid as usize] >= self.cfg.la_flow_window {
                     continue; // the flow's look-ahead window is full
                 }
                 let nic = &mut self.nics[node];
-                let Some(SrcQuantum { qid, dst, pref }) =
-                    nic.flow_q.get_mut(&fid).and_then(VecDeque::pop_front)
-                else {
+                let Some(SrcQuantum { qid, dst, pref }) = nic.flow_q[fi].pop_front() else {
                     continue;
                 };
                 nic.queued -= 1;
@@ -368,6 +390,8 @@ impl LoftNetwork {
                         dst,
                         dep_slot: plan,
                         in_port: LOCAL as u8,
+                        // Assigned on arrival at the local port.
+                        res_idx: 0,
                     },
                 );
                 break;
@@ -393,18 +417,14 @@ impl LoftNetwork {
         la_wires.drain_due(now, |widx, la| {
             let (node, in_port) = (widx / PORTS, widx % PORTS);
             let out_port = link.route(node, la.dst);
-            data_ports[widx].expect.insert(
-                (la.flow.index() as u32, la.qid),
-                Expect {
-                    out_port: out_port as u8,
-                    dep_slot: None,
-                },
-            );
+            let res_idx =
+                data_ports[widx].la_arrive((la.flow.index() as u32, la.qid), out_port as u8);
             la_queues.push(
                 node * PORTS + out_port,
                 la.flow.index(),
                 LaFlit {
                     in_port: in_port as u8,
+                    res_idx,
                     ..la
                 },
             );
@@ -443,6 +463,7 @@ impl LoftNetwork {
                             flow: la.flow,
                             qid: la.qid,
                             in_port: la.in_port,
+                            res_idx: la.res_idx,
                         },
                     )
                 })
@@ -457,7 +478,7 @@ impl LoftNetwork {
             let key = (la.flow.index() as u32, la.qid);
             // Input reservation table: record the booked slot.
             let pidx = node * PORTS + la.in_port as usize;
-            self.data_ports[pidx].record_booking(key, slot);
+            self.data_ports[pidx].record_booking(la.res_idx, key, slot);
             // Return the virtual credit upstream: the upstream
             // link now knows when its consumed buffer frees. The
             // local input port is fed by the NIC, which uses
@@ -497,13 +518,7 @@ impl LoftNetwork {
         } = self;
         data_wires.drain_due(slot, |widx, w| {
             let key = (w.flow.index() as u32, w.qid);
-            data_ports[widx].record_arrival(
-                key,
-                Arrived {
-                    spec: w.spec,
-                    pref: w.pref,
-                },
-            );
+            data_ports[widx].record_arrival(key, w.spec, w.pref);
             node_data_work[widx / PORTS] += 1;
             data_node_work.insert(widx / PORTS);
         });
@@ -568,36 +583,39 @@ impl LoftNetwork {
         let emergent = sched
             .first_pending()
             .filter(|&(s, _)| s <= slot)
-            .map(|(s, p)| (s, p.flow, p.qid, p.in_port));
-        let present = emergent.filter(|&(_, flow, qid, in_port)| {
+            .map(|(s, p)| (s, p.flow, p.qid, p.in_port, p.res_idx));
+        let present = emergent.filter(|&(_, flow, qid, in_port, res_idx)| {
             self.data_ports[node * PORTS + in_port as usize]
-                .arrived
-                .contains_key(&(flow.index() as u32, qid))
+                .arrived_at(res_idx, (flow.index() as u32, qid))
         });
         let choice = match present {
             Some(c) => Some(c),
             None if self.cfg.speculative_switching => self.pick_speculative(node, out_port),
             None => None,
         };
-        let Some((dep, flow, qid, in_port)) = choice else {
+        let Some((dep, flow, qid, in_port, res_idx)) = choice else {
             return;
         };
         self.forwarded[node * PORTS + out_port] += 1;
-        self.forward(node, out_port, slot, dep, flow, qid, in_port, out);
+        self.forward(node, out_port, slot, dep, flow, qid, in_port, res_idx, out);
     }
 
     /// Picks the speculative candidate: per input port the arrived
     /// quantum with the earliest booked slot, then round-robin across
     /// ports.
-    fn pick_speculative(&mut self, node: usize, out_port: usize) -> Option<(u64, FlowId, u64, u8)> {
+    fn pick_speculative(
+        &mut self,
+        node: usize,
+        out_port: usize,
+    ) -> Option<(u64, FlowId, u64, u8, ResIdx)> {
         let lidx = node * PORTS + out_port;
         let start = self.rr_spec[lidx];
-        let mut best: Option<(u64, FlowId, u64, u8)> = None;
+        let mut best: Option<(u64, FlowId, u64, u8, ResIdx)> = None;
         for k in 0..PORTS {
             let p = (start + k) % PORTS;
             let pidx = node * PORTS + p;
-            if let Some((dep, f, q)) = self.data_ports[pidx].ready_min(out_port) {
-                best = Some((dep, FlowId::new(f), q, p as u8));
+            if let Some((dep, f, q, idx)) = self.data_ports[pidx].ready_min(out_port) {
+                best = Some((dep, FlowId::new(f), q, p as u8, idx));
                 break;
             }
         }
@@ -617,6 +635,7 @@ impl LoftNetwork {
         flow: FlowId,
         qid: u64,
         in_port: u8,
+        res_idx: ResIdx,
         out: &mut Vec<Packet>,
     ) {
         let key = (flow.index() as u32, qid);
@@ -656,16 +675,8 @@ impl LoftNetwork {
         }
         let pidx = node * PORTS + in_port as usize;
         let port = &mut self.data_ports[pidx];
-        let arr = port
-            .arrived
-            .remove(&key)
-            .expect("forwarded quantum present");
-        let e = port
-            .expect
-            .remove(&key)
-            .expect("forwarded quantum expected");
-        port.ready_remove(e.out_port as usize, (dep, key.0, key.1));
-        if arr.spec {
+        let (arr_spec, arr_pref) = port.release(res_idx, key, dep);
+        if arr_spec {
             port.spec_free += 1;
         } else {
             port.nonspec_free += 1;
@@ -677,7 +688,7 @@ impl LoftNetwork {
             }
         }
         match target {
-            None => self.eject(node, arr.pref, slot, out),
+            None => self.eject(node, arr_pref, slot, out),
             Some((ridx, spec)) => {
                 if spec {
                     self.data_ports[ridx].spec_free -= 1;
@@ -691,7 +702,7 @@ impl LoftNetwork {
                         flow,
                         qid,
                         spec,
-                        pref: arr.pref,
+                        pref: arr_pref,
                     },
                 );
             }
@@ -746,7 +757,11 @@ impl LoftNetwork {
                 .map(|p| self.link_sched[node * PORTS + p].pending_len())
                 .sum();
             let arrived: usize = (0..PORTS)
-                .map(|p| self.data_ports[node * PORTS + p].arrived.len())
+                .map(|p| {
+                    let port = &self.data_ports[node * PORTS + p];
+                    port.debug_verify();
+                    port.arrived_len()
+                })
                 .sum();
             debug_assert_eq!(
                 self.node_data_work[node] as usize,
@@ -761,7 +776,7 @@ impl LoftNetwork {
             let nic = &self.nics[node];
             debug_assert_eq!(
                 nic.queued,
-                nic.flow_q.values().map(VecDeque::len).sum::<usize>(),
+                nic.flow_q.iter().map(VecDeque::len).sum::<usize>(),
                 "queued miscounts NIC {node}"
             );
             debug_assert_eq!(
@@ -829,10 +844,17 @@ impl Network for LoftNetwork {
         let (fid, seq) = (packet.id.flow.index() as u32, packet.id.seq);
         let pref = self.tracker.admit(packet);
         let nic = &mut self.nics[node];
-        let q = nic.flow_q.entry(fid).or_insert_with(|| {
-            nic.rr_flows.push(fid);
-            VecDeque::new()
-        });
+        // Linear scan over the node's own flows: enqueue runs once
+        // per packet, and a node sources only a handful of flows.
+        let fi = match nic.rr_flows.iter().position(|&f| f == fid) {
+            Some(i) => i,
+            None => {
+                nic.rr_flows.push(fid);
+                nic.flow_q.push(VecDeque::new());
+                nic.rr_flows.len() - 1
+            }
+        };
+        let q = &mut nic.flow_q[fi];
         for half in 0..quanta {
             let qid = seq * quanta + half;
             q.push_back(SrcQuantum { qid, dst, pref });

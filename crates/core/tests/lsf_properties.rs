@@ -80,6 +80,7 @@ fn theorem1_and_structural_invariants() {
                             flow,
                             qid,
                             in_port: 0,
+                            res_idx: 0,
                         },
                     ) {
                         qid += 1;
@@ -140,6 +141,7 @@ fn quota_respected_per_frame() {
                     flow,
                     qid,
                     in_port: 0,
+                    res_idx: 0,
                 },
             ) {
                 *per_frame.entry(slot / 8).or_insert(0u32) += 1;
@@ -176,6 +178,7 @@ fn sink_books_every_window_slot() {
                     flow,
                     qid,
                     in_port: 0,
+                    res_idx: 0,
                 },
             ) {
                 assert!(slots.insert(slot), "slot {slot} double-booked");

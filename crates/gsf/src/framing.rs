@@ -9,7 +9,6 @@
 //! [`crate::network`] consumes this through a handful of calls.
 
 use noc_sim::flit::FlowId;
-use noc_sim::FxHashMap;
 
 /// Per-flow GSF injection state (quota tracking).
 #[derive(Debug, Clone)]
@@ -31,10 +30,13 @@ pub struct Framing {
     flows: Vec<FlowInj>,
     frame_window: u64,
     barrier_delay: u64,
-    /// Flits alive (tagged and not yet ejected) per frame. The head
-    /// frame can only be recycled once this reaches zero — including
-    /// flits still waiting in source queues.
-    frame_alive: FxHashMap<u64, u32>,
+    /// Flits alive (tagged and not yet ejected) per frame, as a ring
+    /// of `frame_window` counters indexed by `frame % frame_window`:
+    /// claims land only in `[head, head + window)` and a frame drains
+    /// to zero before its slot is reused, so the ring is exact. The
+    /// head frame can only be recycled once its counter reaches zero
+    /// — including flits still waiting in source queues.
+    frame_alive: Vec<u32>,
     head_frame: u64,
     barrier_due: Option<u64>,
     /// Number of completed window shifts (for tests/diagnostics).
@@ -70,7 +72,7 @@ impl Framing {
             flows,
             frame_window: frame_window as u64,
             barrier_delay,
-            frame_alive: FxHashMap::default(),
+            frame_alive: vec![0; frame_window as usize],
             head_frame: 0,
             barrier_due: None,
             recycles: 0,
@@ -117,7 +119,11 @@ impl Framing {
             if fits {
                 st.remaining = st.remaining.saturating_sub(len as u32);
                 let frame = st.inject_frame;
-                *self.frame_alive.entry(frame).or_insert(0) += len as u32;
+                debug_assert!(
+                    (head..head + window).contains(&frame),
+                    "claim outside the active window"
+                );
+                self.frame_alive[(frame % window) as usize] += len as u32;
                 return Some(frame);
             }
             if st.inject_frame + 1 < head + window {
@@ -131,14 +137,9 @@ impl Framing {
 
     /// One flit of `frame` was ejected at its destination.
     pub fn on_flit_ejected(&mut self, frame: u64) {
-        let count = self
-            .frame_alive
-            .get_mut(&frame)
-            .expect("ejected flit was counted");
+        let count = &mut self.frame_alive[(frame % self.frame_window) as usize];
+        debug_assert!(*count > 0, "ejected flit was counted");
         *count -= 1;
-        if *count == 0 {
-            self.frame_alive.remove(&frame);
-        }
     }
 
     /// Barrier-based global frame recycling: called once per cycle.
@@ -155,7 +156,8 @@ impl Framing {
                 }
             }
             None => {
-                let head_empty = !self.frame_alive.contains_key(&self.head_frame);
+                let head_empty =
+                    self.frame_alive[(self.head_frame % self.frame_window) as usize] == 0;
                 if head_empty {
                     self.barrier_due = Some(now + self.barrier_delay);
                 }

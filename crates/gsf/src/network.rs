@@ -32,7 +32,7 @@ use noc_sim::fabric::{
 use noc_sim::flit::{NodeId, Packet};
 use noc_sim::routing::Direction;
 use noc_sim::slab::PacketRef;
-use noc_sim::{FxHashMap, Network};
+use noc_sim::Network;
 
 use crate::config::GsfConfig;
 use crate::framing::Framing;
@@ -49,10 +49,11 @@ struct GsfPolicy {
     /// in an ordering decision.
     tagged: Vec<BinaryHeap<Reverse<(u64, u64, PacketRef)>>>,
     /// Packets that could not be tagged yet (every active frame's
-    /// quota exhausted), per node and flow, FIFO. Drained queues stay
-    /// in the map with their capacity — a flow that backs up once
-    /// tends to back up again.
-    untagged: Vec<FxHashMap<u32, VecDeque<PacketRef>>>,
+    /// quota exhausted), per node and flow, FIFO. Each node's list is
+    /// sorted by flow id, so the retag scan is deterministic with no
+    /// per-shift sort. Drained queues stay in the list with their
+    /// capacity — a flow that backs up once tends to back up again.
+    untagged: Vec<Vec<(u32, VecDeque<PacketRef>)>>,
     /// Arrival sequence counter for FIFO tie-breaks within a frame.
     tag_seq: u64,
     /// Per-output VC-allocation requests, reused every cycle:
@@ -60,8 +61,6 @@ struct GsfPolicy {
     req_scratch: Vec<(u64, usize)>,
     /// Free downstream VCs for one output, reused every cycle.
     free_scratch: Vec<usize>,
-    /// Flow ids with untagged backlog at one node, reused per recycle.
-    flow_scratch: Vec<u32>,
 }
 
 impl GsfPolicy {
@@ -84,32 +83,19 @@ impl GsfPolicy {
     }
 
     /// After a window shift, untagged backlog may fit the fresh frame.
+    /// Flows retag in ascending flow-id order (the list is sorted), so
+    /// the frame-tag sequence is deterministic.
     fn retag_backlog(&mut self, ctx: &mut PolicyCtx<'_>) {
-        let mut flows = std::mem::take(&mut self.flow_scratch);
         for node in 0..self.untagged.len() {
-            flows.clear();
-            flows.extend(
-                self.untagged[node]
-                    .iter()
-                    .filter(|(_, q)| !q.is_empty())
-                    .map(|(&fid, _)| fid),
-            );
-            // Hash-map key order is arbitrary; sort so the retag (and
-            // hence frame-tag sequence) order is deterministic.
-            flows.sort_unstable();
-            for &fid in &flows {
-                while let Some(&pref) = self.untagged[node].get(&fid).and_then(|q| q.front()) {
+            for fi in 0..self.untagged[node].len() {
+                while let Some(&pref) = self.untagged[node][fi].1.front() {
                     if !self.tag_packet(pref, ctx) {
                         break;
                     }
-                    self.untagged[node]
-                        .get_mut(&fid)
-                        .expect("queue exists")
-                        .pop_front();
+                    self.untagged[node][fi].1.pop_front();
                 }
             }
         }
-        self.flow_scratch = flows;
     }
 }
 
@@ -135,9 +121,13 @@ impl RouterPolicy for GsfPolicy {
         let fid = flow.index() as u32;
         // A nonempty per-flow queue means a packet of this flow is
         // already parked; tagging out of order would reorder the flow.
-        let parked = self.untagged[node].get(&fid).is_some_and(|q| !q.is_empty());
+        let at = self.untagged[node].binary_search_by_key(&fid, |&(f, _)| f);
+        let parked = matches!(at, Ok(i) if !self.untagged[node][i].1.is_empty());
         if parked || !self.tag_packet(pref, ctx) {
-            self.untagged[node].entry(fid).or_default().push_back(pref);
+            match at {
+                Ok(i) => self.untagged[node][i].1.push_back(pref),
+                Err(i) => self.untagged[node].insert(i, (fid, VecDeque::from([pref]))),
+            }
         }
     }
 
@@ -158,32 +148,25 @@ impl RouterPolicy for GsfPolicy {
     /// are served oldest frame first.
     fn vc_allocate(&mut self, router: &mut VcRouter<u64>, num_vcs: usize) {
         for out in 0..PORTS {
-            // No input VC routed here means no requests either.
-            if router.routed[out] == 0 {
+            // The request mask enumerates pending heads routed here
+            // in ascending slot order — the order the old full scan
+            // collected them in.
+            if router.va_req[out] == 0 {
                 continue;
             }
             self.req_scratch.clear();
-            for slot in 0..PORTS * num_vcs {
-                let buf = &router.inputs[slot];
-                if buf.out_vc.is_none()
-                    && buf.route == Some(out)
-                    && buf.q.front().is_some_and(|f| f.kind.is_head())
-                {
-                    self.req_scratch
-                        .push((buf.head_tag().expect("nonempty"), slot));
-                }
-            }
-            if self.req_scratch.is_empty() {
-                continue;
+            for slot in router.va_requests(out) {
+                self.req_scratch
+                    .push((router.inputs[slot].head_tag().expect("nonempty"), slot));
             }
             self.req_scratch.sort_unstable();
             let base = out * num_vcs;
             self.free_scratch.clear();
             self.free_scratch
                 .extend((0..num_vcs).filter(|&v| !router.out_owner[base + v]));
-            for (&(_, slot), &v) in self.req_scratch.iter().zip(&self.free_scratch) {
-                router.out_owner[base + v] = true;
-                router.inputs[slot].out_vc = Some(v);
+            for i in 0..self.req_scratch.len().min(self.free_scratch.len()) {
+                let (_, slot) = self.req_scratch[i];
+                router.grant_vc(slot, out, self.free_scratch[i], num_vcs);
             }
         }
     }
@@ -196,19 +179,14 @@ impl RouterPolicy for GsfPolicy {
         out_port: usize,
         num_vcs: usize,
     ) -> Option<SwitchGrant> {
-        let total = PORTS * num_vcs;
-        let start = router.rr_sa[out_port];
+        // The ready mask is scanned in rotating-priority order from
+        // the round-robin pointer, so the strict `<` keeps the first
+        // oldest-frame candidate in that order — the same winner the
+        // old full rotating scan picked.
         let mut winner: Option<(u64, usize, usize)> = None;
-        for k in 0..total {
-            let mut slot = start + k;
-            if slot >= total {
-                slot -= total;
-            }
+        for slot in router.sa_candidates(out_port, router.rr_sa[out_port]) {
             let buf = &router.inputs[slot];
-            if buf.route != Some(out_port) || buf.q.is_empty() {
-                continue;
-            }
-            let Some(ov) = buf.out_vc else { continue };
+            let ov = buf.out_vc.expect("ready slot has a VC");
             if out_port != LOCAL && router.credits[out_port * num_vcs + ov] == 0 {
                 continue;
             }
@@ -267,11 +245,10 @@ impl GsfNetwork {
                 cfg.barrier_delay,
             ),
             tagged: (0..n).map(|_| BinaryHeap::new()).collect(),
-            untagged: vec![FxHashMap::default(); n],
+            untagged: vec![Vec::new(); n],
             tag_seq: 0,
             req_scratch: Vec::new(),
             free_scratch: Vec::new(),
-            flow_scratch: Vec::new(),
         };
         GsfNetwork {
             cfg,

@@ -75,7 +75,7 @@ pub use eject::EjectTracker;
 pub use link::LinkMap;
 pub use lookahead::LookaheadQueues;
 pub use policy::{PolicyCtx, RouterPolicy, SwitchGrant};
-pub use vc::{Streaming, VcBuf, VcFabric, VcFlit, VcNic, VcParams, VcRouter};
+pub use vc::{MaskIter, Streaming, VcBuf, VcFabric, VcFlit, VcNic, VcParams, VcRouter};
 pub use wires::{DelayedWires, TimedFifo};
 
 /// Ports per router: the four cardinal directions plus the local

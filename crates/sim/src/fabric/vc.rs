@@ -97,10 +97,32 @@ pub struct VcRouter<T> {
     /// the fabric). `routed[out] == 0` means no input VC can possibly
     /// request `out`, so allocation scans for it are skipped.
     pub routed: [u32; PORTS],
+    /// Per-output bitmask over input slots awaiting VC allocation:
+    /// bit `slot` is set iff `inputs[slot].route == Some(out)` and
+    /// `inputs[slot].out_vc.is_none()`. The head flit that produced
+    /// the route is still at the front of such a slot (it cannot move
+    /// without a downstream VC), so every set bit is a live request.
+    pub va_req: [u64; PORTS],
+    /// Per-output bitmask over input slots able to request the switch:
+    /// bit `slot` is set iff `inputs[slot].route == Some(out)`,
+    /// `inputs[slot].out_vc.is_some()`, and the buffer is non-empty.
+    /// Credit availability is *not* folded in — it changes outside the
+    /// slot's own lifecycle — so arbiters still check credits per
+    /// candidate.
+    pub sa_ready: [u64; PORTS],
 }
 
 impl<T> VcRouter<T> {
-    fn new(num_vcs: usize, vc_capacity: usize) -> Self {
+    /// An idle router with `num_vcs` VCs per port, each `vc_capacity`
+    /// flits deep. Public so arbitration equivalence tests can build
+    /// routers directly; networks get theirs from [`VcFabric::new`].
+    #[must_use]
+    pub fn new(num_vcs: usize, vc_capacity: usize) -> Self {
+        assert!(
+            PORTS * num_vcs <= 64,
+            "arbitration masks hold one bit per input slot: \
+             {PORTS} ports * {num_vcs} VCs must fit in a u64"
+        );
         VcRouter {
             inputs: (0..PORTS * num_vcs)
                 .map(|_| VcBuf::with_capacity(vc_capacity))
@@ -111,7 +133,100 @@ impl<T> VcRouter<T> {
             rr_va: [0; PORTS],
             rr_sa: [0; PORTS],
             routed: [0; PORTS],
+            va_req: [0; PORTS],
+            sa_ready: [0; PORTS],
         }
+    }
+
+    /// Grants downstream VC `vc` at output `out` to the packet at
+    /// input slot `slot`: marks the output VC owned, records the
+    /// allocation on the input, and moves the slot's mask bit from
+    /// the VC-allocation request mask to the switch-ready mask.
+    ///
+    /// The policies' VC allocators must route every grant through
+    /// here so the masks stay exact.
+    #[inline]
+    pub fn grant_vc(&mut self, slot: usize, out: usize, vc: usize, num_vcs: usize) {
+        debug_assert_eq!(self.inputs[slot].route, Some(out), "grant without route");
+        debug_assert!(self.inputs[slot].out_vc.is_none(), "double VC grant");
+        debug_assert!(!self.out_owner[out * num_vcs + vc], "granted an owned VC");
+        debug_assert!(
+            self.inputs[slot]
+                .q
+                .front()
+                .is_some_and(|f| f.kind.is_head()),
+            "VC granted to a slot whose front is not a head flit"
+        );
+        self.out_owner[out * num_vcs + vc] = true;
+        self.inputs[slot].out_vc = Some(vc);
+        let bit = 1u64 << slot;
+        self.va_req[out] &= !bit;
+        // The head that requested the VC is still at the front, so
+        // the slot can request the switch immediately.
+        self.sa_ready[out] |= bit;
+    }
+
+    /// The slots requesting a VC at output `out`, in ascending slot
+    /// order.
+    #[inline]
+    #[must_use]
+    pub fn va_requests(&self, out: usize) -> MaskIter {
+        MaskIter {
+            hi: self.va_req[out],
+            lo: 0,
+        }
+    }
+
+    /// The slots able to request the switch at output `out`, in
+    /// rotating-priority order starting from slot `start`: slots
+    /// `>= start` ascending, then slots `< start` ascending.
+    #[inline]
+    #[must_use]
+    pub fn sa_candidates(&self, out: usize, start: usize) -> MaskIter {
+        MaskIter::rotated(self.sa_ready[out], start)
+    }
+}
+
+/// Iterator over the set bits of a u64 slot mask, optionally rotated
+/// so bits at or above a start position come first (each half in
+/// ascending order). Yields slot indices via `trailing_zeros`.
+#[derive(Debug, Clone, Copy)]
+pub struct MaskIter {
+    /// Bits at or above the rotation point, drained first.
+    hi: u64,
+    /// Bits below the rotation point, drained second.
+    lo: u64,
+}
+
+impl MaskIter {
+    /// Iterates `mask` starting from bit `start`, wrapping around.
+    #[inline]
+    #[must_use]
+    pub fn rotated(mask: u64, start: usize) -> Self {
+        let hi_bits = (!0u64).checked_shl(start as u32).unwrap_or(0);
+        MaskIter {
+            hi: mask & hi_bits,
+            lo: mask & !hi_bits,
+        }
+    }
+}
+
+impl Iterator for MaskIter {
+    type Item = usize;
+
+    #[inline]
+    fn next(&mut self) -> Option<usize> {
+        let word = if self.hi != 0 {
+            &mut self.hi
+        } else {
+            &mut self.lo
+        };
+        if *word == 0 {
+            return None;
+        }
+        let slot = word.trailing_zeros() as usize;
+        *word &= *word - 1;
+        Some(slot)
     }
 }
 
@@ -273,7 +388,9 @@ impl<P: RouterPolicy> VcFabric<P> {
         wires.drain_due(now, |widx, (vc, flit)| {
             let node = widx / PORTS;
             let port = widx % PORTS;
-            let buf: &mut VcBuf<P::Tag> = &mut routers[node].inputs[port * num_vcs + vc];
+            let router = &mut routers[node];
+            let slot = port * num_vcs + vc;
+            let buf: &mut VcBuf<P::Tag> = &mut router.inputs[slot];
             debug_assert!(
                 buf.q.len() < cap,
                 "credit protocol violated: buffer overflow"
@@ -283,6 +400,14 @@ impl<P: RouterPolicy> VcFabric<P> {
                 "strict VC separation forbids mixing packets in one VC"
             );
             buf.q.push_back(flit);
+            let (route, allocated) = (buf.route, buf.out_vc.is_some());
+            // An allocated slot that had drained empty becomes
+            // switch-ready again (idempotent when already set).
+            if allocated {
+                if let Some(r) = route {
+                    router.sa_ready[r] |= 1u64 << slot;
+                }
+            }
             buffered[node] += 1;
             router_work.insert(node);
         });
@@ -367,9 +492,16 @@ impl<P: RouterPolicy> VcFabric<P> {
                         }
                         nic.current = None;
                     }
-                    self.routers[node].inputs[LOCAL * num_vcs + vc]
-                        .q
-                        .push_back(flit);
+                    let router = &mut self.routers[node];
+                    let slot = LOCAL * num_vcs + vc;
+                    let buf = &mut router.inputs[slot];
+                    buf.q.push_back(flit);
+                    let (route, allocated) = (buf.route, buf.out_vc.is_some());
+                    if allocated {
+                        if let Some(r) = route {
+                            router.sa_ready[r] |= 1u64 << slot;
+                        }
+                    }
                     self.buffered[node] += 1;
                     self.router_work.insert(node);
                 }
@@ -398,6 +530,8 @@ impl<P: RouterPolicy> VcFabric<P> {
                 let out = link.route(node, front.dst);
                 router.inputs[slot].route = Some(out);
                 router.routed[out] += 1;
+                // A freshly routed head has no downstream VC yet.
+                router.va_req[out] |= 1u64 << slot;
             }
         }
     }
@@ -418,8 +552,11 @@ impl<P: RouterPolicy> VcFabric<P> {
         while let Some(node) = self.router_work.first_from(cursor) {
             cursor = node + 1;
             for out_port in 0..PORTS {
-                // No input VC is routed here: nothing to arbitrate.
-                if self.routers[node].routed[out_port] == 0 {
+                // No input VC can request this output: nothing to
+                // arbitrate. (An empty ready mask is exactly the
+                // condition under which every policy's winner scan
+                // comes up empty.)
+                if self.routers[node].sa_ready[out_port] == 0 {
                     continue;
                 }
                 let Some(SwitchGrant {
@@ -457,6 +594,12 @@ impl<P: RouterPolicy> VcFabric<P> {
                     router.inputs[slot].route = None;
                     router.inputs[slot].out_vc = None;
                     router.routed[out_port] -= 1;
+                    router.sa_ready[out_port] &= !(1u64 << slot);
+                } else if router.inputs[slot].q.is_empty() {
+                    // Mid-packet with nothing buffered: the slot keeps
+                    // its route and VC but cannot request the switch
+                    // until the next flit arrives.
+                    router.sa_ready[out_port] &= !(1u64 << slot);
                 }
                 if out_port != LOCAL {
                     router.credits[out_port * num_vcs + ov] -= 1;
@@ -506,12 +649,21 @@ impl<P: RouterPolicy> VcFabric<P> {
             debug_assert_eq!(self.buffered[n], count, "buffered[{n}]");
             debug_assert_eq!(self.router_work.contains(n), count > 0, "router_work[{n}]");
             let mut routed = [0u32; PORTS];
-            for buf in &router.inputs {
+            let mut va_req = [0u64; PORTS];
+            let mut sa_ready = [0u64; PORTS];
+            for (slot, buf) in router.inputs.iter().enumerate() {
                 if let Some(out) = buf.route {
                     routed[out] += 1;
+                    if buf.out_vc.is_none() {
+                        va_req[out] |= 1u64 << slot;
+                    } else if !buf.q.is_empty() {
+                        sa_ready[out] |= 1u64 << slot;
+                    }
                 }
             }
             debug_assert_eq!(router.routed, routed, "routed[{n}]");
+            debug_assert_eq!(router.va_req, va_req, "va_req[{n}]");
+            debug_assert_eq!(router.sa_ready, sa_ready, "sa_ready[{n}]");
         }
     }
 }

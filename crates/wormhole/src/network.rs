@@ -57,28 +57,30 @@ impl RouterPolicy for WormholePolicy {
     }
 
     fn vc_allocate(&mut self, router: &mut VcRouter<()>, num_vcs: usize) {
-        for slot in 0..PORTS * num_vcs {
-            let buf = &router.inputs[slot];
-            let Some(out) = buf.route else { continue };
-            if buf.out_vc.is_some() || !buf.q.front().is_some_and(|f| f.kind.is_head()) {
-                continue;
-            }
-            let start = router.rr_va[out];
-            let base = out * num_vcs;
-            let free = (0..num_vcs)
-                .map(|k| {
-                    let v = start + k;
-                    if v >= num_vcs {
-                        v - num_vcs
-                    } else {
-                        v
-                    }
-                })
-                .find(|&v| !router.out_owner[base + v]);
-            if let Some(v) = free {
-                router.out_owner[base + v] = true;
-                router.inputs[slot].out_vc = Some(v);
-                router.rr_va[out] = if v + 1 == num_vcs { 0 } else { v + 1 };
+        // The request masks partition pending heads by output port.
+        // Grants at different outputs touch disjoint state (each
+        // output's owner flags and round-robin pointer), so walking
+        // requests grouped by output — ascending slot order within
+        // each — makes exactly the decisions of the old flat slot
+        // scan.
+        for out in 0..PORTS {
+            for slot in router.va_requests(out) {
+                let start = router.rr_va[out];
+                let base = out * num_vcs;
+                let free = (0..num_vcs)
+                    .map(|k| {
+                        let v = start + k;
+                        if v >= num_vcs {
+                            v - num_vcs
+                        } else {
+                            v
+                        }
+                    })
+                    .find(|&v| !router.out_owner[base + v]);
+                if let Some(v) = free {
+                    router.grant_vc(slot, out, v, num_vcs);
+                    router.rr_va[out] = if v + 1 == num_vcs { 0 } else { v + 1 };
+                }
             }
         }
     }
@@ -91,20 +93,10 @@ impl RouterPolicy for WormholePolicy {
     ) -> Option<SwitchGrant> {
         // First candidate in round-robin order: an input VC routed
         // here with a flit ready and downstream credit (ejection
-        // needs none). The scan walks flat buffer slots; port/VC
-        // indices are only derived for the winner.
-        let total = PORTS * num_vcs;
-        let start = router.rr_sa[out_port];
-        for k in 0..total {
-            let mut slot = start + k;
-            if slot >= total {
-                slot -= total;
-            }
-            let buf = &router.inputs[slot];
-            if buf.route != Some(out_port) || buf.q.is_empty() {
-                continue;
-            }
-            let Some(ov) = buf.out_vc else { continue };
+        // needs none). The ready mask pre-filters routed+allocated
+        // non-empty slots; only credits are checked per candidate.
+        for slot in router.sa_candidates(out_port, router.rr_sa[out_port]) {
+            let ov = router.inputs[slot].out_vc.expect("ready slot has a VC");
             if out_port != LOCAL && router.credits[out_port * num_vcs + ov] == 0 {
                 continue;
             }
