@@ -11,8 +11,8 @@
 //! Each measurement prints one machine-readable JSON line:
 //!
 //! ```text
-//! {"net":"loft","scenario":"uniform","load":0.05,"sim_cycles":24000,
-//!  "wall_secs":0.0123,"cycles_per_sec":1951219.5,
+//! {"net":"loft","scenario":"uniform","load":0.05,"threads":1,
+//!  "sim_cycles":24000,"wall_secs":0.0123,"cycles_per_sec":1951219.5,
 //!  "packets_delivered":730,"packets_per_sec":59349.6,
 //!  "flits_delivered":2920,"avg_latency":27.41,"saturated":false,
 //!  "allocs_per_cycle":null}
@@ -52,6 +52,12 @@
 //! hardware (they catch order-of-magnitude hot-loop regressions, not
 //! percent-level drift — wall-clock gates on shared runners cannot do
 //! better).
+//!
+//! `--threads N` steps every network with `N` shards on the
+//! persistent worker pool (see `noc_sim::par`; default 1). Results
+//! are bit-identical at every value — only the wall clock moves — and
+//! each JSON row records the setting in its `threads` field, so
+//! single- vs multi-thread rows are directly comparable.
 
 use loft::LoftConfig;
 use loft_bench::{run_gsf_hooked, run_loft_hooked, run_wormhole_hooked, SEED};
@@ -95,6 +101,7 @@ fn measure(
     net: &str,
     scenario: &str,
     load: f64,
+    threads: usize,
     iters: u32,
     cfg: RunConfig,
     f: impl Fn(&mut dyn FnMut()) -> SimReport,
@@ -138,6 +145,7 @@ fn measure(
     let allocs = allocs_per_cycle.map_or_else(|| "null".to_string(), |a| format!("{a:.4}"));
     println!(
         "{{\"net\":\"{net}\",\"scenario\":\"{scenario}\",\"load\":{load},\
+         \"threads\":{threads},\
          \"sim_cycles\":{sim_cycles},\"wall_secs\":{wall:.6},\
          \"cycles_per_sec\":{cycles_per_sec:.1},\"packets_delivered\":{packets},\
          \"packets_per_sec\":{:.1},\"flits_delivered\":{},\
@@ -164,6 +172,11 @@ fn main() {
         eprintln!("--alloc-budget requires --features alloc-count (nothing to gate on)");
         std::process::exit(1);
     }
+    let threads: usize = args.iter().position(|a| a == "--threads").map_or(1, |i| {
+        args.get(i + 1)
+            .and_then(|v| v.parse().ok())
+            .expect("--threads takes a positive integer")
+    });
     // Per-network cycles/second floors: "loft=200000,gsf=100000".
     let floors: Vec<(String, f64)> = args
         .iter()
@@ -213,14 +226,26 @@ fn main() {
             _ => unreachable!(),
         };
         let rows = [
-            measure("loft", scenario, load, iters, cfg, |hook| {
-                run_loft_hooked(&make(scenario), LoftConfig::default(), cfg, SEED, hook)
+            measure("loft", scenario, load, threads, iters, cfg, |hook| {
+                let net_cfg = LoftConfig {
+                    threads,
+                    ..LoftConfig::default()
+                };
+                run_loft_hooked(&make(scenario), net_cfg, cfg, SEED, hook)
             }),
-            measure("gsf", scenario, load, iters, cfg, |hook| {
-                run_gsf_hooked(&make(scenario), GsfConfig::default(), cfg, SEED, hook)
+            measure("gsf", scenario, load, threads, iters, cfg, |hook| {
+                let net_cfg = GsfConfig {
+                    threads,
+                    ..GsfConfig::default()
+                };
+                run_gsf_hooked(&make(scenario), net_cfg, cfg, SEED, hook)
             }),
-            measure("wormhole", scenario, load, iters, cfg, |hook| {
-                run_wormhole_hooked(&make(scenario), WormholeConfig::default(), cfg, SEED, hook)
+            measure("wormhole", scenario, load, threads, iters, cfg, |hook| {
+                let net_cfg = WormholeConfig {
+                    threads,
+                    ..WormholeConfig::default()
+                };
+                run_wormhole_hooked(&make(scenario), net_cfg, cfg, SEED, hook)
             }),
         ];
         for (row, slot) in rows.iter().zip(min_cps.iter_mut()) {

@@ -30,6 +30,13 @@ pub const SEED: u64 = 0xC0FFEE;
 /// every `alloc`/`realloc` so the `perf` binary can report
 /// `allocs_per_cycle` and CI can fail when the steady state regresses
 /// into per-cycle heap traffic.
+///
+/// The counter is **thread-aware**: a `#[global_allocator]` serves
+/// every thread in the process, so allocations made by `noc_sim::par`
+/// pool workers during sharded stepping land in the same counter as
+/// the coordinator's. The `--alloc-budget` gate therefore holds the
+/// multi-threaded engine (`--threads N`) to the same steady-state
+/// standard as the single-threaded one.
 #[cfg(feature = "alloc-count")]
 pub mod alloc_count {
     use std::alloc::{GlobalAlloc, Layout, System};
@@ -152,14 +159,15 @@ pub fn run_wormhole_hooked(
     Simulation::new(network, scenario.workload(seed), run).run_hooked(after_warmup)
 }
 
-/// Maps `f` over `items` on a bounded pool of scoped worker threads,
+/// Maps `f` over `items` on the process-wide sweep worker pool,
 /// preserving input order in the output.
 ///
 /// Simulations are single-threaded and independent, so sweeps
 /// parallelize trivially — but a 40-point sweep must not spawn 40 OS
-/// threads on a 4-core box. The pool holds
-/// [`std::thread::available_parallelism`] workers (capped by the item
-/// count); workers pull the next unclaimed item off a shared atomic
+/// threads on a 4-core box. All sweeps share one persistent
+/// [`noc_sim::par::WorkerPool`] sized to
+/// [`std::thread::available_parallelism`] (spawned on first use, kept
+/// for the life of the process); items are claimed off a shared
 /// cursor, so long points pipeline with short ones instead of
 /// oversubscribing the machine.
 pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
@@ -168,48 +176,24 @@ where
     R: Send,
     F: Fn(T) -> R + Send + Sync,
 {
-    use std::sync::atomic::{AtomicUsize, Ordering};
-    use std::sync::Mutex;
+    use noc_sim::par::{pool_map, WorkerPool};
+    use std::sync::{Mutex, OnceLock};
 
-    let n = items.len();
-    if n == 0 {
+    static POOL: OnceLock<Mutex<WorkerPool>> = OnceLock::new();
+    if items.is_empty() {
         return Vec::new();
     }
-    let workers = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1)
-        .min(n);
-    // Each slot starts as Some(input) and ends as the output; the
-    // cursor hands every index to exactly one worker, so the per-slot
-    // mutexes are never contended.
-    let inputs: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
-    let outputs: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
-    let cursor = AtomicUsize::new(0);
-    std::thread::scope(|s| {
-        for _ in 0..workers {
-            s.spawn(|| loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let item = inputs[i]
-                    .lock()
-                    .expect("input slot poisoned")
-                    .take()
-                    .expect("item claimed twice");
-                let result = f(item);
-                *outputs[i].lock().expect("output slot poisoned") = Some(result);
-            });
-        }
+    let pool = POOL.get_or_init(|| {
+        let threads = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1);
+        // The mapping thread participates in the claim loop, so a
+        // pool for `threads`-way parallelism wants `threads - 1`
+        // workers.
+        Mutex::new(WorkerPool::new(threads - 1))
     });
-    outputs
-        .into_iter()
-        .map(|m| {
-            m.into_inner()
-                .expect("sweep worker panicked")
-                .expect("worker finished without a result")
-        })
-        .collect()
+    let mut pool = pool.lock().expect("sweep pool poisoned");
+    pool_map(&mut pool, items, f)
 }
 
 /// Times `f` over `iters` iterations after one untimed warmup call,
@@ -285,6 +269,24 @@ mod tests {
     fn parallel_map_preserves_order() {
         let out = parallel_map(vec![3u64, 1, 2], |x| x * 10);
         assert_eq!(out, vec![30, 10, 20]);
+    }
+
+    /// The allocation counter must observe worker-thread allocations
+    /// (a global allocator is process-wide), or the `--alloc-budget`
+    /// gate would silently exempt the parallel engine.
+    #[cfg(feature = "alloc-count")]
+    #[test]
+    fn alloc_counter_sees_other_threads() {
+        let before = alloc_count::total();
+        std::thread::spawn(|| {
+            std::hint::black_box(vec![0u8; 4096]);
+        })
+        .join()
+        .expect("allocating thread panicked");
+        assert!(
+            alloc_count::total() > before,
+            "worker-thread allocation not counted"
+        );
     }
 
     #[test]

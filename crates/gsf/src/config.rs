@@ -35,6 +35,9 @@ pub struct GsfConfig {
     /// as a frame). Only used by the storage model; the simulator
     /// queues are unbounded so overload shows up as latency.
     pub source_queue_flits: u32,
+    /// Shards stepped concurrently each cycle (1 = single-threaded).
+    /// Results are bit-identical at every value; see `noc_sim::par`.
+    pub threads: usize,
 }
 
 impl GsfConfig {
@@ -70,6 +73,7 @@ impl Default for GsfConfig {
             hop_latency: 3,
             credit_delay: 3,
             source_queue_flits: 2000,
+            threads: 1,
         }
     }
 }

@@ -37,17 +37,31 @@ use noc_sim::Network;
 use crate::config::GsfConfig;
 use crate::framing::Framing;
 
+/// One node's frame-tagged source queue: packets awaiting streaming,
+/// min-ordered by (frame, arrival sequence) — GSF streams oldest
+/// frames first. The (frame, seq) key is unique, so the handle never
+/// takes part in an ordering decision.
+type TaggedHeap = BinaryHeap<Reverse<(u64, u64, PacketRef)>>;
+
+/// Per-shard VC-allocation scratch, reused every cycle.
+#[derive(Debug, Default)]
+struct GsfScratch {
+    /// Per-output VC-allocation requests: (frame, input slot).
+    req: Vec<(u64, usize)>,
+    /// Free downstream VCs for one output.
+    free: Vec<usize>,
+}
+
 /// The GSF scheduling policy: frame-tagged source queues drained
 /// oldest frame first, frame-priority VC and switch allocation, strict
 /// VC separation.
+///
+/// The tagged source heaps are the fabric-owned
+/// [`RouterPolicy::Source`]s; everything here is global window state
+/// touched only by the serial hooks.
 #[derive(Debug)]
 struct GsfPolicy {
     framing: Framing,
-    /// Frame-tagged packets awaiting streaming, min-ordered by (frame,
-    /// arrival sequence) — GSF streams oldest frames first. Per node.
-    /// The (frame, seq) key is unique, so the handle never takes part
-    /// in an ordering decision.
-    tagged: Vec<BinaryHeap<Reverse<(u64, u64, PacketRef)>>>,
     /// Packets that could not be tagged yet (every active frame's
     /// quota exhausted), per node and flow, FIFO. Each node's list is
     /// sorted by flow id, so the retag scan is deterministic with no
@@ -56,18 +70,13 @@ struct GsfPolicy {
     untagged: Vec<Vec<(u32, VecDeque<PacketRef>)>>,
     /// Arrival sequence counter for FIFO tie-breaks within a frame.
     tag_seq: u64,
-    /// Per-output VC-allocation requests, reused every cycle:
-    /// (frame, input slot).
-    req_scratch: Vec<(u64, usize)>,
-    /// Free downstream VCs for one output, reused every cycle.
-    free_scratch: Vec<usize>,
 }
 
 impl GsfPolicy {
     /// Tags a freshly enqueued or previously untagged packet with the
     /// earliest active frame that has quota, charging the flow's
     /// reservation and registering its flits as alive in that frame.
-    fn tag_packet(&mut self, pref: PacketRef, ctx: &mut PolicyCtx<'_>) -> bool {
+    fn tag_packet(&mut self, pref: PacketRef, ctx: &mut PolicyCtx<'_, TaggedHeap>) -> bool {
         let (flow, len, node) = {
             let p = ctx.packets.packet(pref);
             (p.id.flow, p.len_flits, p.src.index())
@@ -77,15 +86,15 @@ impl GsfPolicy {
         };
         let seq = self.tag_seq;
         self.tag_seq += 1;
-        self.tagged[node].push(Reverse((frame, seq, pref)));
-        ctx.nic_work.insert(node);
+        ctx.sources[node].push(Reverse((frame, seq, pref)));
+        ctx.woken.push(node);
         true
     }
 
     /// After a window shift, untagged backlog may fit the fresh frame.
     /// Flows retag in ascending flow-id order (the list is sorted), so
     /// the frame-tag sequence is deterministic.
-    fn retag_backlog(&mut self, ctx: &mut PolicyCtx<'_>) {
+    fn retag_backlog(&mut self, ctx: &mut PolicyCtx<'_, TaggedHeap>) {
         for node in 0..self.untagged.len() {
             for fi in 0..self.untagged[node].len() {
                 while let Some(&pref) = self.untagged[node][fi].1.front() {
@@ -101,15 +110,21 @@ impl GsfPolicy {
 
 impl RouterPolicy for GsfPolicy {
     type Tag = u64;
+    type Source = TaggedHeap;
+    type Scratch = GsfScratch;
     const DRAIN_BEFORE_REUSE: bool = true;
 
-    fn pre_inject(&mut self, now: u64, ctx: &mut PolicyCtx<'_>) {
+    fn new_source(&self) -> TaggedHeap {
+        BinaryHeap::new()
+    }
+
+    fn pre_inject(&mut self, now: u64, ctx: &mut PolicyCtx<'_, TaggedHeap>) {
         if self.framing.recycle(now) {
             self.retag_backlog(ctx);
         }
     }
 
-    fn on_enqueue(&mut self, node: usize, pref: PacketRef, ctx: &mut PolicyCtx<'_>) {
+    fn on_enqueue(&mut self, node: usize, pref: PacketRef, ctx: &mut PolicyCtx<'_, TaggedHeap>) {
         let flow = ctx.packets.packet(pref).id.flow;
         assert!(
             flow.index() < self.framing.num_flows(),
@@ -131,22 +146,22 @@ impl RouterPolicy for GsfPolicy {
         }
     }
 
-    fn peek_source(&self, node: usize) -> Option<PacketRef> {
-        self.tagged[node].peek().map(|&Reverse((_, _, pref))| pref)
+    fn peek_source(source: &TaggedHeap) -> Option<PacketRef> {
+        source.peek().map(|&Reverse((_, _, pref))| pref)
     }
 
-    fn pop_source(&mut self, node: usize) -> (PacketRef, u64) {
-        let Reverse((frame, _, pref)) = self.tagged[node].pop().expect("peeked source packet");
+    fn pop_source(source: &mut TaggedHeap) -> (PacketRef, u64) {
+        let Reverse((frame, _, pref)) = source.pop().expect("peeked source packet");
         (pref, frame)
     }
 
-    fn source_idle(&self, node: usize) -> bool {
-        self.tagged[node].is_empty()
+    fn source_idle(source: &TaggedHeap) -> bool {
+        source.is_empty()
     }
 
     /// VC allocation with frame priority: per output port, requests
     /// are served oldest frame first.
-    fn vc_allocate(&mut self, router: &mut VcRouter<u64>, num_vcs: usize) {
+    fn vc_allocate(scratch: &mut GsfScratch, router: &mut VcRouter<u64>, num_vcs: usize) {
         for out in 0..PORTS {
             // The request mask enumerates pending heads routed here
             // in ascending slot order — the order the old full scan
@@ -154,31 +169,28 @@ impl RouterPolicy for GsfPolicy {
             if router.va_req[out] == 0 {
                 continue;
             }
-            self.req_scratch.clear();
+            scratch.req.clear();
             for slot in router.va_requests(out) {
-                self.req_scratch
+                scratch
+                    .req
                     .push((router.inputs[slot].head_tag().expect("nonempty"), slot));
             }
-            self.req_scratch.sort_unstable();
+            scratch.req.sort_unstable();
             let base = out * num_vcs;
-            self.free_scratch.clear();
-            self.free_scratch
+            scratch.free.clear();
+            scratch
+                .free
                 .extend((0..num_vcs).filter(|&v| !router.out_owner[base + v]));
-            for i in 0..self.req_scratch.len().min(self.free_scratch.len()) {
-                let (_, slot) = self.req_scratch[i];
-                router.grant_vc(slot, out, self.free_scratch[i], num_vcs);
+            for i in 0..scratch.req.len().min(scratch.free.len()) {
+                let (_, slot) = scratch.req[i];
+                router.grant_vc(slot, out, scratch.free[i], num_vcs);
             }
         }
     }
 
     /// Switch allocation with frame priority: the oldest-frame
     /// candidate wins, round-robin order breaking ties.
-    fn pick_winner(
-        &self,
-        router: &VcRouter<u64>,
-        out_port: usize,
-        num_vcs: usize,
-    ) -> Option<SwitchGrant> {
+    fn pick_winner(router: &VcRouter<u64>, out_port: usize, num_vcs: usize) -> Option<SwitchGrant> {
         // The ready mask is scanned in rotating-priority order from
         // the round-robin pointer, so the strict `<` keeps the first
         // oldest-frame candidate in that order — the same winner the
@@ -236,6 +248,7 @@ impl GsfNetwork {
             vc_capacity: cfg.vc_capacity,
             hop_latency: cfg.hop_latency,
             credit_delay: cfg.credit_delay,
+            threads: cfg.threads,
         };
         let policy = GsfPolicy {
             framing: Framing::new(
@@ -244,11 +257,8 @@ impl GsfNetwork {
                 cfg.frame_window,
                 cfg.barrier_delay,
             ),
-            tagged: (0..n).map(|_| BinaryHeap::new()).collect(),
             untagged: vec![Vec::new(); n],
             tag_seq: 0,
-            req_scratch: Vec::new(),
-            free_scratch: Vec::new(),
         };
         GsfNetwork {
             cfg,

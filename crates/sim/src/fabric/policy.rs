@@ -2,7 +2,6 @@
 
 use crate::flit::PacketId;
 use crate::slab::PacketRef;
-use crate::worklist::ActiveSet;
 
 use super::eject::EjectTracker;
 use super::vc::{VcFlit, VcRouter};
@@ -24,14 +23,22 @@ pub struct SwitchGrant {
     pub slot: usize,
 }
 
-/// Fabric state a policy hook may touch.
+/// Fabric state a *serial* policy hook may touch
+/// ([`RouterPolicy::pre_inject`], [`RouterPolicy::on_enqueue`]).
+///
+/// `S` is the policy's [`RouterPolicy::Source`] type; the fabric owns
+/// one source per node and hands the whole slice to the hook.
 #[derive(Debug)]
-pub struct PolicyCtx<'a> {
+pub struct PolicyCtx<'a, S> {
     /// Read access to every in-flight packet (lengths, destinations).
     pub packets: &'a EjectTracker,
-    /// The NIC worklist: a policy that queues work for a node's
-    /// source NIC must mark the node active here.
-    pub nic_work: &'a mut ActiveSet,
+    /// Per-node source queues, indexed by node.
+    pub sources: &'a mut [S],
+    /// Nodes whose source NIC gained streamable work during this hook:
+    /// push the node index here and the fabric marks the right shard's
+    /// NIC worklist. (A relay rather than the worklist itself, because
+    /// under sharded stepping each shard owns its own worklist.)
+    pub woken: &'a mut Vec<usize>,
 }
 
 /// A scheduling/flow-control policy over the shared VC datapath
@@ -54,13 +61,40 @@ pub struct PolicyCtx<'a> {
 /// the datapath; resolve one through [`PolicyCtx::packets`] when flow
 /// or length information is needed.
 ///
+/// # Serial vs. per-shard hooks
+///
+/// The fabric steps shards of nodes concurrently (see [`crate::par`]),
+/// so the hooks split into two groups:
+///
+/// * **Serial hooks** take `&mut self` and run on the coordinator
+///   between cycles or at the cycle barrier: [`RouterPolicy::pre_inject`],
+///   [`RouterPolicy::on_enqueue`], [`RouterPolicy::on_eject_flit`],
+///   [`RouterPolicy::on_eject_packet`]. Globally shared policy state
+///   (GSF's framing window, untagged backlog, tag counter) lives in
+///   `self` and is only touched here.
+/// * **Per-shard hooks** are associated functions with *no* `self`:
+///   they may only touch the per-node [`RouterPolicy::Source`], the
+///   per-shard [`RouterPolicy::Scratch`], and the router they are
+///   handed — state a shard owns exclusively. This is what makes
+///   parallel stepping race-free by construction.
+///
 /// Flit-reservation policies that need a look-ahead channel build on
 /// [`super::LookaheadQueues`] instead of this trait — see the module
 /// docs for where each network sits.
 pub trait RouterPolicy {
     /// Per-flit policy payload carried through the network (`()` for
     /// plain wormhole, the frame number for GSF).
-    type Tag: Copy + std::fmt::Debug;
+    type Tag: Copy + std::fmt::Debug + Send;
+
+    /// Per-node source-queue state: what waits to stream at a node,
+    /// in the policy's order (a FIFO for wormhole, a frame-ordered
+    /// heap for GSF). Owned by the node's shard during stepping.
+    type Source: std::fmt::Debug + Send;
+
+    /// Per-shard scratch reused across cycles by
+    /// [`RouterPolicy::vc_allocate`] (e.g. GSF's request/free-VC
+    /// vectors). `()` when the allocator needs none.
+    type Scratch: Default + std::fmt::Debug + Send;
 
     /// Reuse semantics for downstream VCs. `false`: the tail flit
     /// frees the VC immediately (wormhole). `true`: the VC stays
@@ -68,47 +102,58 @@ pub trait RouterPolicy {
     /// separation), and NIC-side VCs drain the same way.
     const DRAIN_BEFORE_REUSE: bool;
 
-    /// Runs once per cycle between credit application and NIC
-    /// injection (GSF recycles frames here). Default: nothing.
-    fn pre_inject(&mut self, now: u64, ctx: &mut PolicyCtx<'_>) {
+    /// An empty source queue for one node.
+    fn new_source(&self) -> Self::Source;
+
+    /// Runs once per cycle, serially, before the shards step (GSF
+    /// recycles frames here). Default: nothing.
+    ///
+    /// This hook must not depend on the *current* cycle's link
+    /// arrivals or credit returns — under sharded stepping those are
+    /// processed after it (they only touch router/NIC state, which
+    /// this hook cannot reach anyway).
+    fn pre_inject(&mut self, now: u64, ctx: &mut PolicyCtx<'_, Self::Source>) {
         let _ = (now, ctx);
     }
 
     /// A packet entered the network at `node`: queue it at the source
-    /// (and mark `ctx.nic_work` if it is ready to stream).
-    fn on_enqueue(&mut self, node: usize, pref: PacketRef, ctx: &mut PolicyCtx<'_>);
+    /// (and push `node` into `ctx.woken` if it is ready to stream).
+    /// Serial.
+    fn on_enqueue(&mut self, node: usize, pref: PacketRef, ctx: &mut PolicyCtx<'_, Self::Source>);
 
-    /// The packet that would stream next from `node`'s source queue,
-    /// if any. The fabric only commits (via
-    /// [`RouterPolicy::pop_source`]) once a free VC is found.
-    fn peek_source(&self, node: usize) -> Option<PacketRef>;
+    /// The packet that would stream next from this source queue, if
+    /// any. The fabric only commits (via [`RouterPolicy::pop_source`])
+    /// once a free VC is found. Per-shard.
+    fn peek_source(source: &Self::Source) -> Option<PacketRef>;
 
     /// Removes and returns the packet just peeked, with its tag.
-    fn pop_source(&mut self, node: usize) -> (PacketRef, Self::Tag);
+    /// Per-shard.
+    fn pop_source(source: &mut Self::Source) -> (PacketRef, Self::Tag);
 
-    /// Whether `node`'s source queue holds nothing ready to stream
-    /// (the NIC worklist predicate, together with the streaming
-    /// state the fabric tracks itself).
-    fn source_idle(&self, node: usize) -> bool;
+    /// Whether this source queue holds nothing ready to stream (the
+    /// NIC worklist predicate, together with the streaming state the
+    /// fabric tracks itself). Per-shard.
+    fn source_idle(source: &Self::Source) -> bool;
 
     /// Virtual-channel allocation for one router: assign free
     /// downstream VCs (`router.out_owner`) to head flits waiting for
-    /// one (`buf.out_vc == None`).
-    fn vc_allocate(&mut self, router: &mut VcRouter<Self::Tag>, num_vcs: usize);
+    /// one (`buf.out_vc == None`). Per-shard.
+    fn vc_allocate(scratch: &mut Self::Scratch, router: &mut VcRouter<Self::Tag>, num_vcs: usize);
 
     /// Switch allocation for one output port: pick the input VC that
     /// forwards this cycle. Candidates need a flit routed to
     /// `out_port`, an allocated `out_vc`, and (except for ejection)
     /// downstream credit — the policy chooses among them. The fabric
-    /// only calls this when `router.routed[out_port] > 0`.
+    /// only calls this when `router.routed[out_port] > 0`. Per-shard.
     fn pick_winner(
-        &self,
         router: &VcRouter<Self::Tag>,
         out_port: usize,
         num_vcs: usize,
     ) -> Option<SwitchGrant>;
 
-    /// A flit was ejected at its destination. Default: nothing.
+    /// A flit was ejected at its destination. Serial (ejections are
+    /// deferred to the cycle barrier and applied in ascending node
+    /// order). Default: nothing.
     fn on_eject_flit(&mut self, flit: &VcFlit<Self::Tag>) {
         let _ = flit;
     }

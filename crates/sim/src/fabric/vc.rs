@@ -4,6 +4,7 @@ use std::collections::VecDeque;
 
 use crate::engine::Network;
 use crate::flit::{FlitKind, NodeId, Packet};
+use crate::par::{partition, shard_map, Mailbox, SendPtr, ShardRange, WorkerPool};
 use crate::routing::{Direction, Routing};
 use crate::slab::PacketRef;
 use crate::topology::Topology;
@@ -284,111 +285,120 @@ pub struct VcParams {
     pub hop_latency: u64,
     /// Upstream credit return delay, in cycles.
     pub credit_delay: u64,
+    /// Shards stepped concurrently each cycle (1 = single-threaded;
+    /// clamped to the node count). Results are bit-identical at every
+    /// value — see [`crate::par`].
+    pub threads: usize,
 }
 
-/// The complete credit-based VC datapath, parameterized by a
-/// [`RouterPolicy`].
-///
-/// Cycle processing order (every router, every cycle):
-///
-/// 1. link arrivals are written into input VC buffers,
-/// 2. returned credits are applied (releasing drained VCs under
-///    [`RouterPolicy::DRAIN_BEFORE_REUSE`]),
-/// 3. the policy's [`RouterPolicy::pre_inject`] hook runs,
-/// 4. NICs stream source-queue packets into their router's local
-///    input port (one flit/cycle, one VC per packet; packet order
-///    from the policy),
-/// 5. route computation for new head flits,
-/// 6. VC allocation (policy),
-/// 7. switch allocation (policy) + traversal: each output port
-///    forwards at most one flit, consuming a credit; the freed input
-///    slot's credit travels upstream with a configurable delay.
-///
-/// All iteration is in ascending node/link index order with live
-/// worklist semantics, bit-identical to the full scans it replaced.
+/// A cross-shard flit push awaiting the barrier merge:
+/// `(widx, (vc, flit))` for [`DelayedWires::push`] on the
+/// destination shard.
+type WirePush<T> = (usize, (usize, VcFlit<T>));
+
+/// State owned exclusively by one shard of nodes: its wires, credit
+/// returns, worklists, policy scratch, and the outboxes/deferred
+/// events the cycle barrier merges.
 #[derive(Debug)]
-pub struct VcFabric<P: RouterPolicy> {
-    policy: P,
-    params: VcParams,
-    link: LinkMap,
-    cycle: u64,
-    routers: Vec<VcRouter<P::Tag>>,
-    nics: Vec<VcNic<P::Tag>>,
+struct ShardState<P: RouterPolicy> {
     /// In-flight flits per (node, input port), as `(vc, flit)`.
+    /// Globally indexed `node * PORTS + port`; only links of nodes in
+    /// this shard's range are ever populated.
     wires: DelayedWires<(usize, VcFlit<P::Tag>)>,
-    /// Credit returns: `(node, port, vc)`; `port == LOCAL` means the
-    /// NIC credit pool of `node`.
+    /// Credit returns for this shard's nodes: `(node, port, vc)`;
+    /// `port == LOCAL` means the NIC credit pool of `node`.
     credits_in_flight: TimedFifo<(usize, usize, usize)>,
-    tracker: EjectTracker,
-    /// Flits forwarded per output link, index `node * PORTS + port`.
-    forwarded: Vec<u64>,
-    /// NICs with a packet streaming or queued.
+    /// This shard's NICs with a packet streaming or queued.
     nic_work: ActiveSet,
-    /// Routers with at least one buffered input flit.
+    /// This shard's routers with at least one buffered input flit.
     router_work: ActiveSet,
-    /// Buffered input flits per router (maintains `router_work`).
-    buffered: Vec<u32>,
+    /// Per-shard policy allocation scratch.
+    scratch: P::Scratch,
+    /// Cross-shard flit pushes `(widx, (vc, flit))`, one lane per
+    /// destination shard.
+    wire_out: Mailbox<WirePush<P::Tag>>,
+    /// Cross-shard credit returns `(node, port, vc)`, one lane per
+    /// destination shard.
+    credit_out: Mailbox<(usize, usize, usize)>,
+    /// Flits ejected by this shard's routers this cycle, in ascending
+    /// node order; applied serially at the barrier.
+    ejects: Vec<VcFlit<P::Tag>>,
+    /// Packets whose first flit entered the network this cycle;
+    /// `injected_at` is stamped at the barrier (the slab is read-only
+    /// during the parallel phase).
+    stamps: Vec<PacketRef>,
 }
 
-impl<P: RouterPolicy> VcFabric<P> {
-    /// Builds the datapath for `params`, scheduled by `policy`.
-    pub fn new(params: VcParams, policy: P) -> Self {
-        let n = params.topo.num_nodes();
+impl<P: RouterPolicy> ShardState<P> {
+    fn new(n: usize, shards: usize, params: &VcParams) -> Self {
         // At most one flit enters a link per cycle, so a link never
         // carries more than `hop_latency` flits at once; credits obey
         // the same bound per (port, vc). Pre-sizing to those bounds
         // means warmup never reallocates.
         let per_link = params.hop_latency as usize + 1;
         let credit_cap = n * PORTS * (params.credit_delay as usize + 1);
-        VcFabric {
-            link: LinkMap::new(params.topo, params.routing),
-            routers: (0..n)
-                .map(|_| VcRouter::new(params.num_vcs, params.vc_capacity))
-                .collect(),
-            nics: (0..n)
-                .map(|_| VcNic::new(params.num_vcs, params.vc_capacity))
-                .collect(),
+        ShardState {
             wires: DelayedWires::with_capacity(n * PORTS, per_link),
             credits_in_flight: TimedFifo::with_capacity(credit_cap),
-            tracker: EjectTracker::new(),
-            forwarded: vec![0; n * PORTS],
             nic_work: ActiveSet::new(n),
             router_work: ActiveSet::new(n),
-            buffered: vec![0; n],
-            cycle: 0,
-            policy,
-            params,
+            scratch: P::Scratch::default(),
+            wire_out: Mailbox::new(shards),
+            credit_out: Mailbox::new(shards),
+            ejects: Vec::new(),
+            stamps: Vec::new(),
         }
     }
+}
 
-    /// The scheduling policy.
-    #[must_use]
-    pub fn policy(&self) -> &P {
-        &self.policy
-    }
+/// One shard's mutable view of the fabric for a single cycle: the
+/// node-range slices of the global per-node arrays plus the shard's
+/// own [`ShardState`]. All slices cover exactly `range` (local index
+/// `node - range.lo`); `forwarded` covers the matching link range.
+struct ShardCtx<'a, P: RouterPolicy> {
+    range: ShardRange,
+    routers: &'a mut [VcRouter<P::Tag>],
+    nics: &'a mut [VcNic<P::Tag>],
+    sources: &'a mut [P::Source],
+    buffered: &'a mut [u32],
+    forwarded: &'a mut [u64],
+    aux: &'a mut ShardState<P>,
+    tracker: &'a EjectTracker,
+    link: LinkMap,
+    params: VcParams,
+    shard_of: &'a [u32],
+}
 
-    /// Flits forwarded so far on the output link `(node, dir)` —
-    /// divide by elapsed cycles for the link utilization.
-    #[must_use]
-    pub fn link_flits(&self, node: NodeId, dir: Direction) -> u64 {
-        self.forwarded[node.index() * PORTS + dir.index()]
+impl<P: RouterPolicy> ShardCtx<'_, P> {
+    /// Phases 1–7 of the cycle for this shard's nodes. Every write
+    /// lands in shard-owned state; cross-shard effects go to the
+    /// outboxes/deferred-event lists for the barrier.
+    fn run_cycle(&mut self, now: u64) {
+        self.deliver_arrivals(now);
+        self.apply_credits(now);
+        self.nic_inject();
+        self.route_compute();
+        self.vc_allocate();
+        self.switch_traverse(now);
     }
 
     fn deliver_arrivals(&mut self, now: u64) {
         let Self {
-            wires,
+            aux,
             routers,
             buffered,
-            router_work,
+            range,
             params,
             ..
         } = self;
         let cap = params.vc_capacity;
         let num_vcs = params.num_vcs;
-        wires.drain_due(now, |widx, (vc, flit)| {
+        let lo = range.lo;
+        let router_work = &mut aux.router_work;
+        aux.wires.drain_due(now, |widx, (vc, flit)| {
             let node = widx / PORTS;
             let port = widx % PORTS;
-            let router = &mut routers[node];
+            let router = &mut routers[node - lo];
             let slot = port * num_vcs + vc;
             let buf: &mut VcBuf<P::Tag> = &mut router.inputs[slot];
             debug_assert!(
@@ -408,7 +418,7 @@ impl<P: RouterPolicy> VcFabric<P> {
                     router.sa_ready[r] |= 1u64 << slot;
                 }
             }
-            buffered[node] += 1;
+            buffered[node - lo] += 1;
             router_work.insert(node);
         });
     }
@@ -416,16 +426,17 @@ impl<P: RouterPolicy> VcFabric<P> {
     fn apply_credits(&mut self, now: u64) {
         let cap = self.params.vc_capacity as u32;
         let num_vcs = self.params.num_vcs;
-        while let Some((node, port, vc)) = self.credits_in_flight.pop_due(now) {
+        let lo = self.range.lo;
+        while let Some((node, port, vc)) = self.aux.credits_in_flight.pop_due(now) {
             if port == LOCAL {
-                let nic = &mut self.nics[node];
+                let nic = &mut self.nics[node - lo];
                 nic.credits[vc] += 1;
                 if P::DRAIN_BEFORE_REUSE && nic.draining[vc] && nic.credits[vc] == cap {
                     nic.draining[vc] = false;
                     nic.owned[vc] = false;
                 }
             } else {
-                let r = &mut self.routers[node];
+                let r = &mut self.routers[node - lo];
                 let slot = port * num_vcs + vc;
                 r.credits[slot] += 1;
                 if P::DRAIN_BEFORE_REUSE && r.out_draining[slot] && r.credits[slot] == cap {
@@ -436,25 +447,27 @@ impl<P: RouterPolicy> VcFabric<P> {
         }
     }
 
-    fn nic_inject(&mut self, now: u64) {
+    fn nic_inject(&mut self) {
         let num_vcs = self.params.num_vcs;
+        let lo = self.range.lo;
         let mut cursor = 0;
-        while let Some(node) = self.nic_work.first_from(cursor) {
+        while let Some(node) = self.aux.nic_work.first_from(cursor) {
             cursor = node + 1;
-            if self.nics[node].current.is_none() && self.policy.peek_source(node).is_some() {
+            let l = node - lo;
+            if self.nics[l].current.is_none() && P::peek_source(&self.sources[l]).is_some() {
                 // Allocate a free local VC, round-robin; only then
                 // commit the packet.
-                let nic = &self.nics[node];
+                let nic = &self.nics[l];
                 let free = (0..num_vcs)
                     .map(|k| (nic.rr + k) % num_vcs)
                     .find(|&v| !nic.owned[v]);
                 if let Some(vc) = free {
-                    let (pref, tag) = self.policy.pop_source(node);
+                    let (pref, tag) = P::pop_source(&mut self.sources[l]);
                     let (dst, len) = {
                         let p = self.tracker.packet(pref);
                         (p.dst, p.len_flits)
                     };
-                    let nic = &mut self.nics[node];
+                    let nic = &mut self.nics[l];
                     nic.owned[vc] = true;
                     nic.rr = (vc + 1) % num_vcs;
                     nic.current = Some(Streaming {
@@ -467,7 +480,7 @@ impl<P: RouterPolicy> VcFabric<P> {
                     });
                 }
             }
-            let nic = &mut self.nics[node];
+            let nic = &mut self.nics[l];
             if let Some(cur) = &mut nic.current {
                 if nic.credits[cur.vc] > 0 {
                     let kind = FlitKind::for_position(cur.pos, cur.len);
@@ -479,7 +492,9 @@ impl<P: RouterPolicy> VcFabric<P> {
                     };
                     nic.credits[cur.vc] -= 1;
                     if cur.pos == 0 {
-                        self.tracker.packet_mut(cur.pref).injected_at = Some(now);
+                        // The slab is shared read-only across shards;
+                        // the barrier applies the stamp.
+                        self.aux.stamps.push(cur.pref);
                     }
                     cur.pos += 1;
                     let vc = cur.vc;
@@ -492,7 +507,7 @@ impl<P: RouterPolicy> VcFabric<P> {
                         }
                         nic.current = None;
                     }
-                    let router = &mut self.routers[node];
+                    let router = &mut self.routers[l];
                     let slot = LOCAL * num_vcs + vc;
                     let buf = &mut router.inputs[slot];
                     buf.q.push_back(flit);
@@ -502,22 +517,23 @@ impl<P: RouterPolicy> VcFabric<P> {
                             router.sa_ready[r] |= 1u64 << slot;
                         }
                     }
-                    self.buffered[node] += 1;
-                    self.router_work.insert(node);
+                    self.buffered[l] += 1;
+                    self.aux.router_work.insert(node);
                 }
             }
-            if self.nics[node].current.is_none() && self.policy.source_idle(node) {
-                self.nic_work.remove(node);
+            if self.nics[l].current.is_none() && P::source_idle(&self.sources[l]) {
+                self.aux.nic_work.remove(node);
             }
         }
     }
 
     fn route_compute(&mut self) {
         let link = self.link;
+        let lo = self.range.lo;
         let mut cursor = 0;
-        while let Some(node) = self.router_work.first_from(cursor) {
+        while let Some(node) = self.aux.router_work.first_from(cursor) {
             cursor = node + 1;
-            let router = &mut self.routers[node];
+            let router = &mut self.routers[node - lo];
             for slot in 0..router.inputs.len() {
                 let buf = &router.inputs[slot];
                 if buf.route.is_some() {
@@ -538,25 +554,28 @@ impl<P: RouterPolicy> VcFabric<P> {
 
     fn vc_allocate(&mut self) {
         let num_vcs = self.params.num_vcs;
+        let lo = self.range.lo;
         let mut cursor = 0;
-        while let Some(node) = self.router_work.first_from(cursor) {
+        while let Some(node) = self.aux.router_work.first_from(cursor) {
             cursor = node + 1;
-            self.policy.vc_allocate(&mut self.routers[node], num_vcs);
+            P::vc_allocate(&mut self.aux.scratch, &mut self.routers[node - lo], num_vcs);
         }
     }
 
-    fn switch_traverse(&mut self, now: u64, out: &mut Vec<Packet>) {
+    fn switch_traverse(&mut self, now: u64) {
         let num_vcs = self.params.num_vcs;
         let total = PORTS * num_vcs;
+        let lo = self.range.lo;
         let mut cursor = 0;
-        while let Some(node) = self.router_work.first_from(cursor) {
+        while let Some(node) = self.aux.router_work.first_from(cursor) {
             cursor = node + 1;
+            let l = node - lo;
             for out_port in 0..PORTS {
                 // No input VC can request this output: nothing to
                 // arbitrate. (An empty ready mask is exactly the
                 // condition under which every policy's winner scan
                 // comes up empty.)
-                if self.routers[node].sa_ready[out_port] == 0 {
+                if self.routers[l].sa_ready[out_port] == 0 {
                     continue;
                 }
                 let Some(SwitchGrant {
@@ -564,22 +583,20 @@ impl<P: RouterPolicy> VcFabric<P> {
                     out_vc: ov,
                     slot,
                     ..
-                }) = self
-                    .policy
-                    .pick_winner(&self.routers[node], out_port, num_vcs)
+                }) = P::pick_winner(&self.routers[l], out_port, num_vcs)
                 else {
                     continue;
                 };
-                self.forwarded[node * PORTS + out_port] += 1;
-                let router = &mut self.routers[node];
+                self.forwarded[l * PORTS + out_port] += 1;
+                let router = &mut self.routers[l];
                 router.rr_sa[out_port] = if slot + 1 == total { 0 } else { slot + 1 };
                 let flit = router.inputs[slot]
                     .q
                     .pop_front()
                     .expect("winner has a flit");
-                self.buffered[node] -= 1;
-                if self.buffered[node] == 0 {
-                    self.router_work.remove(node);
+                self.buffered[l] -= 1;
+                if self.buffered[l] == 0 {
+                    self.aux.router_work.remove(node);
                 }
                 if flit.kind.is_tail() {
                     let oslot = out_port * num_vcs + ov;
@@ -608,62 +625,349 @@ impl<P: RouterPolicy> VcFabric<P> {
                 let due = now + self.params.credit_delay;
                 let in_port = slot / num_vcs;
                 if in_port == LOCAL {
-                    self.credits_in_flight.push(due, (node, LOCAL, v));
+                    self.aux.credits_in_flight.push(due, (node, LOCAL, v));
                 } else {
                     let (up, up_port) = self.link.upstream(node, in_port);
-                    self.credits_in_flight.push(due, (up, up_port, v));
+                    if self.range.contains(up) {
+                        self.aux.credits_in_flight.push(due, (up, up_port, v));
+                    } else {
+                        self.aux
+                            .credit_out
+                            .push(self.shard_of[up] as usize, (up, up_port, v));
+                    }
                 }
                 if out_port == LOCAL {
-                    self.eject(node, flit, now, out);
+                    // Ejection accounting (slab removal, policy hooks,
+                    // the delivery list) is serialized at the barrier;
+                    // pushes here are in ascending node order.
+                    self.aux.ejects.push(flit);
                 } else {
                     let (next, in_port) = self.link.downstream(node, out_port);
                     let widx = next * PORTS + in_port;
-                    self.wires
-                        .push(widx, now + self.params.hop_latency, (ov, flit));
+                    if self.range.contains(next) {
+                        self.aux
+                            .wires
+                            .push(widx, now + self.params.hop_latency, (ov, flit));
+                    } else {
+                        self.aux
+                            .wire_out
+                            .push(self.shard_of[next] as usize, (widx, (ov, flit)));
+                    }
                 }
             }
         }
     }
+}
 
-    fn eject(&mut self, node: usize, flit: VcFlit<P::Tag>, now: u64, out: &mut Vec<Packet>) {
-        self.policy.on_eject_flit(&flit);
-        let total = self.tracker.packet(flit.pref).len_flits;
-        if let Some(packet) = self.tracker.on_piece(node, flit.pref, total, now) {
-            self.policy.on_eject_packet(packet.id);
-            out.push(packet);
+/// The complete credit-based VC datapath, parameterized by a
+/// [`RouterPolicy`].
+///
+/// Cycle processing order:
+///
+/// 1. the policy's serial [`RouterPolicy::pre_inject`] hook runs,
+/// 2. every shard (all nodes, [`VcParams::threads`] shards stepped
+///    concurrently) then runs, per router:
+///    1. link arrivals are written into input VC buffers,
+///    2. returned credits are applied (releasing drained VCs under
+///       [`RouterPolicy::DRAIN_BEFORE_REUSE`]),
+///    3. NICs stream source-queue packets into their router's local
+///       input port (one flit/cycle, one VC per packet; packet order
+///       from the policy),
+///    4. route computation for new head flits,
+///    5. VC allocation (policy),
+///    6. switch allocation (policy) + traversal: each output port
+///       forwards at most one flit, consuming a credit; the freed
+///       input slot's credit travels upstream with a configurable
+///       delay,
+/// 3. the cycle barrier merges cross-shard flits/credits in ascending
+///    global link index order and applies deferred injection stamps
+///    and ejections in ascending node order.
+///
+/// All iteration is in ascending node/link index order with live
+/// worklist semantics, bit-identical to the full scans it replaced —
+/// at any shard count (see [`crate::par`] for the argument).
+#[derive(Debug)]
+pub struct VcFabric<P: RouterPolicy> {
+    policy: P,
+    params: VcParams,
+    link: LinkMap,
+    cycle: u64,
+    routers: Vec<VcRouter<P::Tag>>,
+    nics: Vec<VcNic<P::Tag>>,
+    /// Per-node source queues (policy-defined order).
+    sources: Vec<P::Source>,
+    tracker: EjectTracker,
+    /// Flits forwarded per output link, index `node * PORTS + port`.
+    forwarded: Vec<u64>,
+    /// Buffered input flits per router (maintains the shards'
+    /// `router_work`).
+    buffered: Vec<u32>,
+    /// Contiguous node ranges, one per shard.
+    ranges: Vec<ShardRange>,
+    /// Node → shard index.
+    shard_of: Vec<u32>,
+    /// Shard-owned stepping state (always at least one shard; the
+    /// single-threaded path is the one-shard case with no pool).
+    shards: Vec<ShardState<P>>,
+    /// Worker pool, present only when `threads > 1`.
+    pool: Option<WorkerPool>,
+    /// Relay for policy wake-ups (see [`PolicyCtx::woken`]).
+    woken: Vec<usize>,
+    /// Barrier merge scratch for cross-shard flits.
+    wire_scratch: Vec<WirePush<P::Tag>>,
+    /// Barrier merge scratch for cross-shard credits.
+    credit_scratch: Vec<(usize, usize, usize)>,
+}
+
+impl<P: RouterPolicy> VcFabric<P> {
+    /// Builds the datapath for `params`, scheduled by `policy`.
+    pub fn new(params: VcParams, policy: P) -> Self {
+        let n = params.topo.num_nodes();
+        let ranges = partition(n, params.threads);
+        let k = ranges.len();
+        VcFabric {
+            link: LinkMap::new(params.topo, params.routing),
+            routers: (0..n)
+                .map(|_| VcRouter::new(params.num_vcs, params.vc_capacity))
+                .collect(),
+            nics: (0..n)
+                .map(|_| VcNic::new(params.num_vcs, params.vc_capacity))
+                .collect(),
+            sources: (0..n).map(|_| policy.new_source()).collect(),
+            tracker: EjectTracker::new(),
+            forwarded: vec![0; n * PORTS],
+            buffered: vec![0; n],
+            shard_of: shard_map(&ranges),
+            shards: (0..k).map(|_| ShardState::new(n, k, &params)).collect(),
+            pool: (k > 1).then(|| WorkerPool::new(k - 1)),
+            ranges,
+            woken: Vec::new(),
+            wire_scratch: Vec::new(),
+            credit_scratch: Vec::new(),
+            cycle: 0,
+            policy,
+            params,
+        }
+    }
+
+    /// The scheduling policy.
+    #[must_use]
+    pub fn policy(&self) -> &P {
+        &self.policy
+    }
+
+    /// Flits forwarded so far on the output link `(node, dir)` —
+    /// divide by elapsed cycles for the link utilization.
+    #[must_use]
+    pub fn link_flits(&self, node: NodeId, dir: Direction) -> u64 {
+        self.forwarded[node.index() * PORTS + dir.index()]
+    }
+
+    /// Inserts every node the last policy hook woke into its shard's
+    /// NIC worklist.
+    fn apply_woken(&mut self) {
+        let Self {
+            woken,
+            shards,
+            shard_of,
+            ..
+        } = self;
+        for node in woken.drain(..) {
+            shards[shard_of[node] as usize].nic_work.insert(node);
+        }
+    }
+
+    /// Steps every shard sequentially on the calling thread (the
+    /// `threads == 1` path — same phase code as the parallel path,
+    /// no pool, no unsafe).
+    fn step_shards_serial(&mut self, now: u64) {
+        for s in 0..self.shards.len() {
+            let range = self.ranges[s];
+            let Self {
+                routers,
+                nics,
+                sources,
+                buffered,
+                forwarded,
+                shards,
+                tracker,
+                link,
+                params,
+                shard_of,
+                ..
+            } = self;
+            ShardCtx::<P> {
+                range,
+                routers: &mut routers[range.lo..range.hi],
+                nics: &mut nics[range.lo..range.hi],
+                sources: &mut sources[range.lo..range.hi],
+                buffered: &mut buffered[range.lo..range.hi],
+                forwarded: &mut forwarded[range.lo * PORTS..range.hi * PORTS],
+                aux: &mut shards[s],
+                tracker,
+                link: *link,
+                params: *params,
+                shard_of,
+            }
+            .run_cycle(now);
+        }
+    }
+
+    /// Steps all shards concurrently on the worker pool.
+    fn step_shards_parallel(&mut self, now: u64) {
+        let routers = SendPtr::new(self.routers.as_mut_ptr());
+        let nics = SendPtr::new(self.nics.as_mut_ptr());
+        let sources = SendPtr::new(self.sources.as_mut_ptr());
+        let buffered = SendPtr::new(self.buffered.as_mut_ptr());
+        let forwarded = SendPtr::new(self.forwarded.as_mut_ptr());
+        let shards = SendPtr::new(self.shards.as_mut_ptr());
+        let ranges: &[ShardRange] = &self.ranges;
+        let shard_of: &[u32] = &self.shard_of;
+        let tracker: &EjectTracker = &self.tracker;
+        let link = self.link;
+        let params = self.params;
+        let k = ranges.len();
+        let pool = self.pool.as_mut().expect("parallel step without a pool");
+        pool.run(k, &|s| {
+            let range = ranges[s];
+            let lo = range.lo;
+            let len = range.len();
+            // SAFETY: shard ranges are disjoint and cover `0..n`, and
+            // the pool hands each shard index to exactly one task, so
+            // the slices below never overlap across concurrent tasks;
+            // `pool.run` returns only after every task (and worker)
+            // has left the job, so no access outlives the borrows the
+            // pointers were created from. `SendPtr` requires the
+            // pointee to be `Send`, which the `RouterPolicy`
+            // associated-type bounds guarantee.
+            let mut ctx = unsafe {
+                ShardCtx::<P> {
+                    range,
+                    routers: std::slice::from_raw_parts_mut(routers.get().add(lo), len),
+                    nics: std::slice::from_raw_parts_mut(nics.get().add(lo), len),
+                    sources: std::slice::from_raw_parts_mut(sources.get().add(lo), len),
+                    buffered: std::slice::from_raw_parts_mut(buffered.get().add(lo), len),
+                    forwarded: std::slice::from_raw_parts_mut(
+                        forwarded.get().add(lo * PORTS),
+                        len * PORTS,
+                    ),
+                    aux: &mut *shards.get().add(s),
+                    tracker,
+                    link,
+                    params,
+                    shard_of,
+                }
+            };
+            ctx.run_cycle(now);
+        });
+    }
+
+    /// The cycle barrier: merge cross-shard traffic (ascending global
+    /// link index order), then apply deferred injection stamps and
+    /// ejections in ascending node order — reproducing exactly the
+    /// single-threaded event order.
+    fn barrier(&mut self, now: u64, out: &mut Vec<Packet>) {
+        let k = self.shards.len();
+        if k > 1 {
+            let hop_due = now + self.params.hop_latency;
+            let credit_due = now + self.params.credit_delay;
+            for shard in &mut self.shards {
+                shard.wire_out.flip();
+                shard.credit_out.flip();
+            }
+            for dst in 0..k {
+                debug_assert!(self.wire_scratch.is_empty() && self.credit_scratch.is_empty());
+                for src in 0..k {
+                    if src != dst {
+                        self.wire_scratch
+                            .append(self.shards[src].wire_out.lane_mut(dst));
+                        self.credit_scratch
+                            .append(self.shards[src].credit_out.lane_mut(dst));
+                    }
+                }
+                // At most one flit enters a given wire per cycle (each
+                // wire has a single upstream producer), so link
+                // indices are unique and this order is total. The same
+                // holds for credits per (node, port, vc) — and credit
+                // application is commutative besides.
+                self.wire_scratch.sort_unstable_by_key(|&(widx, _)| widx);
+                self.credit_scratch.sort_unstable();
+                let shard = &mut self.shards[dst];
+                for (widx, item) in self.wire_scratch.drain(..) {
+                    shard.wires.push(widx, hop_due, item);
+                }
+                for c in self.credit_scratch.drain(..) {
+                    shard.credits_in_flight.push(credit_due, c);
+                }
+            }
+        }
+        {
+            // Injection stamps before ejections: a source-equals-
+            // destination packet can inject and eject in one cycle.
+            let Self {
+                shards, tracker, ..
+            } = self;
+            for shard in shards.iter_mut() {
+                for pref in shard.stamps.drain(..) {
+                    tracker.packet_mut(pref).injected_at = Some(now);
+                }
+            }
+        }
+        for s in 0..k {
+            for i in 0..self.shards[s].ejects.len() {
+                let flit = self.shards[s].ejects[i];
+                self.policy.on_eject_flit(&flit);
+                let total = self.tracker.packet(flit.pref).len_flits;
+                if let Some(packet) = self
+                    .tracker
+                    .on_piece(flit.dst.index(), flit.pref, total, now)
+                {
+                    self.policy.on_eject_packet(packet.id);
+                    out.push(packet);
+                }
+            }
+            self.shards[s].ejects.clear();
         }
     }
 
     /// Full-scan cross-check of every worklist invariant (debug
     /// builds only): the active sets must contain exactly the indices
-    /// a naive scan would find work at.
+    /// a naive scan would find work at, and all barrier buffers must
+    /// be empty between cycles.
     #[cfg(debug_assertions)]
     fn debug_verify_worklists(&self) {
-        self.wires.debug_verify();
-        for (n, nic) in self.nics.iter().enumerate() {
-            let active = nic.current.is_some() || !self.policy.source_idle(n);
-            debug_assert_eq!(self.nic_work.contains(n), active, "nic_work[{n}]");
-        }
-        for (n, router) in self.routers.iter().enumerate() {
-            let count: u32 = router.inputs.iter().map(|buf| buf.q.len() as u32).sum();
-            debug_assert_eq!(self.buffered[n], count, "buffered[{n}]");
-            debug_assert_eq!(self.router_work.contains(n), count > 0, "router_work[{n}]");
-            let mut routed = [0u32; PORTS];
-            let mut va_req = [0u64; PORTS];
-            let mut sa_ready = [0u64; PORTS];
-            for (slot, buf) in router.inputs.iter().enumerate() {
-                if let Some(out) = buf.route {
-                    routed[out] += 1;
-                    if buf.out_vc.is_none() {
-                        va_req[out] |= 1u64 << slot;
-                    } else if !buf.q.is_empty() {
-                        sa_ready[out] |= 1u64 << slot;
+        for (s, shard) in self.shards.iter().enumerate() {
+            shard.wires.debug_verify();
+            debug_assert!(shard.wire_out.is_clear(), "wire outbox not drained");
+            debug_assert!(shard.credit_out.is_clear(), "credit outbox not drained");
+            debug_assert!(shard.ejects.is_empty(), "ejects not applied");
+            debug_assert!(shard.stamps.is_empty(), "stamps not applied");
+            let range = self.ranges[s];
+            for n in range.lo..range.hi {
+                let nic = &self.nics[n];
+                let active = nic.current.is_some() || !P::source_idle(&self.sources[n]);
+                debug_assert_eq!(shard.nic_work.contains(n), active, "nic_work[{n}]");
+                let router = &self.routers[n];
+                let count: u32 = router.inputs.iter().map(|buf| buf.q.len() as u32).sum();
+                debug_assert_eq!(self.buffered[n], count, "buffered[{n}]");
+                debug_assert_eq!(shard.router_work.contains(n), count > 0, "router_work[{n}]");
+                let mut routed = [0u32; PORTS];
+                let mut va_req = [0u64; PORTS];
+                let mut sa_ready = [0u64; PORTS];
+                for (slot, buf) in router.inputs.iter().enumerate() {
+                    if let Some(out) = buf.route {
+                        routed[out] += 1;
+                        if buf.out_vc.is_none() {
+                            va_req[out] |= 1u64 << slot;
+                        } else if !buf.q.is_empty() {
+                            sa_ready[out] |= 1u64 << slot;
+                        }
                     }
                 }
+                debug_assert_eq!(router.routed, routed, "routed[{n}]");
+                debug_assert_eq!(router.va_req, va_req, "va_req[{n}]");
+                debug_assert_eq!(router.sa_ready, sa_ready, "sa_ready[{n}]");
             }
-            debug_assert_eq!(router.routed, routed, "routed[{n}]");
-            debug_assert_eq!(router.va_req, va_req, "va_req[{n}]");
-            debug_assert_eq!(router.sa_ready, sa_ready, "sa_ready[{n}]");
         }
     }
 }
@@ -679,21 +983,26 @@ impl<P: RouterPolicy> Network for VcFabric<P> {
 
     fn enqueue(&mut self, packet: Packet) {
         let node = packet.src.index();
-        let Self {
-            policy,
-            tracker,
-            nic_work,
-            ..
-        } = self;
-        let pref = tracker.admit(packet);
-        policy.on_enqueue(
-            node,
-            pref,
-            &mut PolicyCtx {
-                packets: tracker,
-                nic_work,
-            },
-        );
+        {
+            let Self {
+                policy,
+                tracker,
+                sources,
+                woken,
+                ..
+            } = self;
+            let pref = tracker.admit(packet);
+            policy.on_enqueue(
+                node,
+                pref,
+                &mut PolicyCtx {
+                    packets: tracker,
+                    sources,
+                    woken,
+                },
+            );
+        }
+        self.apply_woken();
     }
 
     fn step(&mut self, out: &mut Vec<Packet>) {
@@ -701,27 +1010,30 @@ impl<P: RouterPolicy> Network for VcFabric<P> {
         self.debug_verify_worklists();
         let delivered_before = out.len();
         let now = self.cycle;
-        self.deliver_arrivals(now);
-        self.apply_credits(now);
         {
             let Self {
                 policy,
                 tracker,
-                nic_work,
+                sources,
+                woken,
                 ..
             } = self;
             policy.pre_inject(
                 now,
                 &mut PolicyCtx {
                     packets: tracker,
-                    nic_work,
+                    sources,
+                    woken,
                 },
             );
         }
-        self.nic_inject(now);
-        self.route_compute();
-        self.vc_allocate();
-        self.switch_traverse(now, out);
+        self.apply_woken();
+        if self.pool.is_some() {
+            self.step_shards_parallel(now);
+        } else {
+            self.step_shards_serial(now);
+        }
+        self.barrier(now, out);
         self.cycle = now + 1;
         debug_assert_delivered_once(out, delivered_before);
     }

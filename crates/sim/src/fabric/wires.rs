@@ -78,6 +78,14 @@ impl<T> DelayedWires<T> {
         !self.wires[idx].is_empty()
     }
 
+    /// Whether any link has items in flight (a cheap bitset check;
+    /// lets callers skip a whole drain pass — or a pool dispatch —
+    /// when the wires are globally empty).
+    #[must_use]
+    pub fn any_active(&self) -> bool {
+        !self.work.is_empty()
+    }
+
     /// Full-scan cross-check (debug builds): the worklist contains
     /// exactly the links with items in flight. Call under
     /// `#[cfg(debug_assertions)]`.

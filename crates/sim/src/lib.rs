@@ -48,6 +48,7 @@ pub mod fabric;
 pub mod flit;
 pub mod flow;
 pub mod fxhash;
+pub mod par;
 pub mod rng;
 pub mod routing;
 pub mod slab;

@@ -184,7 +184,7 @@ impl Histogram {
 }
 
 /// Per-flow measurement results.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct FlowReport {
     /// Packets fully delivered during the measurement window.
     pub packets_delivered: u64,
@@ -201,7 +201,7 @@ pub struct FlowReport {
 }
 
 /// Aggregated results of one simulation run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimReport {
     /// Measurement window length in cycles.
     pub measured_cycles: u64,

@@ -28,35 +28,42 @@ use crate::config::WormholeConfig;
 
 /// The wormhole scheduling policy: FIFO sources, round-robin VC and
 /// switch allocation, immediate VC reuse on tail.
+///
+/// All per-node state is the FIFO source queue itself, owned by the
+/// fabric as the policy's [`RouterPolicy::Source`]; the policy struct
+/// is stateless.
 #[derive(Debug)]
-struct WormholePolicy {
-    /// Packets waiting to be flitized, per source node.
-    src: Vec<VecDeque<PacketRef>>,
-}
+struct WormholePolicy;
 
 impl RouterPolicy for WormholePolicy {
     type Tag = ();
+    type Source = VecDeque<PacketRef>;
+    type Scratch = ();
     const DRAIN_BEFORE_REUSE: bool = false;
 
-    fn on_enqueue(&mut self, node: usize, pref: PacketRef, ctx: &mut PolicyCtx<'_>) {
-        self.src[node].push_back(pref);
-        ctx.nic_work.insert(node);
+    fn new_source(&self) -> Self::Source {
+        VecDeque::new()
     }
 
-    fn peek_source(&self, node: usize) -> Option<PacketRef> {
-        self.src[node].front().copied()
+    fn on_enqueue(&mut self, node: usize, pref: PacketRef, ctx: &mut PolicyCtx<'_, Self::Source>) {
+        ctx.sources[node].push_back(pref);
+        ctx.woken.push(node);
     }
 
-    fn pop_source(&mut self, node: usize) -> (PacketRef, ()) {
-        let pref = self.src[node].pop_front().expect("peeked source packet");
+    fn peek_source(source: &Self::Source) -> Option<PacketRef> {
+        source.front().copied()
+    }
+
+    fn pop_source(source: &mut Self::Source) -> (PacketRef, ()) {
+        let pref = source.pop_front().expect("peeked source packet");
         (pref, ())
     }
 
-    fn source_idle(&self, node: usize) -> bool {
-        self.src[node].is_empty()
+    fn source_idle(source: &Self::Source) -> bool {
+        source.is_empty()
     }
 
-    fn vc_allocate(&mut self, router: &mut VcRouter<()>, num_vcs: usize) {
+    fn vc_allocate((): &mut (), router: &mut VcRouter<()>, num_vcs: usize) {
         // The request masks partition pending heads by output port.
         // Grants at different outputs touch disjoint state (each
         // output's owner flags and round-robin pointer), so walking
@@ -85,12 +92,7 @@ impl RouterPolicy for WormholePolicy {
         }
     }
 
-    fn pick_winner(
-        &self,
-        router: &VcRouter<()>,
-        out_port: usize,
-        num_vcs: usize,
-    ) -> Option<SwitchGrant> {
+    fn pick_winner(router: &VcRouter<()>, out_port: usize, num_vcs: usize) -> Option<SwitchGrant> {
         // First candidate in round-robin order: an input VC routed
         // here with a flit ready and downstream credit (ejection
         // needs none). The ready mask pre-filters routed+allocated
@@ -123,7 +125,6 @@ pub struct WormholeNetwork {
 impl WormholeNetwork {
     /// Builds the network.
     pub fn new(cfg: WormholeConfig) -> Self {
-        let n = cfg.topo.num_nodes();
         let params = VcParams {
             topo: cfg.topo,
             routing: cfg.routing,
@@ -131,13 +132,11 @@ impl WormholeNetwork {
             vc_capacity: cfg.vc_capacity,
             hop_latency: cfg.hop_latency,
             credit_delay: cfg.credit_delay,
-        };
-        let policy = WormholePolicy {
-            src: vec![VecDeque::new(); n],
+            threads: cfg.threads,
         };
         WormholeNetwork {
             cfg,
-            fabric: VcFabric::new(params, policy),
+            fabric: VcFabric::new(params, WormholePolicy),
         }
     }
 

@@ -8,6 +8,11 @@
 //! consumption shows up here as a hard failure, not a silent drift.
 //! If a pin moves, the change is a semantic change (and needs its own
 //! justification), not an optimization.
+//!
+//! Every pin runs at 1, 2, and 4 shards (`threads` in the configs):
+//! sharded parallel stepping must be bit-for-bit identical to the
+//! single-threaded engine, so the same pins are the oracle for the
+//! parallel path (see `noc_sim::par`).
 
 use loft::LoftConfig;
 use loft_bench::{run_gsf, run_loft, run_wormhole, SEED};
@@ -15,6 +20,9 @@ use noc_gsf::GsfConfig;
 use noc_sim::RunConfig;
 use noc_traffic::Scenario;
 use noc_wormhole::WormholeConfig;
+
+/// The shard counts every pin must reproduce exactly.
+const THREADS: [usize; 3] = [1, 2, 4];
 
 /// Asserts a report matches its pinned flit count and the exact IEEE
 /// bit pattern of its average latency.
@@ -29,37 +37,70 @@ fn check(report: &noc_sim::SimReport, flits: u64, latency_bits: u64) {
     );
 }
 
+fn check_loft(scenario: &Scenario, run: RunConfig, flits: u64, latency_bits: u64) {
+    for threads in THREADS {
+        let cfg = LoftConfig {
+            threads,
+            ..LoftConfig::default()
+        };
+        let r = run_loft(scenario, cfg, run, SEED);
+        check(&r, flits, latency_bits);
+    }
+}
+
+fn check_gsf(scenario: &Scenario, run: RunConfig, flits: u64, latency_bits: u64) {
+    for threads in THREADS {
+        let cfg = GsfConfig {
+            threads,
+            ..GsfConfig::default()
+        };
+        let r = run_gsf(scenario, cfg, run, SEED);
+        check(&r, flits, latency_bits);
+    }
+}
+
+fn check_wormhole(scenario: &Scenario, run: RunConfig, flits: u64, latency_bits: u64) {
+    for threads in THREADS {
+        let cfg = WormholeConfig {
+            threads,
+            ..WormholeConfig::default()
+        };
+        let r = run_wormhole(scenario, cfg, run, SEED);
+        check(&r, flits, latency_bits);
+    }
+}
+
 #[test]
 fn loft_uniform_low_load_is_pinned() {
-    let r = run_loft(
+    // avg_latency = 33.78215667311398
+    check_loft(
         &Scenario::uniform(0.05),
-        LoftConfig::default(),
         RunConfig::short(),
-        SEED,
+        16_588,
+        0x4040_E41D_B5B9_AFB5,
     );
-    check(&r, 16_588, 0x4040_E41D_B5B9_AFB5); // avg_latency = 33.78215667311398
 }
 
 #[test]
 fn gsf_uniform_low_load_is_pinned() {
-    let r = run_gsf(
+    // avg_latency = 19.932543520309448
+    check_gsf(
         &Scenario::uniform(0.05),
-        GsfConfig::default(),
         RunConfig::short(),
-        SEED,
+        16_576,
+        0x4033_EEBB_2C11_D367,
     );
-    check(&r, 16_576, 0x4033_EEBB_2C11_D367); // avg_latency = 19.932543520309448
 }
 
 #[test]
 fn wormhole_uniform_low_load_is_pinned() {
-    let r = run_wormhole(
+    // avg_latency = 20.0631044487428
+    check_wormhole(
         &Scenario::uniform(0.05),
-        WormholeConfig::default(),
         RunConfig::short(),
-        SEED,
+        16_576,
+        0x4034_1027_9CF7_951A,
     );
-    check(&r, 16_576, 0x4034_1027_9CF7_951A); // avg_latency = 20.0631044487428
 }
 
 /// The high-load run configuration used by the near-saturation pins:
@@ -75,55 +116,55 @@ fn high_load_run() -> RunConfig {
 
 #[test]
 fn loft_uniform_high_load_is_pinned() {
-    let r = run_loft(
+    // avg_latency = 928.110465612984
+    check_loft(
         &Scenario::uniform(0.60),
-        LoftConfig::default(),
         high_load_run(),
-        SEED,
+        34_320,
+        0x408D_00E2_3BCB_98CA,
     );
-    check(&r, 34_320, 0x408D_00E2_3BCB_98CA); // avg_latency = 928.110465612984
 }
 
 #[test]
 fn gsf_uniform_high_load_is_pinned() {
-    let r = run_gsf(
+    // avg_latency = 405.18584669860394
+    check_gsf(
         &Scenario::uniform(0.60),
-        GsfConfig::default(),
         high_load_run(),
-        SEED,
+        58_728,
+        0x4079_52F9_3A63_492D,
     );
-    check(&r, 58_728, 0x4079_52F9_3A63_492D); // avg_latency = 405.18584669860394
 }
 
 #[test]
 fn wormhole_uniform_high_load_is_pinned() {
-    let r = run_wormhole(
+    // avg_latency = 454.3367451967068
+    check_wormhole(
         &Scenario::uniform(0.60),
-        WormholeConfig::default(),
         high_load_run(),
-        SEED,
+        56_360,
+        0x407C_6563_4EEE_6F0D,
     );
-    check(&r, 56_360, 0x407C_6563_4EEE_6F0D); // avg_latency = 454.3367451967068
 }
 
 #[test]
 fn loft_hotspot_is_pinned() {
-    let r = run_loft(
+    // avg_latency = 1175.2189239332115
+    check_loft(
         &Scenario::hotspot(0.02),
-        LoftConfig::default(),
         RunConfig::short(),
-        SEED,
+        4_992,
+        0x4092_5CE0_2D98_75D2,
     );
-    check(&r, 4_992, 0x4092_5CE0_2D98_75D2); // avg_latency = 1175.2189239332115
 }
 
 #[test]
 fn gsf_hotspot_is_pinned() {
-    let r = run_gsf(
+    // avg_latency = 1182.5690402476785
+    check_gsf(
         &Scenario::hotspot(0.02),
-        GsfConfig::default(),
         RunConfig::short(),
-        SEED,
+        5_004,
+        0x4092_7A46_B27C_978C,
     );
-    check(&r, 5_004, 0x4092_7A46_B27C_978C); // avg_latency = 1182.5690402476785
 }

@@ -1,0 +1,151 @@
+//! Shard-count invariance: sharded parallel stepping must be
+//! bit-for-bit identical to the single-threaded engine.
+//!
+//! For every network × {mesh, torus, ring}, the full [`SimReport`]
+//! (per-flow stats, Welford latency accumulators, histogram — all of
+//! it) must be identical at 1, 2, and 4 shards; a randomized
+//! shard-count stress run extends that over arbitrary counts,
+//! including degenerate ones (more shards than nodes). The Welford
+//! latency mean is order-sensitive in its low bits, so `SimReport`
+//! equality pins the exact delivery order, not just the totals.
+
+use loft::LoftConfig;
+use loft_bench::{run_gsf, run_loft, run_wormhole, SEED};
+use noc_gsf::GsfConfig;
+use noc_sim::{RunConfig, SimReport, Topology};
+use noc_traffic::Scenario;
+use noc_wormhole::WormholeConfig;
+
+/// The three topology shapes under test, sized small enough that the
+/// full matrix stays fast but large enough for real cross-shard
+/// traffic at 4 shards.
+fn topologies() -> [Topology; 3] {
+    [
+        Topology::mesh(4, 4),
+        Topology::torus(4, 4),
+        Topology::ring(12),
+    ]
+}
+
+/// [`Scenario::uniform`] rebuilt for an arbitrary topology (the
+/// ready-made scenarios are fixed to the paper's 8×8 mesh).
+fn uniform_on(topo: Topology, rate: f64) -> Scenario {
+    let mut s = Scenario::uniform(rate);
+    let n = topo.num_nodes();
+    s.topo = topo;
+    s.flows.truncate(n);
+    for (f, src) in s.flows.iter_mut().zip(topo.nodes()) {
+        f.src = src;
+        f.dest = noc_traffic::DestRule::UniformRandom {
+            num_nodes: n as u32,
+        };
+    }
+    s.groups.clear();
+    s
+}
+
+fn run() -> RunConfig {
+    RunConfig {
+        warmup: 100,
+        measure: 1_000,
+        drain: 1_000,
+    }
+}
+
+fn assert_invariant(name: &str, reports: &[(usize, SimReport)]) {
+    let (_, base) = &reports[0];
+    assert!(
+        base.flits_delivered > 0,
+        "{name}: baseline run delivered nothing — test is vacuous"
+    );
+    for (threads, r) in &reports[1..] {
+        assert_eq!(
+            r, base,
+            "{name}: report at {threads} shards diverged from 1 shard"
+        );
+    }
+}
+
+fn wormhole_at(topo: Topology, threads: usize) -> SimReport {
+    let cfg = WormholeConfig {
+        threads,
+        ..WormholeConfig::on(topo)
+    };
+    run_wormhole(&uniform_on(topo, 0.30), cfg, run(), SEED)
+}
+
+fn gsf_at(topo: Topology, threads: usize) -> SimReport {
+    let cfg = GsfConfig {
+        threads,
+        frame_size: 200,
+        ..GsfConfig::on(topo)
+    };
+    run_gsf(&uniform_on(topo, 0.30), cfg, run(), SEED)
+}
+
+fn loft_at(topo: Topology, threads: usize) -> SimReport {
+    let cfg = LoftConfig {
+        threads,
+        frame_size: 64,
+        nonspec_buffer: 64,
+        ..LoftConfig::on(topo)
+    };
+    run_loft(&uniform_on(topo, 0.30), cfg, run(), SEED)
+}
+
+#[test]
+fn wormhole_reports_invariant_under_sharding() {
+    for topo in topologies() {
+        let reports: Vec<_> = [1, 2, 4].map(|t| (t, wormhole_at(topo, t))).into();
+        assert_invariant("wormhole", &reports);
+    }
+}
+
+#[test]
+fn gsf_reports_invariant_under_sharding() {
+    for topo in topologies() {
+        let reports: Vec<_> = [1, 2, 4].map(|t| (t, gsf_at(topo, t))).into();
+        assert_invariant("gsf", &reports);
+    }
+}
+
+#[test]
+fn loft_reports_invariant_under_sharding() {
+    for topo in topologies() {
+        let reports: Vec<_> = [1, 2, 4].map(|t| (t, loft_at(topo, t))).into();
+        assert_invariant("loft", &reports);
+    }
+}
+
+/// Randomized stress: arbitrary shard counts (including more shards
+/// than nodes, where the partition clamps) on a small mesh must all
+/// reproduce the single-shard report. xorshift64 keeps the test
+/// deterministic and dependency-free.
+#[test]
+fn randomized_shard_counts_match_single_shard() {
+    let mut state = 0x5EED_CAFE_F00Du64;
+    let mut rng = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let topo = Topology::mesh(4, 4);
+    let worm_base = wormhole_at(topo, 1);
+    let gsf_base = gsf_at(topo, 1);
+    for _ in 0..6 {
+        // 2..=24: covers odd counts, non-divisors of 16, and counts
+        // past the node count.
+        let threads = 2 + (rng() % 23) as usize;
+        assert_eq!(
+            wormhole_at(topo, threads),
+            worm_base,
+            "wormhole diverged at {threads} shards"
+        );
+        assert_eq!(
+            gsf_at(topo, threads),
+            gsf_base,
+            "gsf diverged at {threads} shards"
+        );
+    }
+}
