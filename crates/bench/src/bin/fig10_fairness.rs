@@ -7,12 +7,17 @@
 //!
 //! For each group of flows the table prints MAX/MIN/AVG/STDEV of the
 //! accepted per-flow throughput, exactly like the paper's inset
-//! tables. Run with an argument (`equal`, `diff4`, `diff2`) for one
-//! case or no argument for all three.
+//! tables, plus the group's Jain fairness index and worst windowed
+//! service rate — both read straight out of the unified telemetry
+//! layer (`noc_sim::telemetry`), which also supplies the per-flow
+//! rates themselves. Run with an argument (`equal`, `diff4`, `diff2`)
+//! for one case or no argument for all three.
 
 use loft::LoftConfig;
-use loft_bench::{print_table, run_gsf, run_loft, SEED};
+use loft_bench::{print_table, run_gsf_telemetry, run_loft_telemetry, SEED};
 use noc_gsf::GsfConfig;
+use noc_sim::stats::RunningStats;
+use noc_sim::telemetry::jain_index;
 use noc_sim::RunConfig;
 use noc_traffic::Scenario;
 
@@ -30,29 +35,51 @@ fn run_case(name: &str) {
         measure: 50_000,
         drain: 20_000,
     };
-    let loft = run_loft(&scenario, LoftConfig::default(), run, SEED);
-    let gsf = run_gsf(&scenario, GsfConfig::default(), run, SEED);
+    let (_, loft) = run_loft_telemetry(&scenario, LoftConfig::default(), run, SEED, || {});
+    let (_, gsf) = run_gsf_telemetry(&scenario, GsfConfig::default(), run, SEED, || {});
 
-    for (net, report) in [("LOFT", &loft), ("GSF", &gsf)] {
+    for (net, telemetry) in [("LOFT", &loft), ("GSF", &gsf)] {
         let rows: Vec<Vec<String>> = scenario
             .groups
             .iter()
             .map(|(gname, flows)| {
-                let s = report.group_throughput(flows);
+                // Whole-run accepted throughput per flow, from the
+                // telemetry document's per-flow summaries.
+                let rates: Vec<f64> = flows
+                    .iter()
+                    .map(|f| telemetry.flows[f.index()].throughput)
+                    .collect();
+                let mut s = RunningStats::new();
+                let mut worst_window = f64::INFINITY;
+                for (f, &rate) in flows.iter().zip(&rates) {
+                    s.push(rate);
+                    worst_window = worst_window.min(telemetry.flows[f.index()].min_service_rate);
+                }
                 vec![
                     gname.clone(),
                     format!("{:.4}", s.max()),
                     format!("{:.4}", s.min()),
                     format!("{:.4}", s.mean()),
                     format!("{:.1}%", 100.0 * s.cv()),
+                    format!("{:.4}", jain_index(&rates)),
+                    format!("{worst_window:.4}"),
                 ]
             })
             .collect();
         print_table(
             &format!("Figure 10 ({name}) — {net} throughput per flow (flits/cycle)"),
-            &["group", "MAX", "MIN", "AVG", "STDEV/AVG"],
+            &[
+                "group",
+                "MAX",
+                "MIN",
+                "AVG",
+                "STDEV/AVG",
+                "JAIN",
+                "MIN RATE",
+            ],
             &rows,
         );
+        println!("  overall Jain index ({net}): {:.4}", telemetry.jain);
     }
 }
 

@@ -14,8 +14,8 @@
 //! {"net":"loft","scenario":"uniform","load":0.05,"threads":1,
 //!  "sim_cycles":24000,"wall_secs":0.0123,"cycles_per_sec":1951219.5,
 //!  "packets_delivered":730,"packets_per_sec":59349.6,
-//!  "flits_delivered":2920,"avg_latency":27.41,"saturated":false,
-//!  "allocs_per_cycle":null}
+//!  "flits_delivered":2920,"avg_latency":27.41,"p50":31,"p95":63,
+//!  "p99":63,"saturated":false,"allocs_per_cycle":null}
 //! ```
 //!
 //! `cycles_per_sec` is the headline number for hot-path optimization
@@ -30,6 +30,19 @@
 //! those complete, so the latency prints `null` and `saturated` is
 //! `true` — offered load beyond capacity has unbounded latency, not
 //! zero.
+//!
+//! `p50`/`p95`/`p99` are power-of-two upper bounds on total latency
+//! from the measurement window's histogram
+//! (`Histogram::quantile_upper_bound`); like `avg_latency` they print
+//! `null` when the window produced no completed packets.
+//!
+//! `--telemetry PATH` attaches a live probe (`noc_sim::telemetry`) to
+//! every run — including the timed iterations, so the printed
+//! `cycles_per_sec` genuinely measures the telemetry-on hot loop —
+//! and writes a JSON array to `PATH` with one entry per measured
+//! point: `{"net","scenario","load","telemetry":<versioned telemetry
+//! document>}`. Combine with `--min-cps` floors at ~0.9× of the
+//! telemetry-off floors to gate the probe's overhead in CI.
 //!
 //! `allocs_per_cycle` is the steady-state allocation rate: heap
 //! allocations between the warmup/measurement boundary and the end of
@@ -60,8 +73,12 @@
 //! single- vs multi-thread rows are directly comparable.
 
 use loft::LoftConfig;
-use loft_bench::{run_gsf_hooked, run_loft_hooked, run_wormhole_hooked, SEED};
+use loft_bench::{
+    run_gsf_hooked, run_gsf_telemetry, run_loft_hooked, run_loft_telemetry, run_wormhole_hooked,
+    run_wormhole_telemetry, SEED,
+};
 use noc_gsf::GsfConfig;
+use noc_sim::telemetry::TelemetryReport;
 use noc_sim::{RunConfig, SimReport};
 use noc_traffic::Scenario;
 use noc_wormhole::WormholeConfig;
@@ -86,17 +103,20 @@ fn run(smoke: bool) -> RunConfig {
     }
 }
 
-/// One measured point: the simulated-cycle rate and the steady-state
-/// allocation rate (`None` without the `alloc-count` feature).
+/// One measured point: the simulated-cycle rate, the steady-state
+/// allocation rate (`None` without the `alloc-count` feature), and
+/// the telemetry document (`None` without `--telemetry`).
 struct Point {
     cycles_per_sec: f64,
     allocs_per_cycle: Option<f64>,
+    telemetry: Option<String>,
 }
 
 /// Runs one benchmark point and prints its JSON line. `f` receives
-/// the `after_warmup` hook to pass through to the simulation; the
-/// untimed first run uses it to snapshot the allocation counter at
-/// the warmup/measurement boundary.
+/// the `after_warmup` hook to pass through to the simulation and
+/// returns the report plus the run's telemetry report (when a probe
+/// is attached); the untimed first run uses the hook to snapshot the
+/// allocation counter at the warmup/measurement boundary.
 fn measure(
     net: &str,
     scenario: &str,
@@ -104,23 +124,29 @@ fn measure(
     threads: usize,
     iters: u32,
     cfg: RunConfig,
-    f: impl Fn(&mut dyn FnMut()) -> SimReport,
+    f: impl Fn(&mut dyn FnMut()) -> (SimReport, Option<TelemetryReport>),
 ) -> Point {
     // One untimed warmup run (doubling as the allocation
     // measurement), then the mean of `iters` timed runs.
     #[cfg(feature = "alloc-count")]
-    let (report, allocs_per_cycle) = {
+    let ((report, telemetry), allocs_per_cycle) = {
         let mut at_boundary = 0u64;
-        let report = f(&mut || at_boundary = loft_bench::alloc_count::total());
+        let out = f(&mut || at_boundary = loft_bench::alloc_count::total());
         let after = loft_bench::alloc_count::total();
         // The counted span also covers the drain phase, so dividing
         // by the measurement window alone slightly overestimates the
         // rate — conservative for a budget gate.
         let apc = (after - at_boundary) as f64 / cfg.measure as f64;
-        (report, Some(apc))
+        (out, Some(apc))
     };
     #[cfg(not(feature = "alloc-count"))]
-    let (report, allocs_per_cycle) = (f(&mut || {}), None::<f64>);
+    let ((report, telemetry), allocs_per_cycle) = (f(&mut || {}), None::<f64>);
+
+    // Serialize the telemetry document outside the counted span: the
+    // JSON export is one-shot output formatting, not part of the
+    // steady-state loop the allocation budget gates (the probe's own
+    // recording stays inside the span, where it belongs).
+    let telemetry = telemetry.map(|t| t.to_json());
 
     let start = std::time::Instant::now();
     for _ in 0..iters {
@@ -136,11 +162,22 @@ fn measure(
     // instead of a fake 0 latency.
     let packets: u64 = report.flows.iter().map(|f| f.packets_delivered).sum();
     let saturated = report.total_latency.count() == 0 && packets > 0;
-    let avg_latency = if report.total_latency.count() == 0 {
+    let no_samples = report.total_latency.count() == 0;
+    let avg_latency = if no_samples {
         "null".to_string()
     } else {
         format!("{:.4}", report.avg_latency())
     };
+    // Latency percentiles from the window's power-of-two histogram;
+    // null alongside avg_latency (no completed in-window packets).
+    let pq = |q: f64| {
+        if no_samples {
+            "null".to_string()
+        } else {
+            report.latency_histogram.quantile_upper_bound(q).to_string()
+        }
+    };
+    let (p50, p95, p99) = (pq(0.50), pq(0.95), pq(0.99));
     let cycles_per_sec = sim_cycles as f64 / wall;
     let allocs = allocs_per_cycle.map_or_else(|| "null".to_string(), |a| format!("{a:.4}"));
     println!(
@@ -149,7 +186,8 @@ fn measure(
          \"sim_cycles\":{sim_cycles},\"wall_secs\":{wall:.6},\
          \"cycles_per_sec\":{cycles_per_sec:.1},\"packets_delivered\":{packets},\
          \"packets_per_sec\":{:.1},\"flits_delivered\":{},\
-         \"avg_latency\":{avg_latency},\"saturated\":{saturated},\
+         \"avg_latency\":{avg_latency},\"p50\":{p50},\"p95\":{p95},\"p99\":{p99},\
+         \"saturated\":{saturated},\
          \"allocs_per_cycle\":{allocs}}}",
         packets as f64 / wall,
         report.flits_delivered,
@@ -157,6 +195,7 @@ fn measure(
     Point {
         cycles_per_sec,
         allocs_per_cycle,
+        telemetry,
     }
 }
 
@@ -177,6 +216,12 @@ fn main() {
             .and_then(|v| v.parse().ok())
             .expect("--threads takes a positive integer")
     });
+    let telemetry_path: Option<String> = args.iter().position(|a| a == "--telemetry").map(|i| {
+        args.get(i + 1)
+            .cloned()
+            .expect("--telemetry takes an output path")
+    });
+    let with_telemetry = telemetry_path.is_some();
     // Per-network cycles/second floors: "loft=200000,gsf=100000".
     let floors: Vec<(String, f64)> = args
         .iter()
@@ -213,6 +258,8 @@ fn main() {
         &[("uniform", 0.05), ("uniform", 0.60), ("hotspot", 0.60)]
     };
     let mut worst: f64 = 0.0;
+    // One telemetry document per measured point (--telemetry).
+    let mut telemetry_docs: Vec<String> = Vec::new();
     // Slowest measured point per network, for the --min-cps gate.
     let mut min_cps = [
         ("loft", f64::INFINITY),
@@ -231,27 +278,67 @@ fn main() {
                     threads,
                     ..LoftConfig::default()
                 };
-                run_loft_hooked(&make(scenario), net_cfg, cfg, SEED, hook)
+                if with_telemetry {
+                    let (r, t) = run_loft_telemetry(&make(scenario), net_cfg, cfg, SEED, hook);
+                    (r, Some(t))
+                } else {
+                    (
+                        run_loft_hooked(&make(scenario), net_cfg, cfg, SEED, hook),
+                        None,
+                    )
+                }
             }),
             measure("gsf", scenario, load, threads, iters, cfg, |hook| {
                 let net_cfg = GsfConfig {
                     threads,
                     ..GsfConfig::default()
                 };
-                run_gsf_hooked(&make(scenario), net_cfg, cfg, SEED, hook)
+                if with_telemetry {
+                    let (r, t) = run_gsf_telemetry(&make(scenario), net_cfg, cfg, SEED, hook);
+                    (r, Some(t))
+                } else {
+                    (
+                        run_gsf_hooked(&make(scenario), net_cfg, cfg, SEED, hook),
+                        None,
+                    )
+                }
             }),
             measure("wormhole", scenario, load, threads, iters, cfg, |hook| {
                 let net_cfg = WormholeConfig {
                     threads,
                     ..WormholeConfig::default()
                 };
-                run_wormhole_hooked(&make(scenario), net_cfg, cfg, SEED, hook)
+                if with_telemetry {
+                    let (r, t) = run_wormhole_telemetry(&make(scenario), net_cfg, cfg, SEED, hook);
+                    (r, Some(t))
+                } else {
+                    (
+                        run_wormhole_hooked(&make(scenario), net_cfg, cfg, SEED, hook),
+                        None,
+                    )
+                }
             }),
         ];
         for (row, slot) in rows.iter().zip(min_cps.iter_mut()) {
             worst = row.allocs_per_cycle.iter().fold(worst, |w, &a| w.max(a));
             slot.1 = slot.1.min(row.cycles_per_sec);
         }
+        for (row, (net, _)) in rows.into_iter().zip(min_cps.iter()) {
+            if let Some(doc) = row.telemetry {
+                telemetry_docs.push(format!(
+                    "{{\"net\":\"{net}\",\"scenario\":\"{scenario}\",\
+                     \"load\":{load},\"telemetry\":{doc}}}"
+                ));
+            }
+        }
+    }
+    if let Some(path) = &telemetry_path {
+        let body = format!("[{}]", telemetry_docs.join(","));
+        std::fs::write(path, body).expect("writing --telemetry output failed");
+        eprintln!(
+            "telemetry written: {path} ({} points)",
+            telemetry_docs.len()
+        );
     }
     let mut failed = false;
     if let Some(b) = budget {

@@ -3,47 +3,43 @@
 //! Case Study II, GSF leaves the stripped node's region idle while
 //! LOFT drives it at full speed.
 //!
+//! A thin consumer of the unified telemetry layer: each network runs
+//! with a live probe attached (`noc_sim::telemetry`) and the grid is
+//! read straight out of the resulting [`TelemetryReport`] — no
+//! network-specific counters.
+//!
 //! Usage: `utilization [uniform|hotspot|case2] [rate]` (default:
 //! case2 at 0.64).
 
-use loft::{LoftConfig, LoftNetwork};
-use loft_bench::SEED;
-use noc_gsf::{GsfConfig, GsfNetwork};
+use loft::LoftConfig;
+use loft_bench::{run_gsf_telemetry, run_loft_telemetry, SEED};
+use noc_gsf::GsfConfig;
 use noc_sim::routing::Direction;
-use noc_sim::{Network, NodeId, TrafficSource};
+use noc_sim::telemetry::TelemetryReport;
+use noc_sim::RunConfig;
 use noc_traffic::Scenario;
 
-const CYCLES: u64 = 30_000;
-
-fn drive<N: Network>(net: &mut N, scenario: &Scenario) {
-    let mut traffic = scenario.workload(SEED);
-    let mut fresh = Vec::new();
-    let mut out = Vec::new();
-    for cycle in 0..CYCLES {
-        fresh.clear();
-        traffic.generate(cycle, &mut fresh);
-        for p in fresh.drain(..) {
-            net.enqueue(p);
-        }
-        out.clear();
-        net.step(&mut out);
-    }
-}
+/// Matches the pre-telemetry harness: 30k cycles of continuous
+/// generation, utilization measured over the whole run.
+const RUN: RunConfig = RunConfig {
+    warmup: 0,
+    measure: 30_000,
+    drain: 0,
+};
 
 /// Renders one 8×8 grid; each cell shows the busiest outgoing link of
 /// that router as a utilization percentage.
-fn render(name: &str, flits: impl Fn(NodeId, Direction) -> u64) {
+fn render(name: &str, report: &TelemetryReport) {
     println!("\n{name}: peak outgoing link utilization per router (%)");
-    for y in 0..8u16 {
-        let row: Vec<String> = (0..8u16)
+    for y in 0..8usize {
+        let row: Vec<String> = (0..8usize)
             .map(|x| {
-                let node = NodeId::new((x + y * 8) as u32);
+                let node = x + y * 8;
                 let peak = Direction::ALL
                     .iter()
-                    .map(|&d| flits(node, d))
-                    .max()
-                    .unwrap_or(0);
-                format!("{:3.0}", 100.0 * peak as f64 / CYCLES as f64)
+                    .map(|d| report.link_utilization(node * report.ports + d.index()))
+                    .fold(0.0f64, f64::max);
+                format!("{:3.0}", 100.0 * peak)
             })
             .collect();
         println!("  {}", row.join(" "));
@@ -64,13 +60,9 @@ fn main() {
     };
     println!("workload: {}", scenario.name);
 
-    let cfg = LoftConfig::default();
-    let mut loft = LoftNetwork::new(cfg, &scenario.reservations(cfg.frame_size).expect("fits"));
-    drive(&mut loft, &scenario);
-    render("LOFT", |n, d| loft.link_flits(n, d));
+    let (_, loft) = run_loft_telemetry(&scenario, LoftConfig::default(), RUN, SEED, || {});
+    render("LOFT", &loft);
 
-    let gcfg = GsfConfig::default();
-    let mut gsf = GsfNetwork::new(gcfg, &scenario.reservations(gcfg.frame_size).expect("fits"));
-    drive(&mut gsf, &scenario);
-    render("GSF", |n, d| gsf.link_flits(n, d));
+    let (_, gsf) = run_gsf_telemetry(&scenario, GsfConfig::default(), RUN, SEED, || {});
+    render("GSF", &gsf);
 }

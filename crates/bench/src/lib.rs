@@ -18,12 +18,19 @@
 
 use loft::{LoftConfig, LoftNetwork};
 use noc_gsf::{GsfConfig, GsfNetwork};
+use noc_sim::telemetry::{LiveProbe, TelemetryReport};
 use noc_sim::{RunConfig, SimReport, Simulation};
 use noc_traffic::Scenario;
 use noc_wormhole::{WormholeConfig, WormholeNetwork};
 
 /// Default seed for all experiments (fully deterministic runs).
 pub const SEED: u64 = 0xC0FFEE;
+
+/// Occupancy-sampling and flow-series window (cycles) used by every
+/// telemetry-enabled runner. Coarse enough that sampling costs
+/// nothing measurable, fine enough that the per-flow series resolve
+/// the frame-scale dynamics the QoS experiments look at.
+pub const TELEMETRY_WINDOW: u64 = 1_000;
 
 /// Allocation counting for the zero-allocation steady-state gate
 /// (`alloc-count` feature): wraps the system allocator, counting
@@ -106,6 +113,29 @@ pub fn run_loft_hooked(
     Simulation::new(network, scenario.workload(seed), run).run_hooked(after_warmup)
 }
 
+/// [`run_loft_hooked`] with a [`LiveProbe`] attached: returns the
+/// usual [`SimReport`] plus the full [`TelemetryReport`] of the run
+/// (sampled on [`TELEMETRY_WINDOW`]).
+///
+/// # Panics
+///
+/// Same conditions as [`run_loft`].
+pub fn run_loft_telemetry(
+    scenario: &Scenario,
+    cfg: LoftConfig,
+    run: RunConfig,
+    seed: u64,
+    after_warmup: impl FnMut(),
+) -> (SimReport, TelemetryReport) {
+    let reservations = scenario
+        .reservations(cfg.frame_size)
+        .expect("scenario reservations must fit the LOFT frame");
+    let network = LoftNetwork::with_probe(cfg, &reservations, LiveProbe::new(TELEMETRY_WINDOW));
+    let (report, network) =
+        Simulation::new(network, scenario.workload(seed), run).run_into_parts(after_warmup);
+    (report, network.into_probe().finish())
+}
+
 /// Runs a scenario on a GSF network.
 ///
 /// # Panics
@@ -136,6 +166,28 @@ pub fn run_gsf_hooked(
     Simulation::new(network, scenario.workload(seed), run).run_hooked(after_warmup)
 }
 
+/// [`run_gsf_hooked`] with a [`LiveProbe`] attached (see
+/// [`run_loft_telemetry`]).
+///
+/// # Panics
+///
+/// Same conditions as [`run_gsf`].
+pub fn run_gsf_telemetry(
+    scenario: &Scenario,
+    cfg: GsfConfig,
+    run: RunConfig,
+    seed: u64,
+    after_warmup: impl FnMut(),
+) -> (SimReport, TelemetryReport) {
+    let reservations = scenario
+        .reservations(cfg.frame_size)
+        .expect("scenario reservations must fit the GSF frame");
+    let network = GsfNetwork::with_probe(cfg, &reservations, LiveProbe::new(TELEMETRY_WINDOW));
+    let (report, network) =
+        Simulation::new(network, scenario.workload(seed), run).run_into_parts(after_warmup);
+    (report, network.into_probe().finish())
+}
+
 /// Runs a scenario on the baseline wormhole network (no QoS).
 pub fn run_wormhole(
     scenario: &Scenario,
@@ -157,6 +209,21 @@ pub fn run_wormhole_hooked(
 ) -> SimReport {
     let network = WormholeNetwork::new(cfg);
     Simulation::new(network, scenario.workload(seed), run).run_hooked(after_warmup)
+}
+
+/// [`run_wormhole_hooked`] with a [`LiveProbe`] attached (see
+/// [`run_loft_telemetry`]).
+pub fn run_wormhole_telemetry(
+    scenario: &Scenario,
+    cfg: WormholeConfig,
+    run: RunConfig,
+    seed: u64,
+    after_warmup: impl FnMut(),
+) -> (SimReport, TelemetryReport) {
+    let network = WormholeNetwork::with_probe(cfg, LiveProbe::new(TELEMETRY_WINDOW));
+    let (report, network) =
+        Simulation::new(network, scenario.workload(seed), run).run_into_parts(after_warmup);
+    (report, network.into_probe().finish())
 }
 
 /// Maps `f` over `items` on the process-wide sweep worker pool,
@@ -303,5 +370,36 @@ mod tests {
         assert!(loft.flits_delivered > 0);
         assert!(gsf.flits_delivered > 0);
         assert!(worm.flits_delivered > 0);
+    }
+
+    /// Attaching a probe must not perturb the simulation: the
+    /// telemetry runner's `SimReport` matches the plain runner's,
+    /// and the telemetry document observes the same deliveries.
+    #[test]
+    fn telemetry_runners_match_plain_reports() {
+        let s = Scenario::hotspot(0.01);
+        let run = RunConfig {
+            warmup: 500,
+            measure: 2_000,
+            drain: 2_000,
+        };
+        let plain = run_loft(&s, LoftConfig::default(), run, SEED);
+        let (report, telemetry) = run_loft_telemetry(&s, LoftConfig::default(), run, SEED, || {});
+        assert_eq!(plain.flits_delivered, report.flits_delivered);
+        assert_eq!(plain.avg_latency(), report.avg_latency());
+        assert!(telemetry.latency_histogram.count() > 0);
+        assert!(telemetry.cycles > 0);
+        assert!(telemetry.link_flits.iter().sum::<u64>() > 0);
+
+        let plain = run_gsf(&s, GsfConfig::default(), run, SEED);
+        let (report, telemetry) = run_gsf_telemetry(&s, GsfConfig::default(), run, SEED, || {});
+        assert_eq!(plain.flits_delivered, report.flits_delivered);
+        assert!(telemetry.latency_histogram.count() > 0);
+
+        let plain = run_wormhole(&s, WormholeConfig::default(), run, SEED);
+        let (report, telemetry) =
+            run_wormhole_telemetry(&s, WormholeConfig::default(), run, SEED, || {});
+        assert_eq!(plain.flits_delivered, report.flits_delivered);
+        assert!(telemetry.latency_histogram.count() > 0);
     }
 }

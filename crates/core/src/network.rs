@@ -76,6 +76,7 @@ use noc_sim::flit::{FlowId, NodeId, Packet};
 use noc_sim::par::{partition, shard_map, SendPtr, ShardRange, WorkerPool};
 use noc_sim::routing::Direction;
 use noc_sim::slab::PacketRef;
+use noc_sim::telemetry::{BufKind, NoopProbe, Probe};
 use noc_sim::{ActiveSet, Network};
 
 use crate::config::LoftConfig;
@@ -167,7 +168,11 @@ impl SourceNic {
 /// would (shard ranges are contiguous), which is what keeps every
 /// arbitration decision bit-identical to the single-threaded engine.
 #[derive(Debug)]
-struct LoftShard {
+struct LoftShard<Pr: Probe> {
+    /// This shard's telemetry probe (a [`Probe::fork`] of the main
+    /// probe); records only the parallel-phase events of this shard's
+    /// node range, and is absorbed back in ascending shard order.
+    probe: Pr,
     /// Data quanta in flight to this shard's input ports.
     data_wires: DelayedWires<DataQuantum>,
     /// Look-ahead flits in flight to this shard's input ports.
@@ -187,9 +192,10 @@ struct LoftShard {
     stamps: Vec<PacketRef>,
 }
 
-impl LoftShard {
-    fn new(n: usize, cfg: &LoftConfig, num_flows: usize) -> Self {
+impl<Pr: Probe> LoftShard<Pr> {
+    fn new(n: usize, cfg: &LoftConfig, num_flows: usize, probe: Pr) -> Self {
         LoftShard {
+            probe,
             data_wires: DelayedWires::with_capacity(n * PORTS, cfg.dep_offset() as usize + 1),
             la_wires: DelayedWires::with_capacity(n * PORTS, cfg.la_hop_latency as usize + 1),
             la_queues: LookaheadQueues::new(n * PORTS, num_flows),
@@ -216,7 +222,7 @@ enum LoftPhase {
 /// Node-indexed slices are indexed `node - range.lo`; link-indexed
 /// slices `lidx - range.lo * PORTS`.
 #[derive(Debug)]
-struct LoftShardCtx<'a> {
+struct LoftShardCtx<'a, Pr: Probe> {
     range: ShardRange,
     /// This shard's link schedulers (link range).
     link_sched: &'a mut [LinkScheduler],
@@ -226,7 +232,7 @@ struct LoftShardCtx<'a> {
     nics: &'a mut [SourceNic],
     /// This shard's per-node data-work counters (node range).
     node_data_work: &'a mut [u32],
-    aux: &'a mut LoftShard,
+    aux: &'a mut LoftShard<Pr>,
     /// Shared read-only during parallel phases; only the serial
     /// barrier mutates packets (deferred `injected_at` stamps).
     tracker: &'a EjectTracker,
@@ -234,7 +240,7 @@ struct LoftShardCtx<'a> {
     link: LinkMap,
 }
 
-impl LoftShardCtx<'_> {
+impl<Pr: Probe> LoftShardCtx<'_, Pr> {
     fn run(&mut self, phase: LoftPhase) {
         match phase {
             LoftPhase::Data { slot } => self.data_phase(slot),
@@ -268,6 +274,7 @@ impl LoftShardCtx<'_> {
         let range = *range;
         let base = range.lo * PORTS;
         let LoftShard {
+            probe,
             data_wires,
             data_node_work,
             stage_work,
@@ -285,6 +292,7 @@ impl LoftShardCtx<'_> {
             cursor = node + 1;
             let pidx = node * PORTS + LOCAL - base;
             if data_ports[pidx].nonspec_free == 0 {
+                probe.on_nic_stall(node);
                 continue;
             }
             let nic = &mut nics[node - range.lo];
@@ -352,9 +360,16 @@ impl LoftShardCtx<'_> {
 }
 
 /// The LOFT network (LSF + FRS). See the crate and module docs.
+///
+/// Generic over a telemetry [`Probe`]; the default [`NoopProbe`]
+/// compiles all instrumentation away (see `noc_sim::telemetry`).
 #[derive(Debug)]
-pub struct LoftNetwork {
+pub struct LoftNetwork<Pr: Probe = NoopProbe> {
     cfg: LoftConfig,
+    /// The main telemetry probe: receives all serial-phase events
+    /// (scheduling, data movement, resets, packet lifecycle) plus the
+    /// absorbed per-shard forks on [`LoftNetwork::into_probe`].
+    probe: Pr,
     cycle: u64,
     link: LinkMap,
     /// Router link schedulers, index `node * 5 + port`.
@@ -396,7 +411,7 @@ pub struct LoftNetwork {
     /// Node index → owning shard index.
     shard_of: Vec<u32>,
     /// Per-shard in-flight state and worklists.
-    shards: Vec<LoftShard>,
+    shards: Vec<LoftShard<Pr>>,
     /// Persistent worker pool; present iff more than one shard.
     pool: Option<WorkerPool>,
 }
@@ -412,6 +427,19 @@ impl LoftNetwork {
     /// Panics if the configuration is inconsistent
     /// ([`LoftConfig::validate`]) or any reservation is zero.
     pub fn new(cfg: LoftConfig, reservations_flits: &[u32]) -> Self {
+        Self::with_probe(cfg, reservations_flits, NoopProbe)
+    }
+}
+
+impl<Pr: Probe> LoftNetwork<Pr> {
+    /// Like [`LoftNetwork::new`] with an attached telemetry probe;
+    /// retrieve it after the run with [`LoftNetwork::into_probe`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is inconsistent
+    /// ([`LoftConfig::validate`]) or any reservation is zero.
+    pub fn with_probe(cfg: LoftConfig, reservations_flits: &[u32], probe: Pr) -> Self {
         cfg.validate();
         assert!(
             reservations_flits.iter().all(|&r| r > 0),
@@ -452,9 +480,10 @@ impl LoftNetwork {
         // (wires pre-sized to the traversal delay: one quantum resp.
         // look-ahead flit enters a link per slot resp. cycle).
         let shards = (0..k)
-            .map(|_| LoftShard::new(n, &cfg, reservations_flits.len()))
+            .map(|_| LoftShard::new(n, &cfg, reservations_flits.len(), probe.fork()))
             .collect();
         LoftNetwork {
+            probe,
             link: LinkMap::new(cfg.topo, cfg.routing),
             data_ports: (0..n * PORTS)
                 .map(|_| {
@@ -488,6 +517,17 @@ impl LoftNetwork {
     /// The configuration the network was built with.
     pub fn config(&self) -> &LoftConfig {
         &self.cfg
+    }
+
+    /// Consumes the network, merging every shard's probe fork into
+    /// the main probe (in ascending shard order, keeping the result
+    /// shard-count invariant) and returning it.
+    pub fn into_probe(self) -> Pr {
+        let mut probe = self.probe;
+        for shard in self.shards {
+            probe.absorb(shard.probe);
+        }
+        probe
     }
 
     /// Total local status resets performed so far, network-wide.
@@ -639,6 +679,7 @@ impl LoftNetwork {
                 let (node, out_port) = (qidx / PORTS, qidx % PORTS);
                 let dirty = self.link_sched[qidx].take_dirty();
                 if self.shards[sh].la_queues.is_blocked(qidx) && !dirty {
+                    self.probe.on_sched_deny(qidx);
                     continue;
                 }
                 let booked = {
@@ -658,7 +699,11 @@ impl LoftNetwork {
                         )
                     })
                 };
-                let Some((la, slot)) = booked else { continue };
+                let Some((la, slot)) = booked else {
+                    self.probe.on_sched_deny(qidx);
+                    continue;
+                };
+                self.probe.on_sched_book(qidx);
                 // The booking un-freshens the scheduler and adds a
                 // pending quantum: feed the reset watchlist and the
                 // data-plane worklist.
@@ -909,9 +954,11 @@ impl LoftNetwork {
                 port.nonspec_free > 0
             };
             if !space {
+                self.probe.on_link_stall(lidx);
                 return; // denied this slot; retry later
             }
         }
+        self.probe.on_link_flits(lidx, self.cfg.flits_per_quantum);
         // Commit: clear the booking and remove the quantum from its
         // holding place. One pending booking and one arrived quantum
         // leave this node's data plane.
@@ -968,6 +1015,7 @@ impl LoftNetwork {
         let q = self.cfg.flits_per_quantum as u64;
         let ejected_at = slot * q + self.cfg.hop_latency + q - 1;
         if let Some(packet) = self.tracker.on_piece(node, pref, total, ejected_at) {
+            self.probe.on_delivered(&packet);
             out.push(packet);
         }
     }
@@ -1067,6 +1115,37 @@ impl LoftNetwork {
         }
     }
 
+    /// Emits one occupancy sample per FRS buffer and source NIC when
+    /// the probe's sampling window is due. Runs serially at the top
+    /// of the cycle, before any state moves; fully gated on
+    /// [`Probe::ENABLED`] so the telemetry-off build skips the scan.
+    fn sample_occupancy(&mut self, now: u64) {
+        if !Pr::ENABLED || !self.probe.sample_due(now) {
+            return;
+        }
+        let Self {
+            probe,
+            data_ports,
+            nics,
+            cfg,
+            ..
+        } = self;
+        let nonspec_cap = cfg.nonspec_quanta() as i64;
+        let spec_cap = cfg.spec_quanta() as i64;
+        for (pidx, port) in data_ports.iter().enumerate() {
+            probe.on_occupancy(
+                BufKind::NonSpec,
+                pidx,
+                (nonspec_cap - port.nonspec_free) as u32,
+            );
+            probe.on_occupancy(BufKind::Spec, pidx, (spec_cap - port.spec_free) as u32);
+        }
+        for (node, nic) in nics.iter().enumerate() {
+            let backlog = nic.staged.len() + nic.queued;
+            probe.on_occupancy(BufKind::Source, node, backlog as u32);
+        }
+    }
+
     /// Local status reset on every eligible idle link. Eligibility
     /// can only *begin* at one of the events feeding `reset_check`
     /// (last pending quantum forwarded, or downstream buffer drained
@@ -1097,12 +1176,13 @@ impl LoftNetwork {
                 self.link_sched[lidx].local_reset();
                 self.stale_links.remove(lidx);
                 self.total_resets += 1;
+                self.probe.on_link_reset(lidx);
             }
         }
     }
 }
 
-impl Network for LoftNetwork {
+impl<Pr: Probe> Network for LoftNetwork<Pr> {
     fn num_nodes(&self) -> usize {
         self.nics.len()
     }
@@ -1113,6 +1193,7 @@ impl Network for LoftNetwork {
 
     fn enqueue(&mut self, packet: Packet) {
         assert!(packet.src != packet.dst, "self-addressed packet");
+        self.probe.on_generated(&packet);
         let node = packet.src.index();
         let quanta = self.quanta_per_packet(packet.len_flits);
         let dst = packet.dst;
@@ -1143,6 +1224,7 @@ impl Network for LoftNetwork {
         self.debug_verify_worklists();
         let delivered_before = out.len();
         let now = self.cycle;
+        self.sample_occupancy(now);
         let q = self.cfg.flits_per_quantum as u64;
         if now.is_multiple_of(q) {
             let slot = now / q;
@@ -1162,6 +1244,7 @@ impl Network for LoftNetwork {
         }
         self.la_schedule(now);
         self.la_launch(now);
+        self.probe.on_cycle(now);
         self.cycle = now + 1;
         debug_assert_delivered_once(out, delivered_before);
     }
@@ -1190,7 +1273,7 @@ mod tests {
         )
     }
 
-    fn drain(net: &mut LoftNetwork, limit: u64) -> Vec<Packet> {
+    fn drain<Pr: Probe>(net: &mut LoftNetwork<Pr>, limit: u64) -> Vec<Packet> {
         let mut out = Vec::new();
         let mut guard = 0;
         while net.in_flight() > 0 {
@@ -1455,6 +1538,36 @@ mod tests {
         assert_eq!(net.link_flits(NodeId::new(1), Direction::East), 4);
         assert_eq!(net.link_flits(NodeId::new(2), Direction::Local), 4);
         assert_eq!(net.link_flits(NodeId::new(3), Direction::East), 0);
+    }
+
+    #[test]
+    fn live_probe_matches_legacy_link_counter() {
+        use noc_sim::telemetry::LiveProbe;
+        let mut net = LoftNetwork::with_probe(LoftConfig::default(), &[64], LiveProbe::new(16));
+        net.enqueue(packet(0, 0, 0, 2, 0)); // 0 → 1 → 2, eastbound
+        let _ = drain(&mut net, 5_000);
+        let east = Direction::East.index();
+        let local = Direction::Local.index();
+        let legacy: Vec<u64> = [(0, east), (1, east), (2, local), (3, east)]
+            .iter()
+            .map(|&(n, d)| net.link_flits(NodeId::new(n as u32), Direction::ALL[d]))
+            .collect();
+        let report = net.into_probe().finish();
+        let probed = |lidx: usize| report.link_flits.get(lidx).copied().unwrap_or(0);
+        assert_eq!(probed(east), legacy[0]);
+        assert_eq!(probed(PORTS + east), legacy[1]);
+        assert_eq!(probed(2 * PORTS + local), legacy[2]);
+        assert_eq!(probed(3 * PORTS + east), legacy[3]);
+        assert_eq!(report.flows.len(), 1);
+        assert_eq!(report.flows[0].packets, 1);
+        assert!(report.cycles > 0);
+        // The FRS buffers were sampled: some nonspec occupancy was seen.
+        assert!(
+            report
+                .occupancy(noc_sim::telemetry::BufKind::NonSpec, 2 * PORTS + local)
+                .count()
+                > 0
+        );
     }
 
     #[test]

@@ -32,6 +32,7 @@ use noc_sim::fabric::{
 use noc_sim::flit::{NodeId, Packet};
 use noc_sim::routing::Direction;
 use noc_sim::slab::PacketRef;
+use noc_sim::telemetry::{NoopProbe, Probe};
 use noc_sim::Network;
 
 use crate::config::GsfConfig;
@@ -227,19 +228,29 @@ impl RouterPolicy for GsfPolicy {
 /// [`noc_traffic::Scenario::reservations`] with the configured
 /// [`GsfConfig::frame_size`]).
 #[derive(Debug)]
-pub struct GsfNetwork {
+pub struct GsfNetwork<Pr: Probe = NoopProbe> {
     cfg: GsfConfig,
-    fabric: VcFabric<GsfPolicy>,
+    fabric: VcFabric<GsfPolicy, Pr>,
 }
 
 impl GsfNetwork {
     /// Builds the network for flows with the given per-frame
-    /// reservations (flits per frame, indexed by flow id).
+    /// reservations (flits per frame, indexed by flow id), with
+    /// telemetry disabled.
     ///
     /// # Panics
     ///
     /// Panics if any reservation is zero or exceeds the frame size.
     pub fn new(cfg: GsfConfig, reservations: &[u32]) -> Self {
+        Self::with_probe(cfg, reservations, NoopProbe)
+    }
+}
+
+impl<Pr: Probe> GsfNetwork<Pr> {
+    /// Like [`GsfNetwork::new`], additionally reporting telemetry
+    /// events to `probe`; retrieve the merged probe with
+    /// [`GsfNetwork::into_probe`] after the run.
+    pub fn with_probe(cfg: GsfConfig, reservations: &[u32], probe: Pr) -> Self {
         let n = cfg.topo.num_nodes();
         let params = VcParams {
             topo: cfg.topo,
@@ -262,8 +273,15 @@ impl GsfNetwork {
         };
         GsfNetwork {
             cfg,
-            fabric: VcFabric::new(params, policy),
+            fabric: VcFabric::with_probe(params, policy, probe),
         }
+    }
+
+    /// Consumes the network, returning the telemetry probe with every
+    /// shard fork merged in deterministic order.
+    #[must_use]
+    pub fn into_probe(self) -> Pr {
+        self.fabric.into_probe()
     }
 
     /// The configuration the network was built with.
@@ -288,7 +306,7 @@ impl GsfNetwork {
     }
 }
 
-impl Network for GsfNetwork {
+impl<Pr: Probe> Network for GsfNetwork<Pr> {
     fn num_nodes(&self) -> usize {
         self.fabric.num_nodes()
     }

@@ -9,6 +9,7 @@
 
 use crate::flit::Packet;
 use crate::stats::{SimReport, StatsCollector};
+use crate::telemetry::PacketProbe;
 
 /// A cycle-driven network model.
 ///
@@ -131,7 +132,20 @@ impl<N: Network, T: TrafficSource> Simulation<N, T> {
     /// to zero its counters after the network's buffers and slabs
     /// have grown to steady state, so only steady-state allocations
     /// are attributed to the measurement window.
-    pub fn run_hooked(mut self, mut after_warmup: impl FnMut()) -> SimReport {
+    pub fn run_hooked(self, after_warmup: impl FnMut()) -> SimReport {
+        self.run_into_parts(after_warmup).0
+    }
+
+    /// Like [`Simulation::run_hooked`], additionally handing the
+    /// network back alongside the report. Telemetry callers use this
+    /// to extract a probe threaded through the network (via its
+    /// `into_probe`) after the run completes.
+    ///
+    /// The driver feeds packet events to the statistics collector
+    /// through the [`PacketProbe`] interface — the same event stream
+    /// a network-level telemetry probe sees — so every consumer of
+    /// run results observes identical packet lifecycles.
+    pub fn run_into_parts(mut self, mut after_warmup: impl FnMut()) -> (SimReport, N) {
         let mut stats = StatsCollector::new(
             self.traffic.num_flows(),
             self.network.num_nodes(),
@@ -161,7 +175,7 @@ impl<N: Network, T: TrafficSource> Simulation<N, T> {
                 stats.on_delivered(&p);
             }
         }
-        stats.finish()
+        (stats.finish(), self.network)
     }
 
     /// Consumes the simulation, returning the network (for

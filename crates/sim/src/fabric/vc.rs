@@ -7,6 +7,7 @@ use crate::flit::{FlitKind, NodeId, Packet};
 use crate::par::{partition, shard_map, Mailbox, SendPtr, ShardRange, WorkerPool};
 use crate::routing::{Direction, Routing};
 use crate::slab::PacketRef;
+use crate::telemetry::{BufKind, NoopProbe, Probe};
 use crate::topology::Topology;
 use crate::worklist::ActiveSet;
 
@@ -300,7 +301,11 @@ type WirePush<T> = (usize, (usize, VcFlit<T>));
 /// returns, worklists, policy scratch, and the outboxes/deferred
 /// events the cycle barrier merges.
 #[derive(Debug)]
-struct ShardState<P: RouterPolicy> {
+struct ShardState<P: RouterPolicy, Pr: Probe> {
+    /// This shard's telemetry probe (a [`Probe::fork`] of the
+    /// fabric's). Only events for this shard's node range land here;
+    /// [`VcFabric::into_probe`] absorbs the forks in shard order.
+    probe: Pr,
     /// In-flight flits per (node, input port), as `(vc, flit)`.
     /// Globally indexed `node * PORTS + port`; only links of nodes in
     /// this shard's range are ever populated.
@@ -329,8 +334,8 @@ struct ShardState<P: RouterPolicy> {
     stamps: Vec<PacketRef>,
 }
 
-impl<P: RouterPolicy> ShardState<P> {
-    fn new(n: usize, shards: usize, params: &VcParams) -> Self {
+impl<P: RouterPolicy, Pr: Probe> ShardState<P, Pr> {
+    fn new(n: usize, shards: usize, params: &VcParams, probe: Pr) -> Self {
         // At most one flit enters a link per cycle, so a link never
         // carries more than `hop_latency` flits at once; credits obey
         // the same bound per (port, vc). Pre-sizing to those bounds
@@ -338,6 +343,7 @@ impl<P: RouterPolicy> ShardState<P> {
         let per_link = params.hop_latency as usize + 1;
         let credit_cap = n * PORTS * (params.credit_delay as usize + 1);
         ShardState {
+            probe,
             wires: DelayedWires::with_capacity(n * PORTS, per_link),
             credits_in_flight: TimedFifo::with_capacity(credit_cap),
             nic_work: ActiveSet::new(n),
@@ -355,31 +361,53 @@ impl<P: RouterPolicy> ShardState<P> {
 /// node-range slices of the global per-node arrays plus the shard's
 /// own [`ShardState`]. All slices cover exactly `range` (local index
 /// `node - range.lo`); `forwarded` covers the matching link range.
-struct ShardCtx<'a, P: RouterPolicy> {
+struct ShardCtx<'a, P: RouterPolicy, Pr: Probe> {
     range: ShardRange,
     routers: &'a mut [VcRouter<P::Tag>],
     nics: &'a mut [VcNic<P::Tag>],
     sources: &'a mut [P::Source],
     buffered: &'a mut [u32],
     forwarded: &'a mut [u64],
-    aux: &'a mut ShardState<P>,
+    aux: &'a mut ShardState<P, Pr>,
     tracker: &'a EjectTracker,
     link: LinkMap,
     params: VcParams,
     shard_of: &'a [u32],
 }
 
-impl<P: RouterPolicy> ShardCtx<'_, P> {
+impl<P: RouterPolicy, Pr: Probe> ShardCtx<'_, P, Pr> {
     /// Phases 1–7 of the cycle for this shard's nodes. Every write
     /// lands in shard-owned state; cross-shard effects go to the
     /// outboxes/deferred-event lists for the barrier.
     fn run_cycle(&mut self, now: u64) {
+        self.sample_occupancy(now);
         self.deliver_arrivals(now);
         self.apply_credits(now);
         self.nic_inject();
         self.route_compute();
         self.vc_allocate();
         self.switch_traverse(now);
+    }
+
+    /// Emits one occupancy sample per input VC buffer when the probe's
+    /// sampling window is due. The whole scan is statically removed
+    /// for [`NoopProbe`] builds (`Pr::ENABLED` is `false`), so the
+    /// telemetry-off hot loop does not even test the cycle counter.
+    fn sample_occupancy(&mut self, now: u64) {
+        if !Pr::ENABLED || !self.aux.probe.sample_due(now) {
+            return;
+        }
+        let num_vcs = self.params.num_vcs;
+        let lo = self.range.lo;
+        for (l, router) in self.routers.iter().enumerate() {
+            let base = (lo + l) * PORTS;
+            for (slot, buf) in router.inputs.iter().enumerate() {
+                let port = slot / num_vcs;
+                self.aux
+                    .probe
+                    .on_occupancy(BufKind::Vc, base + port, buf.q.len() as u32);
+            }
+        }
     }
 
     fn deliver_arrivals(&mut self, now: u64) {
@@ -519,6 +547,10 @@ impl<P: RouterPolicy> ShardCtx<'_, P> {
                     }
                     self.buffered[l] += 1;
                     self.aux.router_work.insert(node);
+                } else {
+                    // A packet is mid-stream but the local VC has no
+                    // credit: the source is head-of-line blocked.
+                    self.aux.probe.on_nic_stall(node);
                 }
             }
             if self.nics[l].current.is_none() && P::source_idle(&self.sources[l]) {
@@ -585,9 +617,14 @@ impl<P: RouterPolicy> ShardCtx<'_, P> {
                     ..
                 }) = P::pick_winner(&self.routers[l], out_port, num_vcs)
                 else {
+                    // Input VCs were switch-ready for this output but
+                    // no candidate could win (typically no downstream
+                    // credit): the link idles under load.
+                    self.aux.probe.on_link_stall(node * PORTS + out_port);
                     continue;
                 };
                 self.forwarded[l * PORTS + out_port] += 1;
+                self.aux.probe.on_link_flits(node * PORTS + out_port, 1);
                 let router = &mut self.routers[l];
                 router.rr_sa[out_port] = if slot + 1 == total { 0 } else { slot + 1 };
                 let flit = router.inputs[slot]
@@ -687,8 +724,12 @@ impl<P: RouterPolicy> ShardCtx<'_, P> {
 /// worklist semantics, bit-identical to the full scans it replaced —
 /// at any shard count (see [`crate::par`] for the argument).
 #[derive(Debug)]
-pub struct VcFabric<P: RouterPolicy> {
+pub struct VcFabric<P: RouterPolicy, Pr: Probe = NoopProbe> {
     policy: P,
+    /// The fabric-level telemetry probe. Serial-phase events (packet
+    /// admission, ejection, end-of-cycle) land here; per-shard events
+    /// land in each shard's fork and merge in [`VcFabric::into_probe`].
+    probe: Pr,
     params: VcParams,
     link: LinkMap,
     cycle: u64,
@@ -708,7 +749,7 @@ pub struct VcFabric<P: RouterPolicy> {
     shard_of: Vec<u32>,
     /// Shard-owned stepping state (always at least one shard; the
     /// single-threaded path is the one-shard case with no pool).
-    shards: Vec<ShardState<P>>,
+    shards: Vec<ShardState<P, Pr>>,
     /// Worker pool, present only when `threads > 1`.
     pool: Option<WorkerPool>,
     /// Relay for policy wake-ups (see [`PolicyCtx::woken`]).
@@ -720,8 +761,20 @@ pub struct VcFabric<P: RouterPolicy> {
 }
 
 impl<P: RouterPolicy> VcFabric<P> {
-    /// Builds the datapath for `params`, scheduled by `policy`.
+    /// Builds the datapath for `params`, scheduled by `policy`, with
+    /// telemetry disabled ([`NoopProbe`] — zero cost, bit-identical
+    /// to a build without probe plumbing).
     pub fn new(params: VcParams, policy: P) -> Self {
+        Self::with_probe(params, policy, NoopProbe)
+    }
+}
+
+impl<P: RouterPolicy, Pr: Probe> VcFabric<P, Pr> {
+    /// Builds the datapath for `params`, scheduled by `policy`,
+    /// reporting telemetry events to `probe` (each shard gets a
+    /// [`Probe::fork`]; retrieve the merged result with
+    /// [`VcFabric::into_probe`] after the run).
+    pub fn with_probe(params: VcParams, policy: P, probe: Pr) -> Self {
         let n = params.topo.num_nodes();
         let ranges = partition(n, params.threads);
         let k = ranges.len();
@@ -738,7 +791,9 @@ impl<P: RouterPolicy> VcFabric<P> {
             forwarded: vec![0; n * PORTS],
             buffered: vec![0; n],
             shard_of: shard_map(&ranges),
-            shards: (0..k).map(|_| ShardState::new(n, k, &params)).collect(),
+            shards: (0..k)
+                .map(|_| ShardState::new(n, k, &params, probe.fork()))
+                .collect(),
             pool: (k > 1).then(|| WorkerPool::new(k - 1)),
             ranges,
             woken: Vec::new(),
@@ -746,8 +801,21 @@ impl<P: RouterPolicy> VcFabric<P> {
             credit_scratch: Vec::new(),
             cycle: 0,
             policy,
+            probe,
             params,
         }
+    }
+
+    /// Consumes the fabric, merging every shard's probe fork into the
+    /// main probe (ascending shard order — the deterministic merge
+    /// order telemetry shard-invariance relies on) and returning it.
+    #[must_use]
+    pub fn into_probe(self) -> Pr {
+        let mut probe = self.probe;
+        for shard in self.shards {
+            probe.absorb(shard.probe);
+        }
+        probe
     }
 
     /// The scheduling policy.
@@ -796,7 +864,7 @@ impl<P: RouterPolicy> VcFabric<P> {
                 shard_of,
                 ..
             } = self;
-            ShardCtx::<P> {
+            ShardCtx::<P, Pr> {
                 range,
                 routers: &mut routers[range.lo..range.hi],
                 nics: &mut nics[range.lo..range.hi],
@@ -841,7 +909,7 @@ impl<P: RouterPolicy> VcFabric<P> {
             // pointee to be `Send`, which the `RouterPolicy`
             // associated-type bounds guarantee.
             let mut ctx = unsafe {
-                ShardCtx::<P> {
+                ShardCtx::<P, Pr> {
                     range,
                     routers: std::slice::from_raw_parts_mut(routers.get().add(lo), len),
                     nics: std::slice::from_raw_parts_mut(nics.get().add(lo), len),
@@ -923,6 +991,7 @@ impl<P: RouterPolicy> VcFabric<P> {
                     .on_piece(flit.dst.index(), flit.pref, total, now)
                 {
                     self.policy.on_eject_packet(packet.id);
+                    self.probe.on_delivered(&packet);
                     out.push(packet);
                 }
             }
@@ -972,7 +1041,7 @@ impl<P: RouterPolicy> VcFabric<P> {
     }
 }
 
-impl<P: RouterPolicy> Network for VcFabric<P> {
+impl<P: RouterPolicy, Pr: Probe> Network for VcFabric<P, Pr> {
     fn num_nodes(&self) -> usize {
         self.routers.len()
     }
@@ -983,6 +1052,7 @@ impl<P: RouterPolicy> Network for VcFabric<P> {
 
     fn enqueue(&mut self, packet: Packet) {
         let node = packet.src.index();
+        self.probe.on_generated(&packet);
         {
             let Self {
                 policy,
@@ -1034,6 +1104,7 @@ impl<P: RouterPolicy> Network for VcFabric<P> {
             self.step_shards_serial(now);
         }
         self.barrier(now, out);
+        self.probe.on_cycle(now);
         self.cycle = now + 1;
         debug_assert_delivered_once(out, delivered_before);
     }

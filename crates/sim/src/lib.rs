@@ -12,6 +12,10 @@
 //! * [`flow`] — QoS flow specifications and frame-reservation
 //!   assignment (the `R_ij` of the paper),
 //! * [`stats`] — latency/throughput statistics with warmup handling,
+//! * [`telemetry`] — the zero-cost [`telemetry::Probe`] interface:
+//!   per-link/per-buffer/per-flow observability monomorphized into
+//!   the fabric, free when disabled ([`telemetry::NoopProbe`]) and
+//!   shard-mergeable when live ([`telemetry::LiveProbe`]),
 //! * [`rng`] — small deterministic RNGs so every run is reproducible,
 //! * [`fxhash`] / [`worklist`] — allocation-light primitives for the
 //!   per-cycle hot loops (fast integer hashing, active-index bitsets),
@@ -53,6 +57,7 @@ pub mod rng;
 pub mod routing;
 pub mod slab;
 pub mod stats;
+pub mod telemetry;
 pub mod topology;
 pub mod worklist;
 
@@ -64,5 +69,6 @@ pub use fxhash::{FxHashMap, FxHashSet};
 pub use routing::{Direction, Routing};
 pub use slab::{PacketRef, PacketStore};
 pub use stats::SimReport;
+pub use telemetry::{LiveProbe, NoopProbe, PacketProbe, Probe, TelemetryReport};
 pub use topology::Topology;
 pub use worklist::ActiveSet;

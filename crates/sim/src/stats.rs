@@ -7,6 +7,7 @@
 //! measurement window of a run and produces a [`SimReport`].
 
 use crate::flit::{FlowId, Packet};
+use crate::telemetry::PacketProbe;
 
 /// Streaming mean/variance/min/max (Welford's algorithm).
 ///
@@ -146,6 +147,18 @@ impl Histogram {
             self.buckets.resize(bucket + 1, 0);
         }
         self.buckets[bucket] += 1;
+    }
+
+    /// Adds every bucket of `other` into this histogram, as if the
+    /// two sample streams had been recorded into one. Used by the
+    /// telemetry layer to merge per-shard histograms at the barrier.
+    pub fn merge(&mut self, other: &Histogram) {
+        if self.buckets.len() < other.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (dst, &src) in self.buckets.iter_mut().zip(&other.buckets) {
+            *dst += src;
+        }
     }
 
     /// Total number of recorded samples.
@@ -295,16 +308,23 @@ impl StatsCollector {
     fn in_window(&self, cycle: u64) -> bool {
         cycle >= self.warmup && cycle < self.warmup + self.measure
     }
+}
 
+/// The collector is an ordinary consumer of the packet-event
+/// interface: the simulation driver feeds it the same
+/// [`PacketProbe`] events that a telemetry probe receives, so
+/// [`SimReport`] and [`crate::telemetry::TelemetryReport`] are two
+/// views of one event stream rather than parallel code paths.
+impl PacketProbe for StatsCollector {
     /// Notes a packet generated by the traffic source.
-    pub fn on_generated(&mut self, packet: &Packet) {
+    fn on_generated(&mut self, packet: &Packet) {
         if self.in_window(packet.created_at) {
             self.flows[packet.id.flow.index()].packets_offered += 1;
         }
     }
 
     /// Notes a fully delivered packet.
-    pub fn on_delivered(&mut self, packet: &Packet) {
+    fn on_delivered(&mut self, packet: &Packet) {
         let ejected = packet
             .ejected_at
             .expect("delivered packet must have an ejection time");
@@ -329,7 +349,9 @@ impl StatsCollector {
             }
         }
     }
+}
 
+impl StatsCollector {
     /// Finalizes into a report.
     pub fn finish(mut self) -> SimReport {
         for f in &mut self.flows {

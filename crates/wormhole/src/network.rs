@@ -22,6 +22,7 @@ use noc_sim::fabric::{
 use noc_sim::flit::{NodeId, Packet};
 use noc_sim::routing::Direction;
 use noc_sim::slab::PacketRef;
+use noc_sim::telemetry::{NoopProbe, Probe};
 use noc_sim::Network;
 
 use crate::config::WormholeConfig;
@@ -113,18 +114,29 @@ impl RouterPolicy for WormholePolicy {
     }
 }
 
-/// The baseline credit-based wormhole network.
+/// The baseline credit-based wormhole network, generic over the
+/// telemetry probe threaded through its fabric (defaulting to the
+/// zero-cost [`NoopProbe`]).
 ///
 /// See the crate-level docs for an end-to-end example.
 #[derive(Debug)]
-pub struct WormholeNetwork {
+pub struct WormholeNetwork<Pr: Probe = NoopProbe> {
     cfg: WormholeConfig,
-    fabric: VcFabric<WormholePolicy>,
+    fabric: VcFabric<WormholePolicy, Pr>,
 }
 
 impl WormholeNetwork {
-    /// Builds the network.
+    /// Builds the network with telemetry disabled.
     pub fn new(cfg: WormholeConfig) -> Self {
+        Self::with_probe(cfg, NoopProbe)
+    }
+}
+
+impl<Pr: Probe> WormholeNetwork<Pr> {
+    /// Builds the network reporting telemetry events to `probe`;
+    /// retrieve the merged probe with
+    /// [`WormholeNetwork::into_probe`] after the run.
+    pub fn with_probe(cfg: WormholeConfig, probe: Pr) -> Self {
         let params = VcParams {
             topo: cfg.topo,
             routing: cfg.routing,
@@ -136,7 +148,7 @@ impl WormholeNetwork {
         };
         WormholeNetwork {
             cfg,
-            fabric: VcFabric::new(params, WormholePolicy),
+            fabric: VcFabric::with_probe(params, WormholePolicy, probe),
         }
     }
 
@@ -150,9 +162,16 @@ impl WormholeNetwork {
     pub fn link_flits(&self, node: NodeId, dir: Direction) -> u64 {
         self.fabric.link_flits(node, dir)
     }
+
+    /// Consumes the network, returning the telemetry probe with every
+    /// shard fork merged in deterministic order.
+    #[must_use]
+    pub fn into_probe(self) -> Pr {
+        self.fabric.into_probe()
+    }
 }
 
-impl Network for WormholeNetwork {
+impl<Pr: Probe> Network for WormholeNetwork<Pr> {
     fn num_nodes(&self) -> usize {
         self.fabric.num_nodes()
     }

@@ -13,6 +13,13 @@
 //! sharded parallel stepping must be bit-for-bit identical to the
 //! single-threaded engine, so the same pins are the oracle for the
 //! parallel path (see `noc_sim::par`).
+//!
+//! The plain runners used here build networks with the default
+//! telemetry probe (`noc_sim::telemetry::NoopProbe`), so these pins
+//! also certify that the telemetry-off configuration is bit-identical
+//! to a tree without the probe plumbing — the zero-cost half of the
+//! telemetry layer's contract (`telemetry_invariance.rs` checks the
+//! telemetry-on half).
 
 use loft::LoftConfig;
 use loft_bench::{run_gsf, run_loft, run_wormhole, SEED};
