@@ -12,7 +12,8 @@
 //!
 //! ```text
 //! {"net":"loft","scenario":"uniform","load":0.05,"threads":1,
-//!  "sim_cycles":24000,"wall_secs":0.0123,"cycles_per_sec":1951219.5,
+//!  "sim_cycles":24000,"skipped_cycles":0,"wall_secs":0.0123,
+//!  "cycles_per_sec":1951219.5,
 //!  "packets_delivered":730,"packets_per_sec":59349.6,
 //!  "flits_delivered":2920,"avg_latency":27.41,"p50":31,"p95":63,
 //!  "p99":63,"saturated":false,"allocs_per_cycle":null}
@@ -71,15 +72,27 @@
 //! are bit-identical at every value — only the wall clock moves — and
 //! each JSON row records the setting in its `threads` field, so
 //! single- vs multi-thread rows are directly comparable.
+//!
+//! `skipped_cycles` counts simulated cycles covered by the engine's
+//! quiescence fast-forward (closed-form jumps over globally idle
+//! spans) instead of per-cycle stepping; results are bit-identical
+//! either way, so the field only explains where `cycles_per_sec`
+//! gains come from. `--no-fast-forward` disables the fast path — the
+//! before/after pair at the same point isolates its speedup.
+//!
+//! `--traffic {bursty,regulated}` swaps the default uniform/hotspot
+//! point matrix for the quiescence-heavy workloads
+//! (`Scenario::bursty_low_duty`, `Scenario::regulated`), where idle
+//! spans dominate the run and the fast path carries the load.
 
 use loft::LoftConfig;
 use loft_bench::{
-    run_gsf_hooked, run_gsf_telemetry, run_loft_hooked, run_loft_telemetry, run_wormhole_hooked,
-    run_wormhole_telemetry, SEED,
+    run_gsf_info, run_gsf_telemetry_info, run_loft_info, run_loft_telemetry_info,
+    run_wormhole_info, run_wormhole_telemetry_info, SEED,
 };
 use noc_gsf::GsfConfig;
 use noc_sim::telemetry::TelemetryReport;
-use noc_sim::{RunConfig, SimReport};
+use noc_sim::{RunConfig, RunInfo, SimReport};
 use noc_traffic::Scenario;
 use noc_wormhole::WormholeConfig;
 
@@ -124,12 +137,12 @@ fn measure(
     threads: usize,
     iters: u32,
     cfg: RunConfig,
-    f: impl Fn(&mut dyn FnMut()) -> (SimReport, Option<TelemetryReport>),
+    f: impl Fn(&mut dyn FnMut()) -> (SimReport, Option<TelemetryReport>, RunInfo),
 ) -> Point {
     // One untimed warmup run (doubling as the allocation
     // measurement), then the mean of `iters` timed runs.
     #[cfg(feature = "alloc-count")]
-    let ((report, telemetry), allocs_per_cycle) = {
+    let ((report, telemetry, info), allocs_per_cycle) = {
         let mut at_boundary = 0u64;
         let out = f(&mut || at_boundary = loft_bench::alloc_count::total());
         let after = loft_bench::alloc_count::total();
@@ -140,7 +153,7 @@ fn measure(
         (out, Some(apc))
     };
     #[cfg(not(feature = "alloc-count"))]
-    let ((report, telemetry), allocs_per_cycle) = (f(&mut || {}), None::<f64>);
+    let ((report, telemetry, info), allocs_per_cycle) = (f(&mut || {}), None::<f64>);
 
     // Serialize the telemetry document outside the counted span: the
     // JSON export is one-shot output formatting, not part of the
@@ -183,12 +196,14 @@ fn measure(
     println!(
         "{{\"net\":\"{net}\",\"scenario\":\"{scenario}\",\"load\":{load},\
          \"threads\":{threads},\
-         \"sim_cycles\":{sim_cycles},\"wall_secs\":{wall:.6},\
+         \"sim_cycles\":{sim_cycles},\"skipped_cycles\":{},\
+         \"wall_secs\":{wall:.6},\
          \"cycles_per_sec\":{cycles_per_sec:.1},\"packets_delivered\":{packets},\
          \"packets_per_sec\":{:.1},\"flits_delivered\":{},\
          \"avg_latency\":{avg_latency},\"p50\":{p50},\"p95\":{p95},\"p99\":{p99},\
          \"saturated\":{saturated},\
          \"allocs_per_cycle\":{allocs}}}",
+        info.skipped_cycles,
         packets as f64 / wall,
         report.flits_delivered,
     );
@@ -222,6 +237,12 @@ fn main() {
             .expect("--telemetry takes an output path")
     });
     let with_telemetry = telemetry_path.is_some();
+    let fast_forward = !args.iter().any(|a| a == "--no-fast-forward");
+    let traffic: Option<String> = args.iter().position(|a| a == "--traffic").map(|i| {
+        args.get(i + 1)
+            .cloned()
+            .expect("--traffic takes bursty or regulated")
+    });
     // Per-network cycles/second floors: "loft=200000,gsf=100000".
     let floors: Vec<(String, f64)> = args
         .iter()
@@ -251,11 +272,15 @@ fn main() {
     // mostly-idle state — exactly what active-set worklists target.
     // Near saturation: dominated by real queue and slab work, which
     // is where steady-state allocations would hide. Hotspot
-    // concentrates that pressure on a few links.
-    let points: &[(&str, f64)] = if smoke {
-        &[("uniform", 0.05), ("uniform", 0.60)]
-    } else {
-        &[("uniform", 0.05), ("uniform", 0.60), ("hotspot", 0.60)]
+    // concentrates that pressure on a few links. The --traffic
+    // matrices swap in the quiescence-heavy workloads where the
+    // engine's fast-forward dominates the wall clock.
+    let points: &[(&str, f64)] = match traffic.as_deref() {
+        Some("bursty") => &[("bursty-low", 0.60)],
+        Some("regulated") => &[("regulated", 0.05)],
+        Some(other) => panic!("--traffic must be bursty or regulated, got {other:?}"),
+        None if smoke => &[("uniform", 0.05), ("uniform", 0.60)],
+        None => &[("uniform", 0.05), ("uniform", 0.60), ("hotspot", 0.60)],
     };
     let mut worst: f64 = 0.0;
     // One telemetry document per measured point (--telemetry).
@@ -270,8 +295,11 @@ fn main() {
         let make = |sc: &str| match sc {
             "uniform" => Scenario::uniform(load),
             "hotspot" => Scenario::hotspot(load),
+            "bursty-low" => Scenario::bursty_low_duty(load),
+            "regulated" => Scenario::regulated(load),
             _ => unreachable!(),
         };
+        let ff = fast_forward;
         let rows = [
             measure("loft", scenario, load, threads, iters, cfg, |hook| {
                 let net_cfg = LoftConfig {
@@ -279,13 +307,12 @@ fn main() {
                     ..LoftConfig::default()
                 };
                 if with_telemetry {
-                    let (r, t) = run_loft_telemetry(&make(scenario), net_cfg, cfg, SEED, hook);
-                    (r, Some(t))
+                    let (r, t, i) =
+                        run_loft_telemetry_info(&make(scenario), net_cfg, cfg, SEED, ff, hook);
+                    (r, Some(t), i)
                 } else {
-                    (
-                        run_loft_hooked(&make(scenario), net_cfg, cfg, SEED, hook),
-                        None,
-                    )
+                    let (r, i) = run_loft_info(&make(scenario), net_cfg, cfg, SEED, ff, hook);
+                    (r, None, i)
                 }
             }),
             measure("gsf", scenario, load, threads, iters, cfg, |hook| {
@@ -294,13 +321,12 @@ fn main() {
                     ..GsfConfig::default()
                 };
                 if with_telemetry {
-                    let (r, t) = run_gsf_telemetry(&make(scenario), net_cfg, cfg, SEED, hook);
-                    (r, Some(t))
+                    let (r, t, i) =
+                        run_gsf_telemetry_info(&make(scenario), net_cfg, cfg, SEED, ff, hook);
+                    (r, Some(t), i)
                 } else {
-                    (
-                        run_gsf_hooked(&make(scenario), net_cfg, cfg, SEED, hook),
-                        None,
-                    )
+                    let (r, i) = run_gsf_info(&make(scenario), net_cfg, cfg, SEED, ff, hook);
+                    (r, None, i)
                 }
             }),
             measure("wormhole", scenario, load, threads, iters, cfg, |hook| {
@@ -309,13 +335,12 @@ fn main() {
                     ..WormholeConfig::default()
                 };
                 if with_telemetry {
-                    let (r, t) = run_wormhole_telemetry(&make(scenario), net_cfg, cfg, SEED, hook);
-                    (r, Some(t))
+                    let (r, t, i) =
+                        run_wormhole_telemetry_info(&make(scenario), net_cfg, cfg, SEED, ff, hook);
+                    (r, Some(t), i)
                 } else {
-                    (
-                        run_wormhole_hooked(&make(scenario), net_cfg, cfg, SEED, hook),
-                        None,
-                    )
+                    let (r, i) = run_wormhole_info(&make(scenario), net_cfg, cfg, SEED, ff, hook);
+                    (r, None, i)
                 }
             }),
         ];

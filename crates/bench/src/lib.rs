@@ -19,7 +19,7 @@
 use loft::{LoftConfig, LoftNetwork};
 use noc_gsf::{GsfConfig, GsfNetwork};
 use noc_sim::telemetry::{LiveProbe, TelemetryReport};
-use noc_sim::{RunConfig, SimReport, Simulation};
+use noc_sim::{RunConfig, RunInfo, SimReport, Simulation};
 use noc_traffic::Scenario;
 use noc_wormhole::{WormholeConfig, WormholeNetwork};
 
@@ -106,11 +106,34 @@ pub fn run_loft_hooked(
     seed: u64,
     after_warmup: impl FnMut(),
 ) -> SimReport {
+    run_loft_info(scenario, cfg, run, seed, true, after_warmup).0
+}
+
+/// [`run_loft_hooked`] with explicit control over quiescence
+/// fast-forward, additionally returning the run's [`RunInfo`]
+/// (skipped-cycle count, drain-termination cycle). Results are
+/// bit-identical for both `fast_forward` settings; only the wall
+/// clock and `RunInfo::skipped_cycles` move.
+///
+/// # Panics
+///
+/// Same conditions as [`run_loft`].
+pub fn run_loft_info(
+    scenario: &Scenario,
+    cfg: LoftConfig,
+    run: RunConfig,
+    seed: u64,
+    fast_forward: bool,
+    after_warmup: impl FnMut(),
+) -> (SimReport, RunInfo) {
     let reservations = scenario
         .reservations(cfg.frame_size)
         .expect("scenario reservations must fit the LOFT frame");
     let network = LoftNetwork::new(cfg, &reservations);
-    Simulation::new(network, scenario.workload(seed), run).run_hooked(after_warmup)
+    let (report, _, info) = Simulation::new(network, scenario.workload(seed), run)
+        .with_fast_forward(fast_forward)
+        .run_full(after_warmup);
+    (report, info)
 }
 
 /// [`run_loft_hooked`] with a [`LiveProbe`] attached: returns the
@@ -127,13 +150,33 @@ pub fn run_loft_telemetry(
     seed: u64,
     after_warmup: impl FnMut(),
 ) -> (SimReport, TelemetryReport) {
+    let (report, telemetry, _) =
+        run_loft_telemetry_info(scenario, cfg, run, seed, true, after_warmup);
+    (report, telemetry)
+}
+
+/// [`run_loft_telemetry`] with explicit fast-forward control plus the
+/// run's [`RunInfo`] (see [`run_loft_info`]).
+///
+/// # Panics
+///
+/// Same conditions as [`run_loft`].
+pub fn run_loft_telemetry_info(
+    scenario: &Scenario,
+    cfg: LoftConfig,
+    run: RunConfig,
+    seed: u64,
+    fast_forward: bool,
+    after_warmup: impl FnMut(),
+) -> (SimReport, TelemetryReport, RunInfo) {
     let reservations = scenario
         .reservations(cfg.frame_size)
         .expect("scenario reservations must fit the LOFT frame");
     let network = LoftNetwork::with_probe(cfg, &reservations, LiveProbe::new(TELEMETRY_WINDOW));
-    let (report, network) =
-        Simulation::new(network, scenario.workload(seed), run).run_into_parts(after_warmup);
-    (report, network.into_probe().finish())
+    let (report, network, info) = Simulation::new(network, scenario.workload(seed), run)
+        .with_fast_forward(fast_forward)
+        .run_full(after_warmup);
+    (report, network.into_probe().finish(), info)
 }
 
 /// Runs a scenario on a GSF network.
@@ -159,11 +202,31 @@ pub fn run_gsf_hooked(
     seed: u64,
     after_warmup: impl FnMut(),
 ) -> SimReport {
+    run_gsf_info(scenario, cfg, run, seed, true, after_warmup).0
+}
+
+/// [`run_gsf_hooked`] with explicit fast-forward control plus the
+/// run's [`RunInfo`] (see [`run_loft_info`]).
+///
+/// # Panics
+///
+/// Same conditions as [`run_gsf`].
+pub fn run_gsf_info(
+    scenario: &Scenario,
+    cfg: GsfConfig,
+    run: RunConfig,
+    seed: u64,
+    fast_forward: bool,
+    after_warmup: impl FnMut(),
+) -> (SimReport, RunInfo) {
     let reservations = scenario
         .reservations(cfg.frame_size)
         .expect("scenario reservations must fit the GSF frame");
     let network = GsfNetwork::new(cfg, &reservations);
-    Simulation::new(network, scenario.workload(seed), run).run_hooked(after_warmup)
+    let (report, _, info) = Simulation::new(network, scenario.workload(seed), run)
+        .with_fast_forward(fast_forward)
+        .run_full(after_warmup);
+    (report, info)
 }
 
 /// [`run_gsf_hooked`] with a [`LiveProbe`] attached (see
@@ -179,13 +242,33 @@ pub fn run_gsf_telemetry(
     seed: u64,
     after_warmup: impl FnMut(),
 ) -> (SimReport, TelemetryReport) {
+    let (report, telemetry, _) =
+        run_gsf_telemetry_info(scenario, cfg, run, seed, true, after_warmup);
+    (report, telemetry)
+}
+
+/// [`run_gsf_telemetry`] with explicit fast-forward control plus the
+/// run's [`RunInfo`] (see [`run_loft_info`]).
+///
+/// # Panics
+///
+/// Same conditions as [`run_gsf`].
+pub fn run_gsf_telemetry_info(
+    scenario: &Scenario,
+    cfg: GsfConfig,
+    run: RunConfig,
+    seed: u64,
+    fast_forward: bool,
+    after_warmup: impl FnMut(),
+) -> (SimReport, TelemetryReport, RunInfo) {
     let reservations = scenario
         .reservations(cfg.frame_size)
         .expect("scenario reservations must fit the GSF frame");
     let network = GsfNetwork::with_probe(cfg, &reservations, LiveProbe::new(TELEMETRY_WINDOW));
-    let (report, network) =
-        Simulation::new(network, scenario.workload(seed), run).run_into_parts(after_warmup);
-    (report, network.into_probe().finish())
+    let (report, network, info) = Simulation::new(network, scenario.workload(seed), run)
+        .with_fast_forward(fast_forward)
+        .run_full(after_warmup);
+    (report, network.into_probe().finish(), info)
 }
 
 /// Runs a scenario on the baseline wormhole network (no QoS).
@@ -207,8 +290,24 @@ pub fn run_wormhole_hooked(
     seed: u64,
     after_warmup: impl FnMut(),
 ) -> SimReport {
+    run_wormhole_info(scenario, cfg, run, seed, true, after_warmup).0
+}
+
+/// [`run_wormhole_hooked`] with explicit fast-forward control plus
+/// the run's [`RunInfo`] (see [`run_loft_info`]).
+pub fn run_wormhole_info(
+    scenario: &Scenario,
+    cfg: WormholeConfig,
+    run: RunConfig,
+    seed: u64,
+    fast_forward: bool,
+    after_warmup: impl FnMut(),
+) -> (SimReport, RunInfo) {
     let network = WormholeNetwork::new(cfg);
-    Simulation::new(network, scenario.workload(seed), run).run_hooked(after_warmup)
+    let (report, _, info) = Simulation::new(network, scenario.workload(seed), run)
+        .with_fast_forward(fast_forward)
+        .run_full(after_warmup);
+    (report, info)
 }
 
 /// [`run_wormhole_hooked`] with a [`LiveProbe`] attached (see
@@ -220,10 +319,26 @@ pub fn run_wormhole_telemetry(
     seed: u64,
     after_warmup: impl FnMut(),
 ) -> (SimReport, TelemetryReport) {
+    let (report, telemetry, _) =
+        run_wormhole_telemetry_info(scenario, cfg, run, seed, true, after_warmup);
+    (report, telemetry)
+}
+
+/// [`run_wormhole_telemetry`] with explicit fast-forward control plus
+/// the run's [`RunInfo`] (see [`run_loft_info`]).
+pub fn run_wormhole_telemetry_info(
+    scenario: &Scenario,
+    cfg: WormholeConfig,
+    run: RunConfig,
+    seed: u64,
+    fast_forward: bool,
+    after_warmup: impl FnMut(),
+) -> (SimReport, TelemetryReport, RunInfo) {
     let network = WormholeNetwork::with_probe(cfg, LiveProbe::new(TELEMETRY_WINDOW));
-    let (report, network) =
-        Simulation::new(network, scenario.workload(seed), run).run_into_parts(after_warmup);
-    (report, network.into_probe().finish())
+    let (report, network, info) = Simulation::new(network, scenario.workload(seed), run)
+        .with_fast_forward(fast_forward)
+        .run_full(after_warmup);
+    (report, network.into_probe().finish(), info)
 }
 
 /// Maps `f` over `items` on the process-wide sweep worker pool,
@@ -370,6 +485,37 @@ mod tests {
         assert!(loft.flits_delivered > 0);
         assert!(gsf.flits_delivered > 0);
         assert!(worm.flits_delivered > 0);
+    }
+
+    /// Fast-forward is a pure wall-clock optimization: the `_info`
+    /// runners must reproduce the plain runners' reports bit-for-bit
+    /// with the fast path on or off, and on a quiescence-heavy
+    /// workload the enabled run actually skips cycles.
+    #[test]
+    fn fast_forward_runners_match_and_skip() {
+        let s = Scenario::regulated(0.05);
+        let run = RunConfig {
+            warmup: 500,
+            measure: 2_000,
+            drain: 2_000,
+        };
+        let (on, info_on) = run_loft_info(&s, LoftConfig::default(), run, SEED, true, || {});
+        let (off, info_off) = run_loft_info(&s, LoftConfig::default(), run, SEED, false, || {});
+        assert_eq!(on, off, "fast-forward changed the LOFT report");
+        assert!(on.flits_delivered > 0);
+        assert!(info_on.skipped_cycles > 0, "regulated gaps never skipped");
+        assert_eq!(info_off.skipped_cycles, 0);
+
+        let (on, info_on) = run_gsf_info(&s, GsfConfig::default(), run, SEED, true, || {});
+        let (off, _) = run_gsf_info(&s, GsfConfig::default(), run, SEED, false, || {});
+        assert_eq!(on, off, "fast-forward changed the GSF report");
+        assert!(info_on.skipped_cycles > 0);
+
+        let (on, info_on) =
+            run_wormhole_info(&s, WormholeConfig::default(), run, SEED, true, || {});
+        let (off, _) = run_wormhole_info(&s, WormholeConfig::default(), run, SEED, false, || {});
+        assert_eq!(on, off, "fast-forward changed the wormhole report");
+        assert!(info_on.skipped_cycles > 0);
     }
 
     /// Attaching a probe must not perturb the simulation: the

@@ -374,6 +374,41 @@ impl LinkScheduler {
         }
     }
 
+    /// Closed-form equivalent of `k` [`LinkScheduler::advance_slot`]
+    /// calls for a scheduler in its power-up/reset state: with no
+    /// booking since the last reset every busy flag, credit delta, and
+    /// `skipped` counter is already zero, so advancing is pure pointer
+    /// arithmetic — `cp`, its ring index, the head frame, and the
+    /// frame-crossing `dirty` mark. Flow entries stay untouched (they
+    /// catch up lazily in `normalize_flow`, exactly as under stepped
+    /// advances).
+    ///
+    /// # Panics
+    ///
+    /// Debug builds panic if the scheduler is not fresh
+    /// ([`LinkScheduler::is_fresh`]).
+    pub fn fast_forward_slots(&mut self, k: u64) {
+        debug_assert!(self.fresh, "fast-forward on a booked scheduler");
+        debug_assert!(self.pending.is_empty(), "fast-forward with pending quanta");
+        debug_assert_eq!(self.ctotal, 0, "fresh scheduler has credit deltas");
+        if k == 0 {
+            return;
+        }
+        let window = self.cdelta.len() as u64;
+        self.cp += k;
+        self.cp_ring = ((self.cp_ring as u64 + k) % window) as usize;
+        let fq = self.params.frame_quanta as u64;
+        let pos = self.frame_pos as u64 + k;
+        let crossed = pos / fq;
+        self.frame_pos = (pos % fq) as u32;
+        if crossed > 0 {
+            self.head += crossed;
+            self.head_ring =
+                ((self.head_ring as u64 + crossed) % self.params.frame_window as u64) as usize;
+            self.dirty = true;
+        }
+    }
+
     /// Brings a flow's entry up to date before any read: a stale
     /// reset epoch or a frame behind the head both mean the flow
     /// restarts at the head with a full reservation
@@ -939,6 +974,38 @@ mod tests {
         s.return_credit(2);
         assert!(s.take_dirty());
         assert!(s.schedule(FlowId::new(0), 0, entry(0, scheduled)).is_some());
+    }
+
+    /// A fresh scheduler jumped `k` slots must be indistinguishable
+    /// from one advanced `k` times — same clock, same head frame, same
+    /// dirty flag, and the same slot granted to the next booking.
+    #[test]
+    fn fresh_fast_forward_matches_stepped_advance() {
+        for pre in [0u64, 1, 3, 5] {
+            for k in [1u64, 2, 4, 7, 16, 100, 1_003] {
+                let mut stepped = LinkScheduler::new(paper_params(), &[2, 2]);
+                for _ in 0..pre {
+                    stepped.advance_slot();
+                }
+                let mut jumped = stepped.clone();
+                for _ in 0..k {
+                    stepped.advance_slot();
+                }
+                jumped.fast_forward_slots(k);
+                assert_eq!(
+                    stepped.current_slot(),
+                    jumped.current_slot(),
+                    "pre={pre} k={k}"
+                );
+                assert_eq!(stepped.head_frame(), jumped.head_frame(), "pre={pre} k={k}");
+                assert_eq!(stepped.take_dirty(), jumped.take_dirty(), "pre={pre} k={k}");
+                assert_eq!(
+                    stepped.schedule(FlowId::new(0), 0, entry(0, 0)),
+                    jumped.schedule(FlowId::new(0), 0, entry(0, 0)),
+                    "pre={pre} k={k}"
+                );
+            }
+        }
     }
 
     /// Theorem I as an executable check: with buffer = F and

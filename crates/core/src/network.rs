@@ -1249,6 +1249,93 @@ impl<Pr: Probe> Network for LoftNetwork<Pr> {
         debug_assert_delivered_once(out, delivered_before);
     }
 
+    /// Jumps `cycles` forward without stepping when the network is
+    /// fully quiescent: no packet in the slab, every link scheduler in
+    /// its power-up state (`stale_links` empty), and no reset check
+    /// pending. A quiescent LOFT cycle then does exactly three things
+    /// — advance every link scheduler at slot boundaries, sample
+    /// occupancy when the telemetry window is due, and tick the cycle
+    /// counter — all replicated here in closed form: one
+    /// [`LinkScheduler::fast_forward_slots`] call per link regardless
+    /// of the jump length, all-zero occupancy samples in the exact
+    /// `sample_occupancy` order, and
+    /// [`Probe::tick_many`].
+    ///
+    /// With [`LoftConfig::local_status_reset`] disabled, schedulers
+    /// never return to their power-up state once booked, so the jump
+    /// permanently declines after the first packet — the engine simply
+    /// keeps stepping, unchanged.
+    fn fast_forward(&mut self, cycles: u64) -> u64 {
+        if cycles == 0
+            || !self.tracker.is_empty()
+            || !self.stale_links.is_empty()
+            || !self.reset_check.is_empty()
+        {
+            return 0;
+        }
+        #[cfg(debug_assertions)]
+        {
+            for shard in &self.shards {
+                debug_assert!(!shard.data_wires.any_active(), "data quanta in flight");
+                debug_assert!(!shard.la_wires.any_active(), "look-aheads in flight");
+                debug_assert!(
+                    shard.la_queues.first_from(0).is_none(),
+                    "queued look-aheads"
+                );
+                debug_assert!(shard.data_node_work.is_empty(), "data work mid-jump");
+                debug_assert!(shard.stage_work.is_empty(), "staged quanta mid-jump");
+                debug_assert!(shard.stamps.is_empty(), "unapplied stamps mid-jump");
+            }
+            debug_assert!(self.launch_work.is_empty(), "queued source quanta");
+            debug_assert!(self.la_outstanding.iter().all(|&c| c == 0));
+            debug_assert!(self.node_data_work.iter().all(|&c| c == 0));
+            for nic in &self.nics {
+                debug_assert!(nic.staged.is_empty() && nic.queued == 0, "NIC not idle");
+            }
+            for port in &self.data_ports {
+                debug_assert_eq!(
+                    port.nonspec_free,
+                    self.cfg.nonspec_quanta() as i64,
+                    "non-spec buffer not drained"
+                );
+                debug_assert_eq!(
+                    port.spec_free,
+                    self.cfg.spec_quanta() as i64,
+                    "spec buffer not drained"
+                );
+            }
+        }
+        let now = self.cycle;
+        let q = self.cfg.flits_per_quantum as u64;
+        // Stepping advances all schedulers at cycles `m` with
+        // `m % q == 0 && m / q > 0`: count those in `[now, now + k)`.
+        let i0 = now.div_ceil(q).max(1);
+        let i1 = (now + cycles).div_ceil(q).max(1);
+        let advances = i1 - i0;
+        if advances > 0 {
+            for s in self.link_sched.iter_mut() {
+                s.fast_forward_slots(advances);
+            }
+        }
+        if Pr::ENABLED {
+            for c in now..now + cycles {
+                if !self.probe.sample_due(c) {
+                    continue;
+                }
+                for pidx in 0..self.data_ports.len() {
+                    self.probe.on_occupancy(BufKind::NonSpec, pidx, 0);
+                    self.probe.on_occupancy(BufKind::Spec, pidx, 0);
+                }
+                for node in 0..self.nics.len() {
+                    self.probe.on_occupancy(BufKind::Source, node, 0);
+                }
+            }
+        }
+        self.probe.tick_many(now, cycles);
+        self.cycle = now + cycles;
+        cycles
+    }
+
     fn in_flight(&self) -> usize {
         self.tracker.len()
     }
@@ -1568,6 +1655,49 @@ mod tests {
                 .count()
                 > 0
         );
+    }
+
+    /// A quiescent jump must be indistinguishable from stepping the
+    /// idle cycles — same clock, and identical behaviour for traffic
+    /// injected after the gap.
+    #[test]
+    fn fast_forward_matches_idle_stepping() {
+        let build = || {
+            let mut net = LoftNetwork::new(LoftConfig::default(), &[16]);
+            for seq in 0..5 {
+                net.enqueue(packet(0, seq, 0, 9, 0));
+            }
+            net
+        };
+        let (mut stepped, mut jumped) = (build(), build());
+        let (mut out_s, mut out_j) = (Vec::new(), Vec::new());
+        while stepped.in_flight() > 0 {
+            stepped.step(&mut out_s);
+        }
+        while jumped.in_flight() > 0 {
+            jumped.step(&mut out_j);
+        }
+        // Let the trailing reset checks land so both are quiescent.
+        for _ in 0..32 {
+            stepped.step(&mut out_s);
+            jumped.step(&mut out_j);
+        }
+        assert_eq!(out_s, out_j);
+        for k in [1u64, 5, 63, 64, 1_000] {
+            for _ in 0..k {
+                stepped.step(&mut out_s);
+            }
+            assert_eq!(jumped.fast_forward(k), k, "jump declined at k={k}");
+            assert_eq!(jumped.cycle(), stepped.cycle());
+        }
+        assert_eq!(stepped.total_resets(), jumped.total_resets());
+        // Traffic after the gap behaves identically in both worlds.
+        stepped.enqueue(packet(0, 100, 0, 9, 0));
+        jumped.enqueue(packet(0, 100, 0, 9, 0));
+        let a = drain(&mut stepped, 10_000);
+        let b = drain(&mut jumped, 10_000);
+        assert_eq!(a.len(), 1);
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -163,4 +163,14 @@ pub trait RouterPolicy {
     fn on_eject_packet(&mut self, id: PacketId) {
         let _ = id;
     }
+
+    /// The fabric is jumping `cycles` quiescent cycles starting at
+    /// `now` (see `VcFabric::fast_forward`): advance any
+    /// purely time-dependent policy state in closed form, exactly as
+    /// `cycles` idle [`RouterPolicy::pre_inject`] calls would have.
+    /// Serial. Default: nothing (stateless policies like wormhole
+    /// have no clock of their own).
+    fn fast_forward(&mut self, now: u64, cycles: u64) {
+        let _ = (now, cycles);
+    }
 }

@@ -146,6 +146,14 @@ impl<T> TimedFifo<T> {
             None
         }
     }
+
+    /// Whether no events are in flight (quiescence check for the
+    /// fast-forward path).
+    #[must_use]
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.q.is_empty()
+    }
 }
 
 impl<T> Default for TimedFifo<T> {

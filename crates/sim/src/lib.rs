@@ -61,7 +61,7 @@ pub mod telemetry;
 pub mod topology;
 pub mod worklist;
 
-pub use engine::{Network, RunConfig, Simulation, TrafficSource};
+pub use engine::{Network, RunConfig, RunInfo, Simulation, TrafficSource};
 pub use error::ConfigError;
 pub use flit::{FlowId, NodeId, Packet, PacketId};
 pub use flow::{FlowSet, FlowSpec};

@@ -31,6 +31,15 @@ struct FlowState {
     process: ProcessState,
     rng: Xoshiro256,
     seq: u64,
+    /// Cycles `< ticked_until` have already had their injection draw
+    /// consumed (either by [`Workload::generate`] or by an idle scan
+    /// in [`Workload::next_active_cycle`]).
+    ticked_until: u64,
+    /// A positive injection decision `(cycle, packets)` consumed by
+    /// the idle scan but not yet emitted; `generate` replays it when
+    /// the engine reaches that cycle. At most one can exist because
+    /// the scan stops at the first firing cycle.
+    pending: Option<(u64, u32)>,
 }
 
 /// A complete workload: flows with processes, implementing
@@ -86,6 +95,8 @@ impl Workload {
             process: process.start(self.packet_len),
             rng: Xoshiro256::for_stream(self.seed, id.index() as u64),
             seq: 0,
+            ticked_until: 0,
+            pending: None,
         });
         id
     }
@@ -112,7 +123,23 @@ impl TrafficSource for Workload {
 
     fn generate(&mut self, cycle: u64, out: &mut Vec<Packet>) {
         for (idx, flow) in self.flows.iter_mut().enumerate() {
-            let n = flow.process.tick(&mut flow.rng);
+            let n = if cycle < flow.ticked_until {
+                // This cycle's draw was already consumed by an idle
+                // scan (`next_active_cycle`); replay its decision. The
+                // destination/sequence draws below still happen here,
+                // in the same per-flow RNG order as a plain run (tick
+                // first, then destination).
+                match flow.pending {
+                    Some((at, count)) if at == cycle => {
+                        flow.pending = None;
+                        count
+                    }
+                    _ => 0,
+                }
+            } else {
+                flow.ticked_until = cycle + 1;
+                flow.process.tick(&mut flow.rng)
+            };
             for _ in 0..n {
                 let dst = match flow.dest {
                     DestRule::Fixed(d) => d,
@@ -136,6 +163,36 @@ impl TrafficSource for Workload {
                 flow.seq += 1;
             }
         }
+    }
+
+    fn next_active_cycle(&mut self, from: u64, limit: u64) -> u64 {
+        // Per-flow RNG streams are independent (`Xoshiro256::
+        // for_stream`), so each flow's injection draws can be
+        // consumed ahead of the clock without perturbing any other
+        // flow. The scan runs every flow's process cycle by cycle —
+        // exactly the draws `generate` would have made — and stops at
+        // the earliest firing cycle found so far, so no draw beyond
+        // the returned cycle is consumed for flows scanned later.
+        let mut earliest = limit;
+        for flow in &mut self.flows {
+            if let Some((at, _)) = flow.pending {
+                debug_assert!(at >= from, "pending injection in the past");
+                earliest = earliest.min(at);
+                continue;
+            }
+            let mut cycle = from.max(flow.ticked_until);
+            while cycle < earliest {
+                let n = flow.process.tick(&mut flow.rng);
+                flow.ticked_until = cycle + 1;
+                if n > 0 {
+                    flow.pending = Some((cycle, n));
+                    earliest = cycle;
+                    break;
+                }
+                cycle += 1;
+            }
+        }
+        earliest
     }
 }
 
@@ -226,6 +283,65 @@ mod tests {
             b.generate(cycle, &mut ob);
         }
         assert_eq!(oa, ob);
+    }
+
+    /// Driving a workload through `next_active_cycle` (skipping the
+    /// idle cycles it reports) must produce the exact packet stream of
+    /// plain cycle-by-cycle generation — same cycles, destinations,
+    /// and sequence numbers, for every process kind.
+    #[test]
+    fn idle_scan_preserves_generation_exactly() {
+        let build = || {
+            let mut w = Workload::new(4, 21);
+            w.add_flow(
+                NodeId::new(0),
+                DestRule::UniformRandom { num_nodes: 16 },
+                InjectionProcess::Bernoulli { rate: 0.02 },
+            );
+            w.add_flow(
+                NodeId::new(3),
+                DestRule::Fixed(NodeId::new(9)),
+                InjectionProcess::Regulated { rate: 0.05 },
+            );
+            w.add_flow(
+                NodeId::new(7),
+                DestRule::UniformRandom { num_nodes: 16 },
+                InjectionProcess::OnOff {
+                    rate_on: 0.5,
+                    p_on_to_off: 0.2,
+                    p_off_to_on: 0.01,
+                },
+            );
+            w
+        };
+        const END: u64 = 5_000;
+        let mut plain = build();
+        let mut plain_out = Vec::new();
+        for cycle in 0..END {
+            plain.generate(cycle, &mut plain_out);
+        }
+
+        let mut scanned = build();
+        let mut scanned_out = Vec::new();
+        let mut cycle = 0;
+        while cycle < END {
+            let next = scanned.next_active_cycle(cycle, END);
+            assert!(next >= cycle && next <= END);
+            cycle = next;
+            if cycle < END {
+                // Emit at the active cycle, then step a few "busy"
+                // cycles of plain generation like the engine would
+                // while packets are in flight.
+                for _ in 0..3 {
+                    if cycle < END {
+                        scanned.generate(cycle, &mut scanned_out);
+                        cycle += 1;
+                    }
+                }
+            }
+        }
+        assert!(!plain_out.is_empty());
+        assert_eq!(plain_out, scanned_out);
     }
 
     #[test]

@@ -1,0 +1,194 @@
+//! Quiescence fast-forward equivalence: skipping idle spans in
+//! closed form must be invisible in every observable — the full
+//! [`SimReport`] (per-flow stats, Welford latency accumulators,
+//! histogram) *and* the full [`TelemetryReport`] (counters, occupancy
+//! accumulators, per-flow series) must be bit-identical with the fast
+//! path on or off, for every network × {mesh, torus, ring} ×
+//! {uniform-low, bursty, regulated} × {1, 2, 4} shards.
+//!
+//! The ff-off single-shard run is the oracle; each ff-on run at every
+//! shard count must reproduce it exactly (the fast-forward decision
+//! is shard-global, so sharding must not change where jumps land).
+//! On the quiescence-heavy workloads the suite also asserts the fast
+//! path actually engaged — an equivalence test that never jumps is
+//! vacuous.
+
+use loft::LoftConfig;
+use loft_bench::{
+    run_gsf_telemetry_info, run_loft_telemetry_info, run_wormhole_telemetry_info, SEED,
+};
+use noc_gsf::GsfConfig;
+use noc_sim::telemetry::TelemetryReport;
+use noc_sim::{RunConfig, RunInfo, SimReport, Topology};
+use noc_traffic::{DestRule, InjectionProcess, Scenario};
+use noc_wormhole::WormholeConfig;
+
+/// Same shapes as the shard-invariance suites: small enough to stay
+/// fast, large enough for real cross-shard traffic at 4 shards.
+fn topologies() -> [Topology; 3] {
+    [
+        Topology::mesh(4, 4),
+        Topology::torus(4, 4),
+        Topology::ring(12),
+    ]
+}
+
+fn run() -> RunConfig {
+    RunConfig {
+        warmup: 100,
+        measure: 1_000,
+        drain: 1_000,
+    }
+}
+
+/// [`Scenario::uniform`] rebuilt for an arbitrary topology, at a load
+/// low enough that the network occasionally goes globally idle.
+fn uniform_low_on(topo: Topology) -> Scenario {
+    let mut s = Scenario::uniform(0.02);
+    let n = topo.num_nodes();
+    s.topo = topo;
+    s.flows.truncate(n);
+    for (f, src) in s.flows.iter_mut().zip(topo.nodes()) {
+        f.src = src;
+        f.dest = DestRule::UniformRandom {
+            num_nodes: n as u32,
+        };
+    }
+    s.groups.clear();
+    s
+}
+
+/// Two end-to-end flows with the given process — sparse enough that
+/// the whole network quiesces between packets on any topology.
+fn sparse_pair_on(topo: Topology, process: InjectionProcess, name: &str) -> Scenario {
+    let nodes: Vec<_> = topo.nodes().collect();
+    let (first, last) = (nodes[0], *nodes.last().expect("topology has nodes"));
+    let mut s = Scenario::uniform(0.0);
+    s.topo = topo;
+    s.flows.truncate(2);
+    for (f, (src, dst)) in s.flows.iter_mut().zip([(first, last), (last, first)]) {
+        f.src = src;
+        f.dest = DestRule::Fixed(dst);
+        f.process = process.clone();
+    }
+    s.groups.clear();
+    s.name = name.to_string();
+    s
+}
+
+/// Short bursts, long idle spans: the fast path's target workload.
+fn bursty_on(topo: Topology) -> Scenario {
+    sparse_pair_on(
+        topo,
+        InjectionProcess::OnOff {
+            rate_on: 0.6,
+            p_on_to_off: 1.0 / 20.0,
+            p_off_to_on: 1.0 / 300.0,
+        },
+        "bursty-sparse",
+    )
+}
+
+/// Deterministic synchronized waves with fully idle gaps in between.
+fn regulated_on(topo: Topology) -> Scenario {
+    sparse_pair_on(
+        topo,
+        InjectionProcess::Regulated { rate: 0.05 },
+        "regulated-sparse",
+    )
+}
+
+/// The traffic matrix: name, scenario builder, and whether the fast
+/// path is required to engage (quiescence-heavy workloads).
+#[allow(clippy::type_complexity)]
+fn traffics() -> [(&'static str, fn(Topology) -> Scenario, bool); 3] {
+    [
+        ("uniform-low", uniform_low_on, false),
+        ("bursty", bursty_on, true),
+        ("regulated", regulated_on, true),
+    ]
+}
+
+type Outcome = (SimReport, TelemetryReport, RunInfo);
+
+fn loft_at(scenario: &Scenario, topo: Topology, threads: usize, ff: bool) -> Outcome {
+    let cfg = LoftConfig {
+        threads,
+        frame_size: 64,
+        nonspec_buffer: 64,
+        ..LoftConfig::on(topo)
+    };
+    run_loft_telemetry_info(scenario, cfg, run(), SEED, ff, || {})
+}
+
+fn gsf_at(scenario: &Scenario, topo: Topology, threads: usize, ff: bool) -> Outcome {
+    let cfg = GsfConfig {
+        threads,
+        frame_size: 200,
+        ..GsfConfig::on(topo)
+    };
+    run_gsf_telemetry_info(scenario, cfg, run(), SEED, ff, || {})
+}
+
+fn wormhole_at(scenario: &Scenario, topo: Topology, threads: usize, ff: bool) -> Outcome {
+    let cfg = WormholeConfig {
+        threads,
+        ..WormholeConfig::on(topo)
+    };
+    run_wormhole_telemetry_info(scenario, cfg, run(), SEED, ff, || {})
+}
+
+fn check_equivalence(net: &str, at: impl Fn(&Scenario, Topology, usize, bool) -> Outcome) {
+    for topo in topologies() {
+        for (traffic, build, must_skip) in traffics() {
+            let scenario = build(topo);
+            let ctx = format!("{net}/{topo:?}/{traffic}");
+            let (base_report, base_telemetry, base_info) = at(&scenario, topo, 1, false);
+            assert!(
+                base_report.flits_delivered > 0,
+                "{ctx}: oracle run delivered nothing — test is vacuous"
+            );
+            assert_eq!(
+                base_info.skipped_cycles, 0,
+                "{ctx}: fast-forward-off run skipped cycles"
+            );
+            for threads in [1, 2, 4] {
+                let (report, telemetry, info) = at(&scenario, topo, threads, true);
+                assert_eq!(
+                    report, base_report,
+                    "{ctx}: SimReport diverged at {threads} shards with fast-forward on"
+                );
+                assert_eq!(
+                    telemetry, base_telemetry,
+                    "{ctx}: TelemetryReport diverged at {threads} shards with fast-forward on"
+                );
+                assert_eq!(
+                    info.end_cycle, base_info.end_cycle,
+                    "{ctx}: drain terminated at a different cycle at {threads} shards"
+                );
+                if must_skip {
+                    assert!(
+                        info.skipped_cycles > 0,
+                        "{ctx}: fast path never engaged at {threads} shards — \
+                         quiescence-heavy workload should jump"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn loft_fast_forward_is_equivalent() {
+    check_equivalence("loft", loft_at);
+}
+
+#[test]
+fn gsf_fast_forward_is_equivalent() {
+    check_equivalence("gsf", gsf_at);
+}
+
+#[test]
+fn wormhole_fast_forward_is_equivalent() {
+    check_equivalence("wormhole", wormhole_at);
+}

@@ -12,7 +12,10 @@
 //! Every pin runs at 1, 2, and 4 shards (`threads` in the configs):
 //! sharded parallel stepping must be bit-for-bit identical to the
 //! single-threaded engine, so the same pins are the oracle for the
-//! parallel path (see `noc_sim::par`).
+//! parallel path (see `noc_sim::par`). Each pin additionally runs
+//! once with quiescence fast-forward disabled — the default runners
+//! use the fast path, so the pair certifies that closed-form idle
+//! jumps and per-cycle stepping are observably the same simulation.
 //!
 //! The plain runners used here build networks with the default
 //! telemetry probe (`noc_sim::telemetry::NoopProbe`), so these pins
@@ -22,7 +25,9 @@
 //! telemetry-on half).
 
 use loft::LoftConfig;
-use loft_bench::{run_gsf, run_loft, run_wormhole, SEED};
+use loft_bench::{
+    run_gsf, run_gsf_info, run_loft, run_loft_info, run_wormhole, run_wormhole_info, SEED,
+};
 use noc_gsf::GsfConfig;
 use noc_sim::RunConfig;
 use noc_traffic::Scenario;
@@ -53,6 +58,11 @@ fn check_loft(scenario: &Scenario, run: RunConfig, flits: u64, latency_bits: u64
         let r = run_loft(scenario, cfg, run, SEED);
         check(&r, flits, latency_bits);
     }
+    // The default runners above run with quiescence fast-forward
+    // enabled; the fast path must reproduce the same pins as plain
+    // per-cycle stepping.
+    let (r, _) = run_loft_info(scenario, LoftConfig::default(), run, SEED, false, || {});
+    check(&r, flits, latency_bits);
 }
 
 fn check_gsf(scenario: &Scenario, run: RunConfig, flits: u64, latency_bits: u64) {
@@ -64,6 +74,8 @@ fn check_gsf(scenario: &Scenario, run: RunConfig, flits: u64, latency_bits: u64)
         let r = run_gsf(scenario, cfg, run, SEED);
         check(&r, flits, latency_bits);
     }
+    let (r, _) = run_gsf_info(scenario, GsfConfig::default(), run, SEED, false, || {});
+    check(&r, flits, latency_bits);
 }
 
 fn check_wormhole(scenario: &Scenario, run: RunConfig, flits: u64, latency_bits: u64) {
@@ -75,6 +87,8 @@ fn check_wormhole(scenario: &Scenario, run: RunConfig, flits: u64, latency_bits:
         let r = run_wormhole(scenario, cfg, run, SEED);
         check(&r, flits, latency_bits);
     }
+    let (r, _) = run_wormhole_info(scenario, WormholeConfig::default(), run, SEED, false, || {});
+    check(&r, flits, latency_bits);
 }
 
 #[test]
