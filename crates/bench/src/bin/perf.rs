@@ -12,7 +12,8 @@
 //!
 //! ```text
 //! {"net":"loft","scenario":"uniform","load":0.05,"threads":1,
-//!  "sim_cycles":24000,"skipped_cycles":0,"wall_secs":0.0123,
+//!  "jobs":1,"forked_warmup":true,
+//!  "sim_cycles":23000,"skipped_cycles":0,"wall_secs":0.0123,
 //!  "cycles_per_sec":1951219.5,
 //!  "packets_delivered":730,"packets_per_sec":59349.6,
 //!  "flits_delivered":2920,"avg_latency":27.41,"p50":31,"p95":63,
@@ -23,6 +24,28 @@
 //! work: compare it across commits at the same load point (the
 //! simulations are fully deterministic, so the simulated work is
 //! identical and only the wall clock moves).
+//!
+//! **Forked warmup** (default; `--no-fork-warmup` restores the old
+//! behavior): each point runs its warmup once into a
+//! `noc_sim::checkpoint::Checkpoint` and every timed iteration forks
+//! that checkpoint instead of re-running construction + warmup. The
+//! forked iterations are bit-identical to from-scratch runs, so the
+//! reports don't move — but the timed span now covers only the
+//! measurement + drain phases, and `sim_cycles`/`cycles_per_sec` are
+//! computed over that span. `forked_warmup` in the row records which
+//! basis applies, so rows are never silently compared across bases.
+//! Telemetry rows (`--telemetry`) always run full warmups and report
+//! `forked_warmup: false`.
+//!
+//! `--jobs N` measures up to `N` points concurrently on a
+//! work-stealing pool (whole simulations, unchanged results — rows
+//! still print in matrix order). Jobs are clamped so `jobs × threads`
+//! never oversubscribes the machine, and `--jobs` > 1 refuses to
+//! combine with `--alloc-budget`: the allocation counter is
+//! process-global, so concurrent points would pollute each other's
+//! rates. Wall-clock rates from concurrent rows reflect a shared
+//! machine; use `--jobs 1` (the default) for comparable
+//! `cycles_per_sec` numbers.
 //!
 //! `packets_delivered` counts packets *ejected during the measurement
 //! window* (the windowed throughput convention), so a saturated
@@ -47,7 +70,10 @@
 //!
 //! `allocs_per_cycle` is the steady-state allocation rate: heap
 //! allocations between the warmup/measurement boundary and the end of
-//! the run, divided by the measurement window. It requires the
+//! the run, divided by the measurement window. Under forked warmup
+//! the counted span starts after the fork completes (the deep copy is
+//! setup, not steady state) — the span covers exactly the same
+//! simulated phases as the full-run measurement. It requires the
 //! `alloc-count` feature (which installs a counting global allocator)
 //! and prints `null` without it. With `--alloc-budget X` the process
 //! exits nonzero if any measured point exceeds `X` — the CI gate that
@@ -86,14 +112,16 @@
 //! spans dominate the run and the fast path carries the load.
 
 use loft::LoftConfig;
+use loft_bench::sweep::clamp_jobs;
 use loft_bench::{
-    run_gsf_info, run_gsf_telemetry_info, run_loft_info, run_loft_telemetry_info,
-    run_wormhole_info, run_wormhole_telemetry_info, SEED,
+    checkpoint_gsf, checkpoint_loft, checkpoint_wormhole, run_gsf_info, run_gsf_telemetry_info,
+    run_loft_info, run_loft_telemetry_info, run_wormhole_info, run_wormhole_telemetry_info, SEED,
 };
 use noc_gsf::GsfConfig;
+use noc_sim::par::{pool_map, WorkerPool};
 use noc_sim::telemetry::TelemetryReport;
-use noc_sim::{RunConfig, RunInfo, SimReport};
-use noc_traffic::Scenario;
+use noc_sim::{Checkpoint, Network, RunConfig, RunInfo, SimReport};
+use noc_traffic::{Scenario, Workload};
 use noc_wormhole::WormholeConfig;
 
 /// Measurement-window sizing: long enough that per-run overhead
@@ -116,58 +144,52 @@ fn run(smoke: bool) -> RunConfig {
     }
 }
 
-/// One measured point: the simulated-cycle rate, the steady-state
-/// allocation rate (`None` without the `alloc-count` feature), and
-/// the telemetry document (`None` without `--telemetry`).
-struct Point {
+/// One cell of the perf matrix, dispatchable on a worker pool.
+#[derive(Clone, Copy)]
+struct Spec {
+    net: &'static str,
+    scenario: &'static str,
+    load: f64,
+}
+
+/// Shared measurement settings (everything `Copy` so specs can run on
+/// pool workers).
+#[derive(Clone, Copy)]
+struct Ctx {
+    threads: usize,
+    jobs: usize,
+    iters: u32,
+    cfg: RunConfig,
+    fast_forward: bool,
+    with_telemetry: bool,
+    fork_warmup: bool,
+}
+
+/// One measured point: the printed JSON line, the simulated-cycle
+/// rate, the steady-state allocation rate (`None` without the
+/// `alloc-count` feature), and the telemetry array entry (`None`
+/// without `--telemetry`).
+struct Row {
+    net: &'static str,
+    line: String,
     cycles_per_sec: f64,
     allocs_per_cycle: Option<f64>,
     telemetry: Option<String>,
 }
 
-/// Runs one benchmark point and prints its JSON line. `f` receives
-/// the `after_warmup` hook to pass through to the simulation and
-/// returns the report plus the run's telemetry report (when a probe
-/// is attached); the untimed first run uses the hook to snapshot the
-/// allocation counter at the warmup/measurement boundary.
-fn measure(
-    net: &str,
-    scenario: &str,
-    load: f64,
-    threads: usize,
-    iters: u32,
-    cfg: RunConfig,
-    f: impl Fn(&mut dyn FnMut()) -> (SimReport, Option<TelemetryReport>, RunInfo),
-) -> Point {
-    // One untimed warmup run (doubling as the allocation
-    // measurement), then the mean of `iters` timed runs.
-    #[cfg(feature = "alloc-count")]
-    let ((report, telemetry, info), allocs_per_cycle) = {
-        let mut at_boundary = 0u64;
-        let out = f(&mut || at_boundary = loft_bench::alloc_count::total());
-        let after = loft_bench::alloc_count::total();
-        // The counted span also covers the drain phase, so dividing
-        // by the measurement window alone slightly overestimates the
-        // rate — conservative for a budget gate.
-        let apc = (after - at_boundary) as f64 / cfg.measure as f64;
-        (out, Some(apc))
-    };
-    #[cfg(not(feature = "alloc-count"))]
-    let ((report, telemetry, info), allocs_per_cycle) = (f(&mut || {}), None::<f64>);
-
-    // Serialize the telemetry document outside the counted span: the
-    // JSON export is one-shot output formatting, not part of the
-    // steady-state loop the allocation budget gates (the probe's own
-    // recording stays inside the span, where it belongs).
-    let telemetry = telemetry.map(|t| t.to_json());
-
-    let start = std::time::Instant::now();
-    for _ in 0..iters {
-        std::hint::black_box(f(&mut || {}));
-    }
-    let wall = start.elapsed().as_secs_f64() / f64::from(iters);
-
-    let sim_cycles = cfg.warmup + cfg.measure + cfg.drain;
+/// Formats the JSON line shared by both measurement paths.
+#[allow(clippy::too_many_arguments)]
+fn render_row(
+    spec: Spec,
+    ctx: Ctx,
+    forked_warmup: bool,
+    sim_cycles: u64,
+    wall: f64,
+    report: &SimReport,
+    info: &RunInfo,
+    allocs_per_cycle: Option<f64>,
+    telemetry: Option<String>,
+) -> Row {
     // Windowed delivery: packets ejected inside the measurement
     // window, regardless of when they were created. The latency mean
     // only covers created-in-window packets; under saturation none of
@@ -193,9 +215,9 @@ fn measure(
     let (p50, p95, p99) = (pq(0.50), pq(0.95), pq(0.99));
     let cycles_per_sec = sim_cycles as f64 / wall;
     let allocs = allocs_per_cycle.map_or_else(|| "null".to_string(), |a| format!("{a:.4}"));
-    println!(
-        "{{\"net\":\"{net}\",\"scenario\":\"{scenario}\",\"load\":{load},\
-         \"threads\":{threads},\
+    let line = format!(
+        "{{\"net\":\"{}\",\"scenario\":\"{}\",\"load\":{},\
+         \"threads\":{},\"jobs\":{},\"forked_warmup\":{forked_warmup},\
          \"sim_cycles\":{sim_cycles},\"skipped_cycles\":{},\
          \"wall_secs\":{wall:.6},\
          \"cycles_per_sec\":{cycles_per_sec:.1},\"packets_delivered\":{packets},\
@@ -203,14 +225,199 @@ fn measure(
          \"avg_latency\":{avg_latency},\"p50\":{p50},\"p95\":{p95},\"p99\":{p99},\
          \"saturated\":{saturated},\
          \"allocs_per_cycle\":{allocs}}}",
+        spec.net,
+        spec.scenario,
+        spec.load,
+        ctx.threads,
+        ctx.jobs,
         info.skipped_cycles,
         packets as f64 / wall,
         report.flits_delivered,
     );
-    Point {
+    Row {
+        net: spec.net,
+        line,
         cycles_per_sec,
         allocs_per_cycle,
         telemetry,
+    }
+}
+
+/// Measures one point with a full run per iteration (construction +
+/// warmup + measurement + drain). `f` receives the `after_warmup`
+/// hook to pass through to the simulation; the untimed first run uses
+/// it to snapshot the allocation counter at the warmup/measurement
+/// boundary.
+fn measure_full(
+    spec: Spec,
+    ctx: Ctx,
+    f: impl Fn(&mut dyn FnMut()) -> (SimReport, Option<TelemetryReport>, RunInfo),
+) -> Row {
+    // One untimed warmup run (doubling as the allocation
+    // measurement), then the mean of `iters` timed runs.
+    #[cfg(feature = "alloc-count")]
+    let ((report, telemetry, info), allocs_per_cycle) = {
+        let mut at_boundary = 0u64;
+        let out = f(&mut || at_boundary = loft_bench::alloc_count::total());
+        let after = loft_bench::alloc_count::total();
+        // The counted span also covers the drain phase, so dividing
+        // by the measurement window alone slightly overestimates the
+        // rate — conservative for a budget gate.
+        let apc = (after - at_boundary) as f64 / ctx.cfg.measure as f64;
+        (out, Some(apc))
+    };
+    #[cfg(not(feature = "alloc-count"))]
+    let ((report, telemetry, info), allocs_per_cycle) = (f(&mut || {}), None::<f64>);
+
+    // Serialize the telemetry document outside the timed span: the
+    // JSON export is one-shot output formatting, not part of the
+    // steady-state loop the allocation budget gates (the probe's own
+    // recording stays inside the span, where it belongs).
+    let telemetry = telemetry.map(|t| {
+        let doc = t.to_json();
+        format!(
+            "{{\"net\":\"{}\",\"scenario\":\"{}\",\"load\":{},\"telemetry\":{doc}}}",
+            spec.net, spec.scenario, spec.load
+        )
+    });
+
+    let start = std::time::Instant::now();
+    for _ in 0..ctx.iters {
+        std::hint::black_box(f(&mut || {}));
+    }
+    let wall = start.elapsed().as_secs_f64() / f64::from(ctx.iters);
+    let sim_cycles = ctx.cfg.warmup + ctx.cfg.measure + ctx.cfg.drain;
+    render_row(
+        spec,
+        ctx,
+        false,
+        sim_cycles,
+        wall,
+        &report,
+        &info,
+        allocs_per_cycle,
+        telemetry,
+    )
+}
+
+/// Measures one point by forking a shared warmup checkpoint per
+/// iteration: the timed span covers the measurement + drain phases
+/// only (`sim_cycles` records that basis), and every fork's report is
+/// bit-identical to a from-scratch run's.
+fn measure_forked<N: Network + Clone>(spec: Spec, ctx: Ctx, ckpt: &Checkpoint<N, Workload>) -> Row {
+    // Allocation measurement on a forked leg: the fork itself is
+    // setup (a deep copy), so the counter is snapshotted after it —
+    // the counted span covers the same boundary-to-end phases as the
+    // full-run hook placement.
+    #[cfg(feature = "alloc-count")]
+    let ((report, info), allocs_per_cycle) = {
+        let leg = ckpt.fork();
+        let at_boundary = loft_bench::alloc_count::total();
+        let (report, _, info) = leg.resume();
+        let after = loft_bench::alloc_count::total();
+        let apc = (after - at_boundary) as f64 / ctx.cfg.measure as f64;
+        ((report, info), Some(apc))
+    };
+    #[cfg(not(feature = "alloc-count"))]
+    let ((report, info), allocs_per_cycle) = {
+        let (report, _, info) = ckpt.fork().resume();
+        ((report, info), None::<f64>)
+    };
+
+    let start = std::time::Instant::now();
+    for _ in 0..ctx.iters {
+        std::hint::black_box(ckpt.fork().resume());
+    }
+    let wall = start.elapsed().as_secs_f64() / f64::from(ctx.iters);
+    let sim_cycles = ctx.cfg.measure + ctx.cfg.drain;
+    render_row(
+        spec,
+        ctx,
+        true,
+        sim_cycles,
+        wall,
+        &report,
+        &info,
+        allocs_per_cycle,
+        None,
+    )
+}
+
+/// Runs one cell of the matrix, choosing the measurement path from
+/// the context (telemetry > forked warmup > full runs).
+fn run_spec(spec: Spec, ctx: Ctx) -> Row {
+    let scenario = match spec.scenario {
+        "uniform" => Scenario::uniform(spec.load),
+        "hotspot" => Scenario::hotspot(spec.load),
+        "bursty-low" => Scenario::bursty_low_duty(spec.load),
+        "regulated" => Scenario::regulated(spec.load),
+        other => unreachable!("unknown scenario {other}"),
+    };
+    let (cfg, ff) = (ctx.cfg, ctx.fast_forward);
+    match spec.net {
+        "loft" => {
+            let net_cfg = LoftConfig {
+                threads: ctx.threads,
+                ..LoftConfig::default()
+            };
+            if ctx.with_telemetry {
+                measure_full(spec, ctx, |hook| {
+                    let (r, t, i) =
+                        run_loft_telemetry_info(&scenario, net_cfg, cfg, SEED, ff, hook);
+                    (r, Some(t), i)
+                })
+            } else if ctx.fork_warmup {
+                let ckpt = checkpoint_loft(&scenario, net_cfg, cfg, SEED, ff);
+                measure_forked(spec, ctx, &ckpt)
+            } else {
+                measure_full(spec, ctx, |hook| {
+                    let (r, i) = run_loft_info(&scenario, net_cfg, cfg, SEED, ff, hook);
+                    (r, None, i)
+                })
+            }
+        }
+        "gsf" => {
+            let net_cfg = GsfConfig {
+                threads: ctx.threads,
+                ..GsfConfig::default()
+            };
+            if ctx.with_telemetry {
+                measure_full(spec, ctx, |hook| {
+                    let (r, t, i) = run_gsf_telemetry_info(&scenario, net_cfg, cfg, SEED, ff, hook);
+                    (r, Some(t), i)
+                })
+            } else if ctx.fork_warmup {
+                let ckpt = checkpoint_gsf(&scenario, net_cfg, cfg, SEED, ff);
+                measure_forked(spec, ctx, &ckpt)
+            } else {
+                measure_full(spec, ctx, |hook| {
+                    let (r, i) = run_gsf_info(&scenario, net_cfg, cfg, SEED, ff, hook);
+                    (r, None, i)
+                })
+            }
+        }
+        "wormhole" => {
+            let net_cfg = WormholeConfig {
+                threads: ctx.threads,
+                ..WormholeConfig::default()
+            };
+            if ctx.with_telemetry {
+                measure_full(spec, ctx, |hook| {
+                    let (r, t, i) =
+                        run_wormhole_telemetry_info(&scenario, net_cfg, cfg, SEED, ff, hook);
+                    (r, Some(t), i)
+                })
+            } else if ctx.fork_warmup {
+                let ckpt = checkpoint_wormhole(&scenario, net_cfg, cfg, SEED, ff);
+                measure_forked(spec, ctx, &ckpt)
+            } else {
+                measure_full(spec, ctx, |hook| {
+                    let (r, i) = run_wormhole_info(&scenario, net_cfg, cfg, SEED, ff, hook);
+                    (r, None, i)
+                })
+            }
+        }
+        other => unreachable!("unknown network {other}"),
     }
 }
 
@@ -231,6 +438,19 @@ fn main() {
             .and_then(|v| v.parse().ok())
             .expect("--threads takes a positive integer")
     });
+    let jobs: usize = args.iter().position(|a| a == "--jobs").map_or(1, |i| {
+        args.get(i + 1)
+            .and_then(|v| v.parse().ok())
+            .expect("--jobs takes a positive integer")
+    });
+    let jobs = clamp_jobs(jobs, threads);
+    if budget.is_some() && jobs > 1 {
+        eprintln!(
+            "--alloc-budget cannot run with --jobs {jobs}: the allocation counter is \
+             process-global, so concurrent points would pollute each other's rates"
+        );
+        std::process::exit(1);
+    }
     let telemetry_path: Option<String> = args.iter().position(|a| a == "--telemetry").map(|i| {
         args.get(i + 1)
             .cloned()
@@ -238,6 +458,7 @@ fn main() {
     });
     let with_telemetry = telemetry_path.is_some();
     let fast_forward = !args.iter().any(|a| a == "--no-fast-forward");
+    let fork_warmup = !args.iter().any(|a| a == "--no-fork-warmup");
     let traffic: Option<String> = args.iter().position(|a| a == "--traffic").map(|i| {
         args.get(i + 1)
             .cloned()
@@ -266,8 +487,15 @@ fn main() {
         })
         .unwrap_or_default();
 
-    let cfg = run(smoke);
-    let iters = if smoke { 1 } else { 5 };
+    let ctx = Ctx {
+        threads,
+        jobs,
+        iters: if smoke { 1 } else { 5 },
+        cfg: run(smoke),
+        fast_forward,
+        with_telemetry,
+        fork_warmup,
+    };
     // Low load: the hot loop is dominated by per-cycle scans over
     // mostly-idle state — exactly what active-set worklists target.
     // Near saturation: dominated by real queue and slab work, which
@@ -275,13 +503,35 @@ fn main() {
     // concentrates that pressure on a few links. The --traffic
     // matrices swap in the quiescence-heavy workloads where the
     // engine's fast-forward dominates the wall clock.
-    let points: &[(&str, f64)] = match traffic.as_deref() {
+    let points: &[(&'static str, f64)] = match traffic.as_deref() {
         Some("bursty") => &[("bursty-low", 0.60)],
         Some("regulated") => &[("regulated", 0.05)],
         Some(other) => panic!("--traffic must be bursty or regulated, got {other:?}"),
         None if smoke => &[("uniform", 0.05), ("uniform", 0.60)],
         None => &[("uniform", 0.05), ("uniform", 0.60), ("hotspot", 0.60)],
     };
+    let specs: Vec<Spec> = points
+        .iter()
+        .flat_map(|&(scenario, load)| {
+            ["loft", "gsf", "wormhole"].map(|net| Spec {
+                net,
+                scenario,
+                load,
+            })
+        })
+        .collect();
+    let rows: Vec<Row> = if jobs > 1 {
+        // The mapping thread participates in the claim loop, so
+        // `jobs`-way parallelism wants `jobs - 1` workers.
+        let mut pool = WorkerPool::new(jobs - 1);
+        pool_map(&mut pool, specs, |spec| run_spec(spec, ctx))
+    } else {
+        specs.into_iter().map(|spec| run_spec(spec, ctx)).collect()
+    };
+    for row in &rows {
+        println!("{}", row.line);
+    }
+
     let mut worst: f64 = 0.0;
     // One telemetry document per measured point (--telemetry).
     let mut telemetry_docs: Vec<String> = Vec::new();
@@ -291,70 +541,13 @@ fn main() {
         ("gsf", f64::INFINITY),
         ("wormhole", f64::INFINITY),
     ];
-    for &(scenario, load) in points {
-        let make = |sc: &str| match sc {
-            "uniform" => Scenario::uniform(load),
-            "hotspot" => Scenario::hotspot(load),
-            "bursty-low" => Scenario::bursty_low_duty(load),
-            "regulated" => Scenario::regulated(load),
-            _ => unreachable!(),
-        };
-        let ff = fast_forward;
-        let rows = [
-            measure("loft", scenario, load, threads, iters, cfg, |hook| {
-                let net_cfg = LoftConfig {
-                    threads,
-                    ..LoftConfig::default()
-                };
-                if with_telemetry {
-                    let (r, t, i) =
-                        run_loft_telemetry_info(&make(scenario), net_cfg, cfg, SEED, ff, hook);
-                    (r, Some(t), i)
-                } else {
-                    let (r, i) = run_loft_info(&make(scenario), net_cfg, cfg, SEED, ff, hook);
-                    (r, None, i)
-                }
-            }),
-            measure("gsf", scenario, load, threads, iters, cfg, |hook| {
-                let net_cfg = GsfConfig {
-                    threads,
-                    ..GsfConfig::default()
-                };
-                if with_telemetry {
-                    let (r, t, i) =
-                        run_gsf_telemetry_info(&make(scenario), net_cfg, cfg, SEED, ff, hook);
-                    (r, Some(t), i)
-                } else {
-                    let (r, i) = run_gsf_info(&make(scenario), net_cfg, cfg, SEED, ff, hook);
-                    (r, None, i)
-                }
-            }),
-            measure("wormhole", scenario, load, threads, iters, cfg, |hook| {
-                let net_cfg = WormholeConfig {
-                    threads,
-                    ..WormholeConfig::default()
-                };
-                if with_telemetry {
-                    let (r, t, i) =
-                        run_wormhole_telemetry_info(&make(scenario), net_cfg, cfg, SEED, ff, hook);
-                    (r, Some(t), i)
-                } else {
-                    let (r, i) = run_wormhole_info(&make(scenario), net_cfg, cfg, SEED, ff, hook);
-                    (r, None, i)
-                }
-            }),
-        ];
-        for (row, slot) in rows.iter().zip(min_cps.iter_mut()) {
-            worst = row.allocs_per_cycle.iter().fold(worst, |w, &a| w.max(a));
+    for row in rows {
+        worst = row.allocs_per_cycle.iter().fold(worst, |w, &a| w.max(a));
+        if let Some(slot) = min_cps.iter_mut().find(|(n, _)| *n == row.net) {
             slot.1 = slot.1.min(row.cycles_per_sec);
         }
-        for (row, (net, _)) in rows.into_iter().zip(min_cps.iter()) {
-            if let Some(doc) = row.telemetry {
-                telemetry_docs.push(format!(
-                    "{{\"net\":\"{net}\",\"scenario\":\"{scenario}\",\
-                     \"load\":{load},\"telemetry\":{doc}}}"
-                ));
-            }
+        if let Some(doc) = row.telemetry {
+            telemetry_docs.push(doc);
         }
     }
     if let Some(path) = &telemetry_path {

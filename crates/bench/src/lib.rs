@@ -19,9 +19,11 @@
 use loft::{LoftConfig, LoftNetwork};
 use noc_gsf::{GsfConfig, GsfNetwork};
 use noc_sim::telemetry::{LiveProbe, TelemetryReport};
-use noc_sim::{RunConfig, RunInfo, SimReport, Simulation};
-use noc_traffic::Scenario;
+use noc_sim::{Checkpoint, RunConfig, RunInfo, SimReport, Simulation};
+use noc_traffic::{Scenario, Workload};
 use noc_wormhole::{WormholeConfig, WormholeNetwork};
+
+pub mod sweep;
 
 /// Default seed for all experiments (fully deterministic runs).
 pub const SEED: u64 = 0xC0FFEE;
@@ -339,6 +341,126 @@ pub fn run_wormhole_telemetry_info(
         .with_fast_forward(fast_forward)
         .run_full(after_warmup);
     (report, network.into_probe().finish(), info)
+}
+
+/// Runs a LOFT scenario's warmup once and freezes it as a
+/// [`Checkpoint`]: fork it for every measurement variant (repeated
+/// timing iterations, fast-forward legs, horizon extensions) instead
+/// of re-running warmup — each fork's results are bit-identical to a
+/// from-scratch [`run_loft_info`] with the same settings.
+///
+/// # Panics
+///
+/// Same conditions as [`run_loft`].
+pub fn checkpoint_loft(
+    scenario: &Scenario,
+    cfg: LoftConfig,
+    run: RunConfig,
+    seed: u64,
+    fast_forward: bool,
+) -> Checkpoint<LoftNetwork, Workload> {
+    let reservations = scenario
+        .reservations(cfg.frame_size)
+        .expect("scenario reservations must fit the LOFT frame");
+    let network = LoftNetwork::new(cfg, &reservations);
+    Simulation::new(network, scenario.workload(seed), run)
+        .with_fast_forward(fast_forward)
+        .run_to_checkpoint()
+}
+
+/// [`checkpoint_loft`] with a [`LiveProbe`] attached (window
+/// [`TELEMETRY_WINDOW`]); extract the probe from the network returned
+/// by `resume` with `into_probe`.
+///
+/// # Panics
+///
+/// Same conditions as [`run_loft`].
+pub fn checkpoint_loft_telemetry(
+    scenario: &Scenario,
+    cfg: LoftConfig,
+    run: RunConfig,
+    seed: u64,
+    fast_forward: bool,
+) -> Checkpoint<LoftNetwork<LiveProbe>, Workload> {
+    let reservations = scenario
+        .reservations(cfg.frame_size)
+        .expect("scenario reservations must fit the LOFT frame");
+    let network = LoftNetwork::with_probe(cfg, &reservations, LiveProbe::new(TELEMETRY_WINDOW));
+    Simulation::new(network, scenario.workload(seed), run)
+        .with_fast_forward(fast_forward)
+        .run_to_checkpoint()
+}
+
+/// Warmup-once checkpoint for a GSF scenario (see
+/// [`checkpoint_loft`]).
+///
+/// # Panics
+///
+/// Same conditions as [`run_gsf`].
+pub fn checkpoint_gsf(
+    scenario: &Scenario,
+    cfg: GsfConfig,
+    run: RunConfig,
+    seed: u64,
+    fast_forward: bool,
+) -> Checkpoint<GsfNetwork, Workload> {
+    let reservations = scenario
+        .reservations(cfg.frame_size)
+        .expect("scenario reservations must fit the GSF frame");
+    let network = GsfNetwork::new(cfg, &reservations);
+    Simulation::new(network, scenario.workload(seed), run)
+        .with_fast_forward(fast_forward)
+        .run_to_checkpoint()
+}
+
+/// [`checkpoint_gsf`] with a [`LiveProbe`] attached.
+///
+/// # Panics
+///
+/// Same conditions as [`run_gsf`].
+pub fn checkpoint_gsf_telemetry(
+    scenario: &Scenario,
+    cfg: GsfConfig,
+    run: RunConfig,
+    seed: u64,
+    fast_forward: bool,
+) -> Checkpoint<GsfNetwork<LiveProbe>, Workload> {
+    let reservations = scenario
+        .reservations(cfg.frame_size)
+        .expect("scenario reservations must fit the GSF frame");
+    let network = GsfNetwork::with_probe(cfg, &reservations, LiveProbe::new(TELEMETRY_WINDOW));
+    Simulation::new(network, scenario.workload(seed), run)
+        .with_fast_forward(fast_forward)
+        .run_to_checkpoint()
+}
+
+/// Warmup-once checkpoint for a wormhole scenario (see
+/// [`checkpoint_loft`]).
+pub fn checkpoint_wormhole(
+    scenario: &Scenario,
+    cfg: WormholeConfig,
+    run: RunConfig,
+    seed: u64,
+    fast_forward: bool,
+) -> Checkpoint<WormholeNetwork, Workload> {
+    let network = WormholeNetwork::new(cfg);
+    Simulation::new(network, scenario.workload(seed), run)
+        .with_fast_forward(fast_forward)
+        .run_to_checkpoint()
+}
+
+/// [`checkpoint_wormhole`] with a [`LiveProbe`] attached.
+pub fn checkpoint_wormhole_telemetry(
+    scenario: &Scenario,
+    cfg: WormholeConfig,
+    run: RunConfig,
+    seed: u64,
+    fast_forward: bool,
+) -> Checkpoint<WormholeNetwork<LiveProbe>, Workload> {
+    let network = WormholeNetwork::with_probe(cfg, LiveProbe::new(TELEMETRY_WINDOW));
+    Simulation::new(network, scenario.workload(seed), run)
+        .with_fast_forward(fast_forward)
+        .run_to_checkpoint()
 }
 
 /// Maps `f` over `items` on the process-wide sweep worker pool,

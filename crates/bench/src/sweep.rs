@@ -1,0 +1,817 @@
+//! Work-stealing parallel sweep over the experiment matrix.
+//!
+//! A sweep enumerates `{loft, gsf, wormhole} × {mesh, torus, ring} ×
+//! traffic × load × fast-forward legs` and runs every cell, streaming
+//! one versioned JSON row per cell. Two things make it fast:
+//!
+//! * **Warmup sharing.** All legs of a base point — the fast-forward
+//!   on/off pair, and any horizon extensions from adaptive saturation
+//!   probing — differ only *after* the warmup boundary. Each
+//!   [`SweepGroup`] therefore runs warmup once into a
+//!   [`Checkpoint`] and forks it per leg, instead
+//!   of re-warming from scratch per cell (the `--no-fork` baseline).
+//!   Forked legs are bit-identical to from-scratch runs; see
+//!   `noc_sim::checkpoint` for why.
+//! * **Work stealing across cells.** Groups are whole-simulation
+//!   tasks: independent, single-threaded (unless the group itself
+//!   shards), wildly uneven in cost. They are sorted
+//!   longest-expected-first and claimed off the shared cursor of a
+//!   [`WorkerPool`] (`--jobs N`), so a long GSF point pipelines with
+//!   many short wormhole points instead of serializing behind them.
+//!
+//! The warmup checkpoint is always built with quiescence fast-forward
+//! enabled (it never changes results, only wall clock). A consequence:
+//! the `ff=false` leg of a forked group still carries the warmup
+//! phase's skipped cycles in its `skipped_cycles` field, whereas a
+//! from-scratch `ff=false` run reports zero. That field (and wall
+//! clock) is excluded from [`SweepRow::equivalence_key`], which is
+//! what `--selfcheck` compares between the forked and re-warm paths.
+
+use std::time::Instant;
+
+use loft::{LoftConfig, LoftNetwork};
+use noc_gsf::{GsfConfig, GsfNetwork};
+use noc_sim::par::{pool_map, WorkerPool};
+use noc_sim::{Checkpoint, RunConfig, RunInfo, SimReport, Topology};
+use noc_traffic::{DestRule, Scenario, Workload};
+use noc_wormhole::{WormholeConfig, WormholeNetwork};
+
+use crate::{
+    checkpoint_gsf, checkpoint_loft, checkpoint_wormhole, run_gsf_info, run_loft_info,
+    run_wormhole_info,
+};
+
+/// Version stamp on every JSON row this module emits.
+pub const SWEEP_SCHEMA_VERSION: u32 = 1;
+
+/// Network architecture of a sweep cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Net {
+    /// LOFT (the paper's network).
+    Loft,
+    /// GSF baseline.
+    Gsf,
+    /// Plain wormhole baseline.
+    Wormhole,
+}
+
+impl Net {
+    /// Row/CLI name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Net::Loft => "loft",
+            Net::Gsf => "gsf",
+            Net::Wormhole => "wormhole",
+        }
+    }
+
+    /// Relative cost per node-cycle, for longest-expected-first
+    /// ordering. Rough empirical ratios from the perf harness; only
+    /// the ordering matters, not the absolute values.
+    fn weight(self) -> f64 {
+        match self {
+            Net::Loft => 2.5,
+            Net::Gsf => 3.0,
+            Net::Wormhole => 1.5,
+        }
+    }
+}
+
+/// Traffic pattern of a sweep cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrafficKind {
+    /// Uniform-random destinations, Bernoulli injection (Figure 11a).
+    Uniform,
+    /// All nodes to one hotspot corner (Figure 11b); only defined on
+    /// the paper's default 8×8 mesh.
+    Hotspot,
+}
+
+impl TrafficKind {
+    /// Row/CLI name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            TrafficKind::Uniform => "uniform",
+            TrafficKind::Hotspot => "hotspot",
+        }
+    }
+}
+
+/// One base point of the matrix: a (network, topology, traffic, load,
+/// seed) tuple whose legs share a warmup prefix.
+#[derive(Debug, Clone)]
+pub struct SweepGroup {
+    /// Network architecture.
+    pub net: Net,
+    /// Topology.
+    pub topo: Topology,
+    /// Traffic pattern.
+    pub traffic: TrafficKind,
+    /// Injection rate in flits/cycle/node.
+    pub load: f64,
+    /// Shards per simulation (`threads` in the network configs).
+    pub threads: usize,
+    /// Phase lengths; [`Checkpoint::with_measure`] may extend
+    /// `measure` per leg during saturation probing.
+    pub run: RunConfig,
+    /// Fast-forward legs to run from the shared warmup (one row each).
+    pub ff_legs: Vec<bool>,
+    /// Workload seed.
+    pub seed: u64,
+}
+
+impl SweepGroup {
+    /// Builds the scenario for this group.
+    ///
+    /// # Panics
+    ///
+    /// Panics for [`TrafficKind::Hotspot`] off the default 8×8 mesh.
+    #[must_use]
+    pub fn scenario(&self) -> Scenario {
+        match self.traffic {
+            TrafficKind::Uniform => uniform_on(self.topo, self.load),
+            TrafficKind::Hotspot => {
+                assert_eq!(
+                    self.topo,
+                    Scenario::default_topology(),
+                    "hotspot traffic targets node 63 of the default 8x8 mesh"
+                );
+                Scenario::hotspot(self.load)
+            }
+        }
+    }
+
+    /// Expected relative cost, for longest-expected-first scheduling.
+    /// Load scales the per-cycle work (more flits in flight), node
+    /// count scales the fabric, and each leg re-runs measure + drain.
+    #[must_use]
+    pub fn expected_cost(&self) -> f64 {
+        let legs = self.ff_legs.len().max(1) as f64;
+        let cycles = self.run.warmup as f64 + legs * (self.run.measure + self.run.drain) as f64;
+        self.net.weight() * (0.2 + self.load) * self.topo.num_nodes() as f64 * cycles
+    }
+}
+
+/// [`Scenario::uniform`] retargeted to an arbitrary topology: one
+/// Bernoulli flow per node to uniformly random destinations.
+#[must_use]
+pub fn uniform_on(topo: Topology, rate: f64) -> Scenario {
+    let mut s = Scenario::uniform(rate);
+    let n = topo.num_nodes();
+    assert!(
+        n <= s.flows.len(),
+        "uniform_on only shrinks the default 64-flow scenario"
+    );
+    s.topo = topo;
+    s.flows.truncate(n);
+    for (flow, src) in s.flows.iter_mut().zip(topo.nodes()) {
+        flow.src = src;
+        flow.dest = DestRule::UniformRandom {
+            num_nodes: n as u32,
+        };
+    }
+    s.groups.clear();
+    s.name = format!("uniform(rate={rate})");
+    s
+}
+
+/// Compact topology name for rows and logs (`mesh8x8`, `ring16`, ...).
+#[must_use]
+pub fn topo_name(topo: Topology) -> String {
+    match topo {
+        Topology::Mesh { .. } => format!("mesh{}x{}", topo.width(), topo.height()),
+        Topology::Torus { .. } => format!("torus{}x{}", topo.width(), topo.height()),
+        Topology::Ring { .. } => format!("ring{}", topo.num_nodes()),
+    }
+}
+
+/// A group's warmed-up state, generic over the three network types so
+/// the sweep driver can hold any cell's checkpoint in one place.
+#[derive(Debug, Clone)]
+pub enum GroupCheckpoint {
+    /// LOFT checkpoint.
+    Loft(Checkpoint<LoftNetwork, Workload>),
+    /// GSF checkpoint.
+    Gsf(Checkpoint<GsfNetwork, Workload>),
+    /// Wormhole checkpoint.
+    Wormhole(Checkpoint<WormholeNetwork, Workload>),
+}
+
+impl GroupCheckpoint {
+    /// Runs the group's warmup once (with fast-forward — bit-identical
+    /// and fastest) and freezes it.
+    #[must_use]
+    pub fn build(group: &SweepGroup, scenario: &Scenario) -> Self {
+        let (run, seed) = (group.run, group.seed);
+        match group.net {
+            Net::Loft => {
+                let cfg = LoftConfig {
+                    threads: group.threads,
+                    ..LoftConfig::on(group.topo)
+                };
+                GroupCheckpoint::Loft(checkpoint_loft(scenario, cfg, run, seed, true))
+            }
+            Net::Gsf => {
+                let cfg = GsfConfig {
+                    threads: group.threads,
+                    ..GsfConfig::on(group.topo)
+                };
+                GroupCheckpoint::Gsf(checkpoint_gsf(scenario, cfg, run, seed, true))
+            }
+            Net::Wormhole => {
+                let cfg = WormholeConfig {
+                    threads: group.threads,
+                    ..WormholeConfig::on(group.topo)
+                };
+                GroupCheckpoint::Wormhole(checkpoint_wormhole(scenario, cfg, run, seed, true))
+            }
+        }
+    }
+
+    /// Forks the checkpoint and runs one measurement leg with the
+    /// given fast-forward setting and measurement window.
+    #[must_use]
+    pub fn fork_run(&self, fast_forward: bool, measure: u64) -> (SimReport, RunInfo) {
+        match self {
+            GroupCheckpoint::Loft(c) => {
+                let (report, _, info) = c
+                    .fork()
+                    .with_fast_forward(fast_forward)
+                    .with_measure(measure)
+                    .resume();
+                (report, info)
+            }
+            GroupCheckpoint::Gsf(c) => {
+                let (report, _, info) = c
+                    .fork()
+                    .with_fast_forward(fast_forward)
+                    .with_measure(measure)
+                    .resume();
+                (report, info)
+            }
+            GroupCheckpoint::Wormhole(c) => {
+                let (report, _, info) = c
+                    .fork()
+                    .with_fast_forward(fast_forward)
+                    .with_measure(measure)
+                    .resume();
+                (report, info)
+            }
+        }
+    }
+}
+
+/// Runs one leg from scratch (full warmup) — the `--no-fork` baseline.
+#[must_use]
+pub fn run_scratch(
+    group: &SweepGroup,
+    scenario: &Scenario,
+    fast_forward: bool,
+    measure: u64,
+) -> (SimReport, RunInfo) {
+    let run = RunConfig {
+        measure,
+        ..group.run
+    };
+    match group.net {
+        Net::Loft => {
+            let cfg = LoftConfig {
+                threads: group.threads,
+                ..LoftConfig::on(group.topo)
+            };
+            run_loft_info(scenario, cfg, run, group.seed, fast_forward, || {})
+        }
+        Net::Gsf => {
+            let cfg = GsfConfig {
+                threads: group.threads,
+                ..GsfConfig::on(group.topo)
+            };
+            run_gsf_info(scenario, cfg, run, group.seed, fast_forward, || {})
+        }
+        Net::Wormhole => {
+            let cfg = WormholeConfig {
+                threads: group.threads,
+                ..WormholeConfig::on(group.topo)
+            };
+            run_wormhole_info(scenario, cfg, run, group.seed, fast_forward, || {})
+        }
+    }
+}
+
+/// One result row of the sweep (one leg of one group).
+#[derive(Debug, Clone)]
+pub struct SweepRow {
+    /// Network architecture.
+    pub net: Net,
+    /// Topology name (see [`topo_name`]).
+    pub topo: String,
+    /// Traffic pattern.
+    pub traffic: TrafficKind,
+    /// Injection rate.
+    pub load: f64,
+    /// Shards per simulation.
+    pub threads: usize,
+    /// Fast-forward setting of this leg.
+    pub ff: bool,
+    /// Whether this leg was forked from a shared warmup checkpoint.
+    pub forked_warmup: bool,
+    /// Workload seed.
+    pub seed: u64,
+    /// Warmup cycles.
+    pub warmup: u64,
+    /// Final measurement window (after any horizon doublings).
+    pub measure: u64,
+    /// Drain bound.
+    pub drain: u64,
+    /// Cycle the run actually ended at.
+    pub end_cycle: u64,
+    /// Cycles skipped by quiescence fast-forward. Forked legs include
+    /// warmup-phase skips even when `ff` is false (the shared warmup
+    /// always fast-forwards).
+    pub skipped_cycles: u64,
+    /// Wall-clock seconds of this leg (fork + resume, or full run).
+    pub wall_secs: f64,
+    /// Wall-clock seconds of the shared warmup (0 when not forked).
+    pub warmup_secs: f64,
+    /// Packets delivered in the measurement window.
+    pub packets: u64,
+    /// Flits delivered in the measurement window.
+    pub flits: u64,
+    /// Mean packet latency, if anything was measured.
+    pub avg_latency: Option<f64>,
+    /// Latency percentiles (histogram upper bounds).
+    pub p50: Option<u64>,
+    /// 95th percentile.
+    pub p95: Option<u64>,
+    /// 99th percentile.
+    pub p99: Option<u64>,
+    /// Network accepted but delivered nothing measurable: saturated.
+    pub saturated: bool,
+    /// Measurement-window doublings spent probing saturation.
+    pub horizon_doublings: u32,
+}
+
+impl SweepRow {
+    // One private call site; a params struct would restate the row.
+    #[allow(clippy::too_many_arguments)]
+    fn new(
+        group: &SweepGroup,
+        ff: bool,
+        forked_warmup: bool,
+        warmup_secs: f64,
+        wall_secs: f64,
+        measure: u64,
+        horizon_doublings: u32,
+        report: &SimReport,
+        info: &RunInfo,
+    ) -> Self {
+        let packets: u64 = report.flows.iter().map(|f| f.packets_delivered).sum();
+        let measured = report.total_latency.count() > 0;
+        let q = |q: f64| measured.then(|| report.latency_histogram.quantile_upper_bound(q));
+        SweepRow {
+            net: group.net,
+            topo: topo_name(group.topo),
+            traffic: group.traffic,
+            load: group.load,
+            threads: group.threads,
+            ff,
+            forked_warmup,
+            seed: group.seed,
+            warmup: group.run.warmup,
+            measure,
+            drain: group.run.drain,
+            end_cycle: info.end_cycle,
+            skipped_cycles: info.skipped_cycles,
+            wall_secs,
+            warmup_secs,
+            packets,
+            flits: report.flits_delivered,
+            avg_latency: measured.then(|| report.avg_latency()),
+            p50: q(0.50),
+            p95: q(0.95),
+            p99: q(0.99),
+            saturated: !measured && packets > 0,
+            horizon_doublings,
+        }
+    }
+
+    /// The row as one JSON object (the sweep's streamed output
+    /// format, `"schema": 1`).
+    #[must_use]
+    pub fn to_json(&self, jobs: usize) -> String {
+        let opt_f = |x: Option<f64>| x.map_or("null".to_string(), |v| format!("{v:.3}"));
+        let opt_u = |x: Option<u64>| x.map_or("null".to_string(), |v| v.to_string());
+        format!(
+            concat!(
+                "{{\"schema\": {}, \"net\": \"{}\", \"topo\": \"{}\", \"traffic\": \"{}\", ",
+                "\"load\": {}, \"threads\": {}, \"ff\": {}, \"jobs\": {}, ",
+                "\"forked_warmup\": {}, \"seed\": {}, \"warmup\": {}, \"measure\": {}, ",
+                "\"drain\": {}, \"end_cycle\": {}, \"skipped_cycles\": {}, ",
+                "\"wall_secs\": {:.4}, \"warmup_secs\": {:.4}, \"packets_delivered\": {}, ",
+                "\"flits_delivered\": {}, \"avg_latency\": {}, \"p50\": {}, \"p95\": {}, ",
+                "\"p99\": {}, \"saturated\": {}, \"horizon_doublings\": {}}}"
+            ),
+            SWEEP_SCHEMA_VERSION,
+            self.net.name(),
+            self.topo,
+            self.traffic.name(),
+            self.load,
+            self.threads,
+            self.ff,
+            jobs,
+            self.forked_warmup,
+            self.seed,
+            self.warmup,
+            self.measure,
+            self.drain,
+            self.end_cycle,
+            self.skipped_cycles,
+            self.wall_secs,
+            self.warmup_secs,
+            self.packets,
+            self.flits,
+            opt_f(self.avg_latency),
+            opt_u(self.p50),
+            opt_u(self.p95),
+            opt_u(self.p99),
+            self.saturated,
+            self.horizon_doublings,
+        )
+    }
+
+    /// The deterministic portion of the row: everything that must be
+    /// bit-identical between a forked leg and a from-scratch leg of
+    /// the same cell. Excludes wall clock, `forked_warmup`, and
+    /// `skipped_cycles` (the shared warmup always fast-forwards, so a
+    /// forked `ff=false` leg keeps warmup skips a scratch run never
+    /// makes — the *results* are still identical).
+    #[must_use]
+    pub fn equivalence_key(&self) -> String {
+        format!(
+            "{}|{}|{}|{}|{}|{}|{}|{}|{}|{}|{}|{}|{}|{:?}|{:?}|{:?}|{:?}|{}|{}",
+            self.net.name(),
+            self.topo,
+            self.traffic.name(),
+            self.load,
+            self.threads,
+            self.ff,
+            self.seed,
+            self.warmup,
+            self.measure,
+            self.drain,
+            self.end_cycle,
+            self.packets,
+            self.flits,
+            self.avg_latency.map(f64::to_bits),
+            self.p50,
+            self.p95,
+            self.p99,
+            self.saturated,
+            self.horizon_doublings,
+        )
+    }
+}
+
+/// Sweep execution options.
+#[derive(Debug, Clone)]
+pub struct SweepOptions {
+    /// Concurrent whole-simulation jobs (see [`clamp_jobs`]).
+    pub jobs: usize,
+    /// Fork legs from a shared warmup checkpoint (false = re-warm
+    /// every leg from scratch; the baseline the fork path is measured
+    /// against).
+    pub fork_warmup: bool,
+    /// Adaptive horizon: when a leg comes back saturated, re-fork with
+    /// a doubled measurement window (up to [`SweepOptions::max_doublings`])
+    /// to distinguish true saturation from a too-short window.
+    pub adaptive: bool,
+    /// Cap on horizon doublings per leg.
+    pub max_doublings: u32,
+}
+
+impl Default for SweepOptions {
+    fn default() -> Self {
+        SweepOptions {
+            jobs: 1,
+            fork_warmup: true,
+            adaptive: true,
+            max_doublings: 2,
+        }
+    }
+}
+
+/// Clamps a requested job count so `jobs × threads` never
+/// oversubscribes the machine (warns on stderr when it clamps).
+#[must_use]
+pub fn clamp_jobs(requested: usize, threads: usize) -> usize {
+    let cores = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    let max_jobs = (cores / threads.max(1)).max(1);
+    let jobs = requested.clamp(1, max_jobs);
+    if jobs < requested {
+        eprintln!(
+            "sweep: clamping --jobs {requested} to {jobs} \
+             ({cores} cores / {threads} threads per simulation)"
+        );
+    }
+    jobs
+}
+
+/// Runs every leg of one group, sharing its warmup when
+/// `opts.fork_warmup` is set.
+#[must_use]
+pub fn run_group(group: &SweepGroup, opts: &SweepOptions) -> Vec<SweepRow> {
+    let scenario = group.scenario();
+    let mut rows = Vec::with_capacity(group.ff_legs.len());
+    let (ckpt, warmup_secs) = if opts.fork_warmup {
+        let t0 = Instant::now();
+        let ckpt = GroupCheckpoint::build(group, &scenario);
+        (Some(ckpt), t0.elapsed().as_secs_f64())
+    } else {
+        (None, 0.0)
+    };
+    for &ff in &group.ff_legs {
+        let t0 = Instant::now();
+        let mut measure = group.run.measure;
+        let mut doublings = 0;
+        let run_leg = |measure: u64| match &ckpt {
+            Some(c) => c.fork_run(ff, measure),
+            None => run_scratch(group, &scenario, ff, measure),
+        };
+        let (mut report, mut info) = run_leg(measure);
+        while opts.adaptive
+            && doublings < opts.max_doublings
+            && report.total_latency.count() == 0
+            && report.flits_delivered > 0
+        {
+            doublings += 1;
+            measure *= 2;
+            (report, info) = run_leg(measure);
+        }
+        let wall = t0.elapsed().as_secs_f64();
+        rows.push(SweepRow::new(
+            group,
+            ff,
+            ckpt.is_some(),
+            warmup_secs,
+            wall,
+            measure,
+            doublings,
+            &report,
+            &info,
+        ));
+    }
+    rows
+}
+
+/// Runs a whole matrix: sorts groups longest-expected-first, schedules
+/// them across a work-stealing [`WorkerPool`] of `opts.jobs` lanes,
+/// and returns the rows grouped per input group in scheduling order.
+#[must_use]
+pub fn run_sweep(mut groups: Vec<SweepGroup>, opts: &SweepOptions) -> Vec<SweepRow> {
+    groups.sort_by(|a, b| b.expected_cost().total_cmp(&a.expected_cost()));
+    if opts.jobs <= 1 {
+        return groups.iter().flat_map(|g| run_group(g, opts)).collect();
+    }
+    // The mapping thread participates in the claim loop, so `jobs`-way
+    // parallelism wants `jobs - 1` workers.
+    let mut pool = WorkerPool::new(opts.jobs - 1);
+    pool_map(&mut pool, groups, |g| run_group(&g, opts))
+        .into_iter()
+        .flatten()
+        .collect()
+}
+
+/// The full default matrix: every network on mesh/torus/ring uniform
+/// traffic at three loads, plus the hotspot pattern on the default
+/// mesh — two fast-forward legs each. Warmup-heavy phases so the
+/// shared-warmup fork pays even at `--jobs 1`.
+#[must_use]
+pub fn full_matrix(threads: usize, seed: u64) -> Vec<SweepGroup> {
+    let run = RunConfig {
+        warmup: 6_000,
+        measure: 6_000,
+        drain: 2_000,
+    };
+    let topos = [
+        Topology::mesh(8, 8),
+        Topology::torus(8, 8),
+        Topology::ring(16),
+    ];
+    let loads = [0.05, 0.30, 0.60];
+    let mut groups = Vec::new();
+    for net in [Net::Loft, Net::Gsf, Net::Wormhole] {
+        for topo in topos {
+            for load in loads {
+                groups.push(SweepGroup {
+                    net,
+                    topo,
+                    traffic: TrafficKind::Uniform,
+                    load,
+                    threads,
+                    run,
+                    ff_legs: vec![true, false],
+                    seed,
+                });
+            }
+        }
+        groups.push(SweepGroup {
+            net,
+            topo: Scenario::default_topology(),
+            traffic: TrafficKind::Hotspot,
+            load: 0.30,
+            threads,
+            run,
+            ff_legs: vec![true, false],
+            seed,
+        });
+    }
+    groups
+}
+
+/// The CI smoke matrix: a 2×2 sub-matrix ({loft, wormhole} × {low,
+/// high} load) on the default mesh with tiny phase windows.
+#[must_use]
+pub fn smoke_matrix(threads: usize, seed: u64) -> Vec<SweepGroup> {
+    let run = RunConfig {
+        warmup: 400,
+        measure: 400,
+        drain: 200,
+    };
+    let mut groups = Vec::new();
+    for net in [Net::Loft, Net::Wormhole] {
+        for load in [0.05, 0.60] {
+            groups.push(SweepGroup {
+                net,
+                topo: Scenario::default_topology(),
+                traffic: TrafficKind::Uniform,
+                load,
+                threads,
+                run,
+                ff_legs: vec![true, false],
+                seed,
+            });
+        }
+    }
+    groups
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SEED;
+
+    fn tiny_group(net: Net, topo: Topology) -> SweepGroup {
+        SweepGroup {
+            net,
+            topo,
+            traffic: TrafficKind::Uniform,
+            load: 0.10,
+            threads: 1,
+            run: RunConfig {
+                warmup: 300,
+                measure: 600,
+                drain: 400,
+            },
+            ff_legs: vec![true, false],
+            seed: SEED,
+        }
+    }
+
+    /// The heart of the sweep's correctness claim: a forked leg must
+    /// be bit-identical (modulo warmup skip accounting) to the same
+    /// leg run from scratch, for every network on every topology.
+    #[test]
+    fn forked_rows_match_scratch_rows() {
+        let topos = [
+            Topology::mesh(4, 4),
+            Topology::torus(4, 4),
+            Topology::ring(8),
+        ];
+        for net in [Net::Loft, Net::Gsf, Net::Wormhole] {
+            for topo in topos {
+                let group = tiny_group(net, topo);
+                let forked = run_group(&group, &SweepOptions::default());
+                let scratch = run_group(
+                    &group,
+                    &SweepOptions {
+                        fork_warmup: false,
+                        ..SweepOptions::default()
+                    },
+                );
+                assert_eq!(forked.len(), scratch.len());
+                for (f, s) in forked.iter().zip(&scratch) {
+                    assert!(f.forked_warmup && !s.forked_warmup);
+                    assert_eq!(
+                        f.equivalence_key(),
+                        s.equivalence_key(),
+                        "{} on {} (ff={}) drifted between forked and scratch",
+                        net.name(),
+                        topo_name(topo),
+                        f.ff
+                    );
+                    assert!(f.flits > 0, "leg delivered nothing");
+                }
+            }
+        }
+    }
+
+    /// Parallel scheduling must not change results or lose rows:
+    /// jobs=2 produces the same row set as jobs=1 (order included —
+    /// both follow the longest-expected-first schedule).
+    #[test]
+    fn parallel_sweep_matches_serial() {
+        let groups: Vec<SweepGroup> = [Net::Loft, Net::Gsf, Net::Wormhole]
+            .into_iter()
+            .map(|net| tiny_group(net, Topology::mesh(4, 4)))
+            .collect();
+        let serial = run_sweep(groups.clone(), &SweepOptions::default());
+        let parallel = run_sweep(
+            groups,
+            &SweepOptions {
+                jobs: 2,
+                ..SweepOptions::default()
+            },
+        );
+        let keys = |rows: &[SweepRow]| {
+            rows.iter()
+                .map(SweepRow::equivalence_key)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(keys(&serial), keys(&parallel));
+    }
+
+    /// Manual fork-cost diagnostic (run with `--ignored --nocapture`):
+    /// splits a high-load leg into clone time vs resume time and
+    /// compares against a straight run.
+    #[test]
+    #[ignore = "diagnostic: prints fork/resume wall-clock split"]
+    fn fork_cost_diagnostic() {
+        use std::time::Instant;
+        for net in [Net::Gsf, Net::Loft, Net::Wormhole] {
+            let group = SweepGroup {
+                net,
+                topo: Topology::torus(8, 8),
+                traffic: TrafficKind::Uniform,
+                load: 0.60,
+                threads: 1,
+                run: RunConfig {
+                    warmup: 6_000,
+                    measure: 6_000,
+                    drain: 2_000,
+                },
+                ff_legs: vec![true],
+                seed: SEED,
+            };
+            let scenario = group.scenario();
+            let t = Instant::now();
+            let ckpt = GroupCheckpoint::build(&group, &scenario);
+            let warm = t.elapsed().as_secs_f64();
+            let t = Instant::now();
+            let fork = ckpt.clone();
+            let clone_secs = t.elapsed().as_secs_f64();
+            let t = Instant::now();
+            let _ = match fork {
+                GroupCheckpoint::Loft(c) => c.resume().2,
+                GroupCheckpoint::Gsf(c) => c.resume().2,
+                GroupCheckpoint::Wormhole(c) => c.resume().2,
+            };
+            let resume_secs = t.elapsed().as_secs_f64();
+            drop(ckpt);
+            let t = Instant::now();
+            let _ = run_scratch(&group, &scenario, true, group.run.measure);
+            let scratch_secs = t.elapsed().as_secs_f64();
+            println!(
+                "{:8} warmup {warm:.3}s clone {clone_secs:.3}s resume {resume_secs:.3}s \
+                 scratch-full {scratch_secs:.3}s",
+                net.name()
+            );
+        }
+    }
+
+    #[test]
+    fn clamp_jobs_never_oversubscribes() {
+        let cores = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1);
+        assert_eq!(clamp_jobs(1, 1), 1);
+        assert!(clamp_jobs(1_000, 1) <= cores);
+        assert!(clamp_jobs(1_000, 4).saturating_mul(4) <= cores.max(4));
+        assert_eq!(clamp_jobs(0, 1), 1);
+    }
+
+    #[test]
+    fn rows_render_versioned_json() {
+        let group = tiny_group(Net::Wormhole, Topology::mesh(4, 4));
+        let rows = run_group(&group, &SweepOptions::default());
+        assert_eq!(rows.len(), 2);
+        let json = rows[0].to_json(3);
+        assert!(json.starts_with("{\"schema\": 1, "));
+        assert!(json.contains("\"jobs\": 3"));
+        assert!(json.contains("\"forked_warmup\": true"));
+        assert!(json.ends_with("}"));
+    }
+}

@@ -110,7 +110,7 @@ struct DataQuantum {
     pref: PacketRef,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct SrcQuantum {
     qid: u64,
     dst: NodeId,
@@ -144,6 +144,25 @@ struct SourceNic {
     staged: VecDeque<(QKey, PacketRef)>,
 }
 
+impl Clone for SourceNic {
+    /// Capacity-preserving (see [`noc_sim::checkpoint::clone_deque`]):
+    /// per-flow queues and the staging FIFO reach their high-water
+    /// capacity during warmup, and forked runs must inherit it.
+    fn clone(&self) -> Self {
+        SourceNic {
+            flow_q: self
+                .flow_q
+                .iter()
+                .map(noc_sim::checkpoint::clone_deque)
+                .collect(),
+            queued: self.queued,
+            rr_flows: self.rr_flows.clone(),
+            rr: self.rr,
+            staged: noc_sim::checkpoint::clone_deque(&self.staged),
+        }
+    }
+}
+
 impl SourceNic {
     fn new() -> Self {
         SourceNic {
@@ -167,7 +186,7 @@ impl SourceNic {
 /// the same global ascending index sequence as a single structure
 /// would (shard ranges are contiguous), which is what keeps every
 /// arbitration decision bit-identical to the single-threaded engine.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct LoftShard<Pr: Probe> {
     /// This shard's telemetry probe (a [`Probe::fork`] of the main
     /// probe); records only the parallel-phase events of this shard's
@@ -363,7 +382,7 @@ impl<Pr: Probe> LoftShardCtx<'_, Pr> {
 ///
 /// Generic over a telemetry [`Probe`]; the default [`NoopProbe`]
 /// compiles all instrumentation away (see `noc_sim::telemetry`).
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct LoftNetwork<Pr: Probe = NoopProbe> {
     cfg: LoftConfig,
     /// The main telemetry probe: receives all serial-phase events

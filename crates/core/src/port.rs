@@ -86,7 +86,7 @@ pub(crate) struct DataPort {
 /// One output port's ready set: a bitmask over store slots with the
 /// cached minimum by `(dep_slot, flow, qid)`. Ranks are unique, so
 /// the minimum is storage-order independent and deterministic.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 struct ReadySet {
     mask: Vec<u64>,
     /// `(rank, slot)` of the minimum entry, if any.
@@ -137,6 +137,25 @@ impl ReadySet {
             }
         }
         best
+    }
+}
+
+impl Clone for DataPort {
+    /// Capacity-preserving (see [`noc_sim::checkpoint::clone_vec`]):
+    /// the slot store and its indexes churn every cycle at their
+    /// warmup high-water size, and forked runs must inherit that
+    /// capacity rather than re-pay the growth.
+    fn clone(&self) -> Self {
+        DataPort {
+            nonspec_free: self.nonspec_free,
+            spec_free: self.spec_free,
+            entries: noc_sim::checkpoint::clone_vec(&self.entries),
+            free: noc_sim::checkpoint::clone_vec(&self.free),
+            pending_arrival: noc_sim::checkpoint::clone_vec(&self.pending_arrival),
+            orphans: noc_sim::checkpoint::clone_vec(&self.orphans),
+            arrived_count: self.arrived_count,
+            ready: self.ready.clone(),
+        }
     }
 }
 

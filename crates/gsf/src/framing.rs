@@ -25,7 +25,7 @@ struct FlowInj {
 /// anywhere** — in routers *or in source queues*. This is the global
 /// coupling the LOFT paper criticizes: one congested region holds the
 /// window for every node.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Framing {
     flows: Vec<FlowInj>,
     frame_window: u64,

@@ -45,7 +45,7 @@ use crate::framing::Framing;
 type TaggedHeap = BinaryHeap<Reverse<(u64, u64, PacketRef)>>;
 
 /// Per-shard VC-allocation scratch, reused every cycle.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 struct GsfScratch {
     /// Per-output VC-allocation requests: (frame, input slot).
     req: Vec<(u64, usize)>,
@@ -60,7 +60,7 @@ struct GsfScratch {
 /// The tagged source heaps are the fabric-owned
 /// [`RouterPolicy::Source`]s; everything here is global window state
 /// touched only by the serial hooks.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct GsfPolicy {
     framing: Framing,
     /// Packets that could not be tagged yet (every active frame's
@@ -239,7 +239,7 @@ impl RouterPolicy for GsfPolicy {
 /// reservations in flits (usually from
 /// [`noc_traffic::Scenario::reservations`] with the configured
 /// [`GsfConfig::frame_size`]).
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct GsfNetwork<Pr: Probe = NoopProbe> {
     cfg: GsfConfig,
     fabric: VcFabric<GsfPolicy, Pr>,

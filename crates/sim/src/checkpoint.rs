@@ -1,0 +1,358 @@
+//! Checkpoint/fork: run warmup once, measure many times.
+//!
+//! A [`Checkpoint`] is a simulation frozen at its warmup/measurement
+//! boundary with *everything* observable captured — the network (slab,
+//! wires, credits, schedulers, worker-pool width), the traffic source
+//! (per-flow RNG streams and their `ticked_until`/`pending` scan
+//! caches), the statistics collector, and both engine clocks. Because
+//! the engine loop is stop/resume-exact (see `EngineState::drive`),
+//! resuming a checkpoint — or any number of [`Checkpoint::fork`]
+//! clones of it — produces results bit-identical to a from-scratch
+//! run with the same settings: same `SimReport`, same telemetry, same
+//! `end_cycle`.
+//!
+//! That turns the expensive part of an experiment matrix — warmup —
+//! into a shared prefix: one warmup per (network, topology, traffic,
+//! load, seed) base point, then a cheap fork per measurement variant
+//! (fast-forward on/off legs, horizon extensions for saturation
+//! probing via [`Checkpoint::with_measure`], repeated timing
+//! iterations). The golden-determinism and equivalence suites and the
+//! sweep/perf harnesses in `loft-bench` are all built on this.
+//!
+//! # Why forks are bit-identical
+//!
+//! * Every piece of run state is owned data with a structural
+//!   `Clone`: the packet slab, wire/credit FIFOs, worklists, policy
+//!   state, RNGs, probes, and collectors contain no interior
+//!   mutability and no references into shared state.
+//! * The one exception, the [`WorkerPool`](crate::par::WorkerPool),
+//!   holds *no* simulation state — its `Clone` spawns a fresh pool of
+//!   the same width, and shard scheduling is outcome-invariant by the
+//!   determinism contract of [`crate::par`].
+//! * The engine loop checks the warmup boundary before doing any
+//!   cycle work, so stopping at `cycle == warmup` and resuming later
+//!   replays the exact instruction sequence of an uninterrupted run
+//!   (the `after_warmup` hook fires on resume, at the same cycle).
+
+use std::collections::VecDeque;
+
+use crate::engine::{EngineState, Network, RunConfig, RunInfo, Simulation, TrafficSource};
+use crate::stats::SimReport;
+
+/// Clones a vector preserving its allocated *capacity*, not just its
+/// contents.
+///
+/// `Vec::clone` allocates exactly `len` elements, so a derived clone
+/// of a buffer that construction pre-sized (wire FIFOs, VC buffers,
+/// slot stores) silently re-pays its growth allocations the next time
+/// it fills — which for a forked simulation means the resumed
+/// steady state allocates where a from-scratch run would not. Every
+/// hand-written `Clone` on the hot buffer types uses this (or
+/// [`clone_deque`]) so forks inherit the original's high-water
+/// capacity and the `allocs_per_cycle` gate holds on forked runs.
+#[must_use]
+#[allow(clippy::ptr_arg)] // &Vec, not &[_]: the capacity is the point
+pub fn clone_vec<T: Clone>(src: &Vec<T>) -> Vec<T> {
+    let mut out = Vec::with_capacity(src.capacity());
+    out.extend(src.iter().cloned());
+    out
+}
+
+/// [`clone_vec`] for `VecDeque` buffers.
+#[must_use]
+pub fn clone_deque<T: Clone>(src: &VecDeque<T>) -> VecDeque<T> {
+    let mut out = VecDeque::with_capacity(src.capacity());
+    out.extend(src.iter().cloned());
+    out
+}
+
+/// A simulation frozen at the warmup/measurement boundary.
+///
+/// Created by [`Simulation::run_to_checkpoint`]; resumed (consumed)
+/// by [`Checkpoint::resume`]. [`Checkpoint::fork`] clones the whole
+/// state so one warmup can feed many measurement runs.
+#[derive(Debug)]
+pub struct Checkpoint<N, T> {
+    state: EngineState<N, T>,
+}
+
+impl<N: Clone, T: Clone> Clone for Checkpoint<N, T> {
+    fn clone(&self) -> Self {
+        Checkpoint {
+            state: self.state.clone(),
+        }
+    }
+}
+
+impl<N: Network, T: TrafficSource> Checkpoint<N, T> {
+    /// Runs `sim` to its warmup boundary and freezes it.
+    pub(crate) fn capture(sim: Simulation<N, T>) -> Self {
+        let mut state = sim.into_engine_state();
+        let warmup = state.config.warmup;
+        state.drive(warmup, &mut || {});
+        debug_assert_eq!(state.cycle, warmup, "warmup stopped short");
+        Checkpoint { state }
+    }
+
+    /// The cycle the checkpoint is frozen at (the configured warmup).
+    #[must_use]
+    pub fn cycle(&self) -> u64 {
+        self.state.cycle
+    }
+
+    /// The run configuration the resumed run will use.
+    #[must_use]
+    pub fn config(&self) -> RunConfig {
+        self.state.config
+    }
+
+    /// A deep copy: an independent simulation in the identical state.
+    /// Forking consumes no randomness and advances no clock — the
+    /// original and every fork resume from exactly this cycle.
+    #[must_use]
+    pub fn fork(&self) -> Self
+    where
+        N: Clone,
+        T: Clone,
+    {
+        self.clone()
+    }
+
+    /// Enables or disables quiescence fast-forward for the resumed
+    /// run (bit-identical either way; see [`Simulation::run_full`]).
+    /// Cycles already skipped during warmup remain counted in the
+    /// final [`RunInfo`].
+    #[must_use]
+    pub fn with_fast_forward(mut self, enabled: bool) -> Self {
+        self.state.fast_forward = enabled;
+        self
+    }
+
+    /// Retargets the measurement window to `measure` cycles — the
+    /// horizon-extension knob for adaptive saturation probing: fork a
+    /// warmed-up base point and re-measure over a doubled window
+    /// without re-running the prefix.
+    ///
+    /// Sound because the checkpoint sits at the warmup boundary:
+    /// nothing recorded so far depends on the window length (warmup
+    /// events fall outside any window), so the resumed run is
+    /// bit-identical to a from-scratch run configured with the new
+    /// window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the checkpoint is past its warmup boundary (cannot
+    /// happen for checkpoints from [`Simulation::run_to_checkpoint`]).
+    #[must_use]
+    pub fn with_measure(mut self, measure: u64) -> Self {
+        assert!(
+            self.state.cycle <= self.state.config.warmup,
+            "measurement window can only be retargeted at the warmup boundary"
+        );
+        self.state.config.measure = measure;
+        self.state.stats.set_measure(measure);
+        self
+    }
+
+    /// Retargets the drain bound of the resumed run.
+    #[must_use]
+    pub fn with_drain(mut self, drain: u64) -> Self {
+        self.state.config.drain = drain;
+        self
+    }
+
+    /// Resumes the run to completion: measurement + drain, returning
+    /// exactly what [`Simulation::run_full`] would for an
+    /// uninterrupted run with the same settings.
+    #[must_use]
+    pub fn resume(self) -> (SimReport, N, RunInfo) {
+        self.resume_hooked(|| {})
+    }
+
+    /// Like [`Checkpoint::resume`], invoking `after_warmup` once at
+    /// the warmup/measurement boundary — i.e. immediately, at the
+    /// checkpoint's own cycle, before the first measured cycle (the
+    /// hook deliberately does *not* fire during capture, so it fires
+    /// exactly once per resumed run, like in a straight-through run).
+    pub fn resume_hooked(mut self, mut after_warmup: impl FnMut()) -> (SimReport, N, RunInfo) {
+        self.state.drive(u64::MAX, &mut after_warmup);
+        self.state.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flit::{FlowId, NodeId, Packet, PacketId};
+
+    /// A fixed 10-cycle pipeline network that supports quiescence
+    /// jumps (clone of the engine test double, with `Clone`).
+    #[derive(Debug, Default, Clone)]
+    struct DelayLine {
+        cycle: u64,
+        queue: Vec<Packet>,
+    }
+
+    impl Network for DelayLine {
+        fn num_nodes(&self) -> usize {
+            2
+        }
+        fn cycle(&self) -> u64 {
+            self.cycle
+        }
+        fn enqueue(&mut self, mut packet: Packet) {
+            packet.injected_at = Some(self.cycle);
+            self.queue.push(packet);
+        }
+        fn step(&mut self, out: &mut Vec<Packet>) {
+            self.cycle += 1;
+            let cycle = self.cycle;
+            let mut i = 0;
+            while i < self.queue.len() {
+                if cycle >= self.queue[i].created_at + 10 {
+                    let mut p = self.queue.swap_remove(i);
+                    p.ejected_at = Some(cycle);
+                    out.push(p);
+                } else {
+                    i += 1;
+                }
+            }
+        }
+        fn in_flight(&self) -> usize {
+            self.queue.len()
+        }
+        fn fast_forward(&mut self, cycles: u64) -> u64 {
+            assert!(self.queue.is_empty(), "jumped a busy network");
+            self.cycle += cycles;
+            cycles
+        }
+    }
+
+    /// One packet every `period` cycles on flow 0, with a closed-form
+    /// next-active scan.
+    #[derive(Debug, Clone)]
+    struct Periodic {
+        period: u64,
+        seq: u64,
+    }
+
+    impl TrafficSource for Periodic {
+        fn num_flows(&self) -> usize {
+            1
+        }
+        fn generate(&mut self, cycle: u64, out: &mut Vec<Packet>) {
+            if cycle.is_multiple_of(self.period) {
+                out.push(Packet::new(
+                    PacketId {
+                        flow: FlowId::new(0),
+                        seq: self.seq,
+                    },
+                    NodeId::new(0),
+                    NodeId::new(1),
+                    4,
+                    cycle,
+                ));
+                self.seq += 1;
+            }
+        }
+        fn next_active_cycle(&mut self, from: u64, limit: u64) -> u64 {
+            let next = from.div_ceil(self.period) * self.period;
+            next.min(limit)
+        }
+    }
+
+    fn sim(run: RunConfig, ff: bool) -> Simulation<DelayLine, Periodic> {
+        Simulation::new(DelayLine::default(), Periodic { period: 20, seq: 0 }, run)
+            .with_fast_forward(ff)
+    }
+
+    const RUN: RunConfig = RunConfig {
+        warmup: 100,
+        measure: 1_000,
+        drain: 100,
+    };
+
+    #[test]
+    fn checkpoint_sits_at_the_warmup_boundary() {
+        let ckpt = sim(RUN, false).run_to_checkpoint();
+        assert_eq!(ckpt.cycle(), RUN.warmup);
+        assert_eq!(ckpt.config(), RUN);
+    }
+
+    #[test]
+    fn resumed_run_matches_straight_run_exactly() {
+        for ff in [false, true] {
+            let straight = sim(RUN, ff).run_full(|| {});
+            let resumed = sim(RUN, ff).run_to_checkpoint().resume();
+            assert_eq!(straight.0, resumed.0, "report drifted (ff={ff})");
+            assert_eq!(straight.2, resumed.2, "run info drifted (ff={ff})");
+        }
+    }
+
+    #[test]
+    fn forks_are_independent_and_identical() {
+        let ckpt = sim(RUN, true).run_to_checkpoint();
+        let a = ckpt.fork().resume();
+        let b = ckpt.fork().resume();
+        // The original is untouched by forking and still resumable.
+        let c = ckpt.resume();
+        assert_eq!(a.0, b.0);
+        assert_eq!(a.0, c.0);
+        assert_eq!(a.2, c.2);
+    }
+
+    #[test]
+    fn resume_fires_the_warmup_hook_exactly_once() {
+        let mut fired = 0;
+        let ckpt = sim(RUN, false).run_to_checkpoint();
+        let (report, _, _) = ckpt.resume_hooked(|| fired += 1);
+        assert_eq!(fired, 1);
+        assert_eq!(report.avg_latency(), 10.0);
+    }
+
+    #[test]
+    fn with_measure_matches_from_scratch_extended_run() {
+        let doubled = RunConfig {
+            measure: RUN.measure * 2,
+            ..RUN
+        };
+        let straight = sim(doubled, true).run_full(|| {});
+        let extended = sim(RUN, true)
+            .run_to_checkpoint()
+            .with_measure(RUN.measure * 2)
+            .resume();
+        assert_eq!(straight.0, extended.0);
+        assert_eq!(straight.2, extended.2);
+    }
+
+    #[test]
+    fn with_fast_forward_leg_matches_stepped_run() {
+        let ckpt = sim(RUN, true).run_to_checkpoint();
+        let warm_skip = {
+            // Warmup under ff accumulates skips before the fork.
+            let (_, _, info) = ckpt.fork().resume();
+            assert!(info.skipped_cycles > 0);
+            info
+        };
+        let (report, _, info) = ckpt.with_fast_forward(false).resume();
+        let (stepped, _, stepped_info) = sim(RUN, false).run_full(|| {});
+        assert_eq!(report, stepped);
+        assert_eq!(info.end_cycle, stepped_info.end_cycle);
+        // The ff-off leg keeps only the warmup-phase skips; the ff-on
+        // leg kept skipping through the measurement window.
+        assert!(info.skipped_cycles < warm_skip.skipped_cycles);
+    }
+
+    #[test]
+    fn zero_warmup_checkpoint_resumes_cleanly() {
+        let run = RunConfig {
+            warmup: 0,
+            measure: 200,
+            drain: 100,
+        };
+        let straight = sim(run, true).run_full(|| {});
+        let resumed = sim(run, true).run_to_checkpoint().resume();
+        assert_eq!(straight.0, resumed.0);
+        assert_eq!(straight.2, resumed.2);
+    }
+}

@@ -229,80 +229,148 @@ impl<N: Network, T: TrafficSource> Simulation<N, T> {
     /// normally and retries next cycle. Results are bit-identical
     /// either way — only `RunInfo::skipped_cycles` and the wall clock
     /// differ.
-    pub fn run_full(mut self, mut after_warmup: impl FnMut()) -> (SimReport, N, RunInfo) {
-        let mut stats = StatsCollector::new(
+    pub fn run_full(self, mut after_warmup: impl FnMut()) -> (SimReport, N, RunInfo) {
+        let mut state = self.into_engine_state();
+        state.drive(u64::MAX, &mut after_warmup);
+        state.finish()
+    }
+
+    /// Runs the warmup phase and freezes the simulation at the
+    /// warmup/measurement boundary as a
+    /// [`Checkpoint`](crate::checkpoint::Checkpoint): the network,
+    /// traffic source, and statistics state are all captured, so the
+    /// checkpoint can be forked into any number of measurement runs
+    /// that each resume from the identical warmed-up state — each
+    /// bit-identical to a from-scratch run with the same settings.
+    pub fn run_to_checkpoint(self) -> crate::checkpoint::Checkpoint<N, T> {
+        crate::checkpoint::Checkpoint::capture(self)
+    }
+
+    /// Decomposes into the resumable engine state, positioned at
+    /// cycle 0 with a fresh statistics collector.
+    pub(crate) fn into_engine_state(self) -> EngineState<N, T> {
+        let stats = StatsCollector::new(
             self.traffic.num_flows(),
             self.network.num_nodes(),
             self.config.warmup,
             self.config.measure,
         );
-        let mut fresh = Vec::new();
-        let mut delivered = Vec::new();
-        let warmup = self.config.warmup;
-        let horizon = warmup + self.config.measure;
-        let end = horizon + self.config.drain;
-        let mut skipped_cycles = 0u64;
-        let mut cycle = 0u64;
-        while cycle < end {
-            if cycle == warmup {
-                after_warmup();
-            }
-            // Drain termination: decided on the state the previous
-            // cycle's delivered batch left behind, before this cycle
-            // generates anything — a drain-phase packet created this
-            // cycle cannot resurrect an already-empty network.
-            if cycle >= horizon && self.network.in_flight() == 0 {
-                break;
-            }
-            if self.fast_forward && self.network.in_flight() == 0 {
-                // An empty network in the drain phase broke out
-                // above, so only the warmup and measure phases can
-                // fast-forward — and never across their boundaries.
-                debug_assert!(cycle < horizon);
-                let bound = if cycle < warmup { warmup } else { horizon };
-                let target = self.traffic.next_active_cycle(cycle, bound);
-                debug_assert!(
-                    (cycle..=bound).contains(&target),
-                    "next_active_cycle out of range"
-                );
-                if target > cycle {
-                    let jumped = self.network.fast_forward(target - cycle);
-                    debug_assert!(jumped <= target - cycle, "network overshot the jump");
-                    if jumped > 0 {
-                        skipped_cycles += jumped;
-                        cycle += jumped;
-                        continue;
-                    }
-                }
-            }
-            fresh.clear();
-            self.traffic.generate(cycle, &mut fresh);
-            for p in fresh.drain(..) {
-                debug_assert_eq!(p.created_at, cycle);
-                stats.on_generated(&p);
-                self.network.enqueue(p);
-            }
-            delivered.clear();
-            self.network.step(&mut delivered);
-            for p in delivered.drain(..) {
-                stats.on_delivered(&p);
-            }
-            cycle += 1;
+        EngineState {
+            network: self.network,
+            traffic: self.traffic,
+            config: self.config,
+            fast_forward: self.fast_forward,
+            stats,
+            cycle: 0,
+            skipped_cycles: 0,
         }
-        (
-            stats.finish(),
-            self.network,
-            RunInfo {
-                skipped_cycles,
-                end_cycle: cycle,
-            },
-        )
     }
 
     /// Consumes the simulation, returning the network (for
     /// inspection in tests).
     pub fn into_network(self) -> N {
         self.network
+    }
+}
+
+/// The mid-run state of a simulation: everything [`Simulation::run_full`]'s
+/// loop owns, factored out so a run can stop at a phase boundary, be
+/// cloned, and resumed later (the substrate of
+/// [`crate::checkpoint::Checkpoint`]).
+///
+/// `Clone` (available when the network and traffic source are
+/// `Clone`) snapshots the *entire* observable simulation — slab,
+/// wires, RNG streams, statistics, clocks — so a clone resumed from
+/// here is indistinguishable from the original continuing.
+#[derive(Debug, Clone)]
+pub(crate) struct EngineState<N, T> {
+    pub(crate) network: N,
+    pub(crate) traffic: T,
+    pub(crate) config: RunConfig,
+    pub(crate) fast_forward: bool,
+    pub(crate) stats: StatsCollector,
+    pub(crate) cycle: u64,
+    pub(crate) skipped_cycles: u64,
+}
+
+impl<N: Network, T: TrafficSource> EngineState<N, T> {
+    /// Advances the run up to (not past) cycle `stop`, or to the
+    /// run's natural end — the drain bound, or the first drain cycle
+    /// that starts with an empty network — whichever comes first.
+    ///
+    /// The loop body is exactly the pre-checkpoint `run_full` loop;
+    /// `stop` only tightens the loop bound. Stopping at the warmup
+    /// boundary exits *before* the `cycle == warmup` iteration runs,
+    /// so `after_warmup` has not fired yet and a later `drive` call
+    /// fires it at the same cycle a straight-through run would —
+    /// splitting a run at any cycle is unobservable in the results.
+    /// Fast-forward jump targets are clamped to phase boundaries,
+    /// which `stop` always is for checkpoints, so a jump never
+    /// overshoots `stop` either.
+    pub(crate) fn drive(&mut self, stop: u64, after_warmup: &mut dyn FnMut()) {
+        let mut fresh = Vec::new();
+        let mut delivered = Vec::new();
+        let warmup = self.config.warmup;
+        let horizon = warmup + self.config.measure;
+        let end = (horizon + self.config.drain).min(stop);
+        while self.cycle < end {
+            if self.cycle == warmup {
+                after_warmup();
+            }
+            // Drain termination: decided on the state the previous
+            // cycle's delivered batch left behind, before this cycle
+            // generates anything — a drain-phase packet created this
+            // cycle cannot resurrect an already-empty network.
+            if self.cycle >= horizon && self.network.in_flight() == 0 {
+                break;
+            }
+            if self.fast_forward && self.network.in_flight() == 0 {
+                // An empty network in the drain phase broke out
+                // above, so only the warmup and measure phases can
+                // fast-forward — and never across their boundaries.
+                debug_assert!(self.cycle < horizon);
+                let bound = if self.cycle < warmup { warmup } else { horizon };
+                let target = self.traffic.next_active_cycle(self.cycle, bound);
+                debug_assert!(
+                    (self.cycle..=bound).contains(&target),
+                    "next_active_cycle out of range"
+                );
+                if target > self.cycle {
+                    let jumped = self.network.fast_forward(target - self.cycle);
+                    debug_assert!(jumped <= target - self.cycle, "network overshot the jump");
+                    if jumped > 0 {
+                        self.skipped_cycles += jumped;
+                        self.cycle += jumped;
+                        continue;
+                    }
+                }
+            }
+            fresh.clear();
+            self.traffic.generate(self.cycle, &mut fresh);
+            for p in fresh.drain(..) {
+                debug_assert_eq!(p.created_at, self.cycle);
+                self.stats.on_generated(&p);
+                self.network.enqueue(p);
+            }
+            delivered.clear();
+            self.network.step(&mut delivered);
+            for p in delivered.drain(..) {
+                self.stats.on_delivered(&p);
+            }
+            self.cycle += 1;
+        }
+    }
+
+    /// Finalizes into the run's results.
+    pub(crate) fn finish(self) -> (SimReport, N, RunInfo) {
+        (
+            self.stats.finish(),
+            self.network,
+            RunInfo {
+                skipped_cycles: self.skipped_cycles,
+                end_cycle: self.cycle,
+            },
+        )
     }
 }
 

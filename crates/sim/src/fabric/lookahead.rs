@@ -28,12 +28,34 @@ use crate::FxHashMap;
 /// The queued flits of one flow *behind* its front entry (which lives
 /// in the scan order). Kept in the map after draining so the
 /// `VecDeque` capacity is reused.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 struct Tail<T> {
     /// Entries behind the front, oldest first, with arrival stamps.
     q: VecDeque<(u64, T)>,
     /// Whether the flow currently has a front entry in the scan order.
     present: bool,
+}
+
+impl<T: Clone> Clone for Tail<T> {
+    /// Capacity-preserving (see [`crate::checkpoint::clone_deque`]):
+    /// drained tails deliberately keep their capacity for reuse, and
+    /// forked runs must inherit it.
+    fn clone(&self) -> Self {
+        Tail {
+            q: crate::checkpoint::clone_deque(&self.q),
+            present: self.present,
+        }
+    }
+}
+
+impl<T: Clone> Clone for LaQueue<T> {
+    /// Capacity-preserving (see [`crate::checkpoint::clone_vec`]).
+    fn clone(&self) -> Self {
+        LaQueue {
+            order: crate::checkpoint::clone_vec(&self.order),
+            rest: self.rest.clone(),
+        }
+    }
 }
 
 impl<T> Default for Tail<T> {
@@ -47,7 +69,7 @@ impl<T> Default for Tail<T> {
 
 /// One output port's look-ahead queue: the scan order holding each
 /// present flow's front flit inline, plus per-flow tail FIFOs.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 struct LaQueue<T> {
     /// `(front entry stamp, flow, front flit)` for every flow with
     /// entries, sorted ascending by stamp. New flows append (stamps

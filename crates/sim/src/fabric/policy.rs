@@ -89,12 +89,15 @@ pub trait RouterPolicy {
     /// Per-node source-queue state: what waits to stream at a node,
     /// in the policy's order (a FIFO for wormhole, a frame-ordered
     /// heap for GSF). Owned by the node's shard during stepping.
-    type Source: std::fmt::Debug + Send;
+    /// `Clone` so a fabric can be snapshotted for checkpoint/fork
+    /// (see `noc_sim::checkpoint`).
+    type Source: std::fmt::Debug + Send + Clone;
 
     /// Per-shard scratch reused across cycles by
     /// [`RouterPolicy::vc_allocate`] (e.g. GSF's request/free-VC
-    /// vectors). `()` when the allocator needs none.
-    type Scratch: Default + std::fmt::Debug + Send;
+    /// vectors). `()` when the allocator needs none. `Clone` for the
+    /// same snapshot reason as [`RouterPolicy::Source`].
+    type Scratch: Default + std::fmt::Debug + Send + Clone;
 
     /// Reuse semantics for downstream VCs. `false`: the tail flit
     /// frees the VC immediately (wormhole). `true`: the VC stays

@@ -45,6 +45,19 @@ pub struct VcBuf<T> {
     pub out_vc: Option<usize>,
 }
 
+impl<T: Clone> Clone for VcBuf<T> {
+    /// Capacity-preserving (see [`crate::checkpoint::clone_deque`]):
+    /// VC buffers are pre-sized at construction, and forked runs must
+    /// not re-pay that growth in their steady state.
+    fn clone(&self) -> Self {
+        VcBuf {
+            q: crate::checkpoint::clone_deque(&self.q),
+            route: self.route,
+            out_vc: self.out_vc,
+        }
+    }
+}
+
 impl<T> VcBuf<T> {
     fn with_capacity(cap: usize) -> Self {
         VcBuf {
@@ -77,7 +90,7 @@ impl<T: Copy> VcBuf<T> {
 /// output `(port, vc)`. Arbitration scans walk slots directly, so the
 /// per-candidate div/mod of a nested layout disappears from the hot
 /// loops.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct VcRouter<T> {
     /// Input VC buffers; slot `port * num_vcs + vc`.
     pub inputs: Vec<VcBuf<T>>,
@@ -233,7 +246,7 @@ impl Iterator for MaskIter {
 }
 
 /// A packet streaming from a NIC into its router, one flit per cycle.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Streaming<T> {
     pref: PacketRef,
     dst: NodeId,
@@ -246,7 +259,7 @@ pub struct Streaming<T> {
 /// Per-node source NIC state: the packet currently streaming and the
 /// local-VC credit/ownership tracking. (What *waits* to stream — the
 /// source queue — belongs to the policy.)
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct VcNic<T> {
     current: Option<Streaming<T>>,
     /// Free slots in each local input VC of the attached router.
@@ -300,7 +313,7 @@ type WirePush<T> = (usize, (usize, VcFlit<T>));
 /// State owned exclusively by one shard of nodes: its wires, credit
 /// returns, worklists, policy scratch, and the outboxes/deferred
 /// events the cycle barrier merges.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct ShardState<P: RouterPolicy, Pr: Probe> {
     /// This shard's telemetry probe (a [`Probe::fork`] of the
     /// fabric's). Only events for this shard's node range land here;
@@ -723,7 +736,7 @@ impl<P: RouterPolicy, Pr: Probe> ShardCtx<'_, P, Pr> {
 /// All iteration is in ascending node/link index order with live
 /// worklist semantics, bit-identical to the full scans it replaced —
 /// at any shard count (see [`crate::par`] for the argument).
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct VcFabric<P: RouterPolicy, Pr: Probe = NoopProbe> {
     policy: P,
     /// The fabric-level telemetry probe. Serial-phase events (packet

@@ -14,10 +14,26 @@ use crate::worklist::ActiveSet;
 /// never touch the bitset directly. Drains visit links in ascending
 /// index order with live worklist semantics — bit-identical to a full
 /// `0..n` scan (see [`crate::worklist`]).
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct DelayedWires<T> {
     wires: Vec<VecDeque<(u64, T)>>,
     work: ActiveSet,
+}
+
+impl<T: Clone> Clone for DelayedWires<T> {
+    /// Capacity-preserving (see [`crate::checkpoint::clone_deque`]):
+    /// wires are pre-sized to their link-delay bound, and forked runs
+    /// must not re-pay that growth in their steady state.
+    fn clone(&self) -> Self {
+        DelayedWires {
+            wires: self
+                .wires
+                .iter()
+                .map(crate::checkpoint::clone_deque)
+                .collect(),
+            work: self.work.clone(),
+        }
+    }
 }
 
 impl<T> DelayedWires<T> {

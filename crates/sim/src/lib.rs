@@ -22,6 +22,9 @@
 //! * [`engine`] — the [`engine::Network`] trait every network model
 //!   implements plus the [`engine::Simulation`] driver that ties a
 //!   traffic source, a network, and statistics together,
+//! * [`checkpoint`] — warmup-once/fork-many: freeze a simulation at
+//!   its warmup boundary ([`checkpoint::Checkpoint`]) and fork
+//!   bit-identical measurement runs from it,
 //! * [`fabric`] — the shared router fabric: one cycle-accurate
 //!   datapath (links, credits, NICs, ejection, worklists) with
 //!   pluggable [`fabric::RouterPolicy`] scheduling and an optional
@@ -46,6 +49,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod checkpoint;
 pub mod engine;
 pub mod error;
 pub mod fabric;
@@ -61,6 +65,7 @@ pub mod telemetry;
 pub mod topology;
 pub mod worklist;
 
+pub use checkpoint::Checkpoint;
 pub use engine::{Network, RunConfig, RunInfo, Simulation, TrafficSource};
 pub use error::ConfigError;
 pub use flit::{FlowId, NodeId, Packet, PacketId};

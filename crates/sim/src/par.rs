@@ -109,6 +109,19 @@ pub struct Mailbox<T> {
     drain: Vec<Vec<T>>,
 }
 
+impl<T: Clone> Clone for Mailbox<T> {
+    /// Capacity-preserving (see [`crate::checkpoint::clone_vec`]):
+    /// lanes keep their capacity across cycles by design, and forked
+    /// runs must inherit it rather than re-pay the growth.
+    fn clone(&self) -> Self {
+        let lanes = |bank: &Vec<Vec<T>>| bank.iter().map(crate::checkpoint::clone_vec).collect();
+        Mailbox {
+            fill: lanes(&self.fill),
+            drain: lanes(&self.drain),
+        }
+    }
+}
+
 impl<T> Mailbox<T> {
     /// A mailbox with `lanes` destination lanes per bank.
     #[must_use]
@@ -265,6 +278,17 @@ const SPIN: u32 = 256;
 pub struct WorkerPool {
     shared: Arc<PoolShared>,
     handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Clone for WorkerPool {
+    /// A *fresh* pool of the same width. A pool holds no simulation
+    /// state — only parked threads — so snapshotting a network that
+    /// owns one (see `noc_sim::checkpoint`) just needs an equivalent
+    /// pool, not the same threads. The clone spawns its own workers;
+    /// the original's keep running undisturbed.
+    fn clone(&self) -> Self {
+        WorkerPool::new(self.workers())
+    }
 }
 
 impl std::fmt::Debug for WorkerPool {

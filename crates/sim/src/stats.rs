@@ -277,7 +277,7 @@ impl SimReport {
 /// throughput. This is the standard NoC methodology and matches the
 /// paper ("we run each simulation until a stable network state is
 /// reached").
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct StatsCollector {
     warmup: u64,
     measure: u64,
@@ -307,6 +307,18 @@ impl StatsCollector {
 
     fn in_window(&self, cycle: u64) -> bool {
         cycle >= self.warmup && cycle < self.warmup + self.measure
+    }
+
+    /// Replaces the measurement-window length. Sound only while no
+    /// window-dependent state has accumulated — i.e. before the first
+    /// measured cycle: nothing recorded during warmup depends on
+    /// `measure` (events strictly before `warmup` fall outside any
+    /// window), so retargeting the window at the warmup boundary is
+    /// exactly equivalent to having constructed the collector with
+    /// the new value. `noc_sim::checkpoint` relies on this to extend
+    /// the horizon of a forked run.
+    pub(crate) fn set_measure(&mut self, measure: u64) {
+        self.measure = measure;
     }
 }
 

@@ -29,7 +29,7 @@ struct FlowAcc {
 /// so recording an event is an index bump and the steady state
 /// allocates nothing once every index has been touched — the probe
 /// passes the same `--alloc-budget` gate as the fabric itself.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct LiveProbe {
     /// Sampling / series window width in cycles.
     window: u64,

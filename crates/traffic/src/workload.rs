@@ -24,7 +24,7 @@ pub enum DestRule {
     },
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct FlowState {
     src: NodeId,
     dest: DestRule,
@@ -63,7 +63,7 @@ struct FlowState {
 /// }
 /// assert_eq!(out.len(), 10); // 0.5 flits/cycle / 4-flit packets
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Workload {
     packet_len: u16,
     seed: u64,

@@ -33,7 +33,7 @@ use crate::config::WormholeConfig;
 /// All per-node state is the FIFO source queue itself, owned by the
 /// fabric as the policy's [`RouterPolicy::Source`]; the policy struct
 /// is stateless.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct WormholePolicy;
 
 impl RouterPolicy for WormholePolicy {
@@ -119,7 +119,7 @@ impl RouterPolicy for WormholePolicy {
 /// zero-cost [`NoopProbe`]).
 ///
 /// See the crate-level docs for an end-to-end example.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct WormholeNetwork<Pr: Probe = NoopProbe> {
     cfg: WormholeConfig,
     fabric: VcFabric<WormholePolicy, Pr>,

@@ -1,0 +1,208 @@
+//! Checkpoint/fork equivalence: freezing a simulation at the warmup
+//! boundary and forking it must be invisible in every observable —
+//! a forked resume must reproduce a from-scratch run bit-for-bit in
+//! the full [`SimReport`] (per-flow stats, Welford accumulators,
+//! histogram), the full [`TelemetryReport`], and the drain's exact
+//! termination cycle, for every network × {mesh, torus, ring} ×
+//! {1, 2, 4} shards.
+//!
+//! Two properties per cell, both against from-scratch oracles:
+//!
+//! 1. `checkpoint → fork → resume` equals a straight run with the
+//!    same [`RunConfig`] (the sweep runner's warmup-sharing path);
+//! 2. `checkpoint → fork → with_measure(2k) → resume` equals a
+//!    straight run with the doubled horizon (the adaptive-saturation
+//!    path: one warmup serves every horizon extension).
+//!
+//! Both forks come from the *same* checkpoint, so the suite also
+//! certifies that forking is non-destructive — a checkpoint can be
+//! forked any number of times and each fork starts from the identical
+//! frozen state. Sharded cells (2 and 4 shards) additionally cover
+//! cloning of the parallel engine's mailboxes and the worker-pool
+//! handle, which a fork must rebuild without perturbing results.
+
+use loft::LoftConfig;
+use loft_bench::{
+    checkpoint_gsf_telemetry, checkpoint_loft_telemetry, checkpoint_wormhole_telemetry,
+    run_gsf_telemetry_info, run_loft_telemetry_info, run_wormhole_telemetry_info, SEED,
+};
+use noc_gsf::GsfConfig;
+use noc_sim::telemetry::TelemetryReport;
+use noc_sim::{RunConfig, SimReport, Topology};
+use noc_traffic::{DestRule, Scenario};
+use noc_wormhole::WormholeConfig;
+
+/// Same shapes as the shard-invariance suites: small enough to stay
+/// fast, large enough for real cross-shard traffic at 4 shards.
+fn topologies() -> [Topology; 3] {
+    [
+        Topology::mesh(4, 4),
+        Topology::torus(4, 4),
+        Topology::ring(12),
+    ]
+}
+
+fn run() -> RunConfig {
+    RunConfig {
+        warmup: 150,
+        measure: 600,
+        drain: 600,
+    }
+}
+
+/// [`Scenario::uniform`] rebuilt for an arbitrary topology: moderate
+/// load so every cell delivers traffic in the measurement window.
+fn uniform_on(topo: Topology) -> Scenario {
+    let mut s = Scenario::uniform(0.10);
+    let n = topo.num_nodes();
+    s.topo = topo;
+    s.flows.truncate(n);
+    for (f, src) in s.flows.iter_mut().zip(topo.nodes()) {
+        f.src = src;
+        f.dest = DestRule::UniformRandom {
+            num_nodes: n as u32,
+        };
+    }
+    s.groups.clear();
+    s
+}
+
+/// Everything a cell compares: the full report, the full telemetry,
+/// and the exact cycle the drain terminated at.
+type Outcome = (SimReport, TelemetryReport, u64);
+
+/// Runs the property matrix for one network. `checkpoint` warms up
+/// and freezes; `fork_run` forks it with a measurement horizon;
+/// `scratch` is the from-scratch oracle with the same settings. The
+/// checkpoint type is opaque here — each network instantiates its
+/// own.
+fn check_net<K>(
+    net: &str,
+    checkpoint: impl Fn(&Scenario, Topology, usize) -> K,
+    fork_run: impl Fn(&K, u64) -> Outcome,
+    scratch: impl Fn(&Scenario, Topology, usize, RunConfig) -> Outcome,
+) {
+    for topo in topologies() {
+        let scenario = uniform_on(topo);
+        for threads in [1, 2, 4] {
+            let ctx = format!("{net}/{topo:?}/{threads} shards");
+            let ckpt = checkpoint(&scenario, topo, threads);
+
+            let (base_report, base_telemetry, base_end) = scratch(&scenario, topo, threads, run());
+            assert!(
+                base_report.flits_delivered > 0,
+                "{ctx}: oracle run delivered nothing — test is vacuous"
+            );
+            let (report, telemetry, end) = fork_run(&ckpt, run().measure);
+            assert_eq!(report, base_report, "{ctx}: forked SimReport diverged");
+            assert_eq!(
+                telemetry, base_telemetry,
+                "{ctx}: forked TelemetryReport diverged"
+            );
+            assert_eq!(
+                end, base_end,
+                "{ctx}: forked drain ended at a different cycle"
+            );
+
+            // Horizon extension: the same checkpoint, forked again
+            // with a doubled measurement window, must equal a
+            // from-scratch run at the doubled horizon.
+            let doubled = RunConfig {
+                measure: run().measure * 2,
+                ..run()
+            };
+            let (long_report, long_telemetry, long_end) =
+                scratch(&scenario, topo, threads, doubled);
+            let (report, telemetry, end) = fork_run(&ckpt, doubled.measure);
+            assert_eq!(
+                report, long_report,
+                "{ctx}: doubled-horizon fork SimReport diverged"
+            );
+            assert_eq!(
+                telemetry, long_telemetry,
+                "{ctx}: doubled-horizon fork TelemetryReport diverged"
+            );
+            assert_eq!(
+                end, long_end,
+                "{ctx}: doubled-horizon fork ended at a different cycle"
+            );
+        }
+    }
+}
+
+fn loft_cfg(topo: Topology, threads: usize) -> LoftConfig {
+    LoftConfig {
+        threads,
+        frame_size: 64,
+        nonspec_buffer: 64,
+        ..LoftConfig::on(topo)
+    }
+}
+
+fn gsf_cfg(topo: Topology, threads: usize) -> GsfConfig {
+    GsfConfig {
+        threads,
+        frame_size: 200,
+        ..GsfConfig::on(topo)
+    }
+}
+
+fn wormhole_cfg(topo: Topology, threads: usize) -> WormholeConfig {
+    WormholeConfig {
+        threads,
+        ..WormholeConfig::on(topo)
+    }
+}
+
+#[test]
+fn loft_forked_runs_match_scratch_runs() {
+    check_net(
+        "loft",
+        |s, topo, threads| checkpoint_loft_telemetry(s, loft_cfg(topo, threads), run(), SEED, true),
+        |c, measure| {
+            let (r, n, i) = c.fork().with_measure(measure).resume();
+            (r, n.into_probe().finish(), i.end_cycle)
+        },
+        |s, topo, threads, rc| {
+            let (r, t, i) =
+                run_loft_telemetry_info(s, loft_cfg(topo, threads), rc, SEED, true, || {});
+            (r, t, i.end_cycle)
+        },
+    );
+}
+
+#[test]
+fn gsf_forked_runs_match_scratch_runs() {
+    check_net(
+        "gsf",
+        |s, topo, threads| checkpoint_gsf_telemetry(s, gsf_cfg(topo, threads), run(), SEED, true),
+        |c, measure| {
+            let (r, n, i) = c.fork().with_measure(measure).resume();
+            (r, n.into_probe().finish(), i.end_cycle)
+        },
+        |s, topo, threads, rc| {
+            let (r, t, i) =
+                run_gsf_telemetry_info(s, gsf_cfg(topo, threads), rc, SEED, true, || {});
+            (r, t, i.end_cycle)
+        },
+    );
+}
+
+#[test]
+fn wormhole_forked_runs_match_scratch_runs() {
+    check_net(
+        "wormhole",
+        |s, topo, threads| {
+            checkpoint_wormhole_telemetry(s, wormhole_cfg(topo, threads), run(), SEED, true)
+        },
+        |c, measure| {
+            let (r, n, i) = c.fork().with_measure(measure).resume();
+            (r, n.into_probe().finish(), i.end_cycle)
+        },
+        |s, topo, threads, rc| {
+            let (r, t, i) =
+                run_wormhole_telemetry_info(s, wormhole_cfg(topo, threads), rc, SEED, true, || {});
+            (r, t, i.end_cycle)
+        },
+    );
+}

@@ -12,14 +12,26 @@
 //! On the quiescence-heavy workloads the suite also asserts the fast
 //! path actually engaged — an equivalence test that never jumps is
 //! vacuous.
+//!
+//! The single-shard cells share one warmup: the cell warms up once
+//! into a [`noc_sim::Checkpoint`] (fast-forward off, so the oracle
+//! stays skip-free end to end) and both the ff-off oracle and the
+//! ff-on leg are forks of it. Checkpoint/fork bit-identity is proved
+//! separately (`checkpoint_equivalence.rs`, and against the golden
+//! pins in `golden_determinism.rs`), so the shared warmup does not
+//! weaken the oracle — it just stops paying for the same warmup
+//! twice. The 2- and 4-shard legs still run from scratch: the shard
+//! layout is part of network construction, so a 1-shard checkpoint
+//! cannot be forked into them.
 
 use loft::LoftConfig;
 use loft_bench::{
+    checkpoint_gsf_telemetry, checkpoint_loft_telemetry, checkpoint_wormhole_telemetry,
     run_gsf_telemetry_info, run_loft_telemetry_info, run_wormhole_telemetry_info, SEED,
 };
 use noc_gsf::GsfConfig;
 use noc_sim::telemetry::TelemetryReport;
-use noc_sim::{RunConfig, RunInfo, SimReport, Topology};
+use noc_sim::{RunConfig, SimReport, Topology};
 use noc_traffic::{DestRule, InjectionProcess, Scenario};
 use noc_wormhole::WormholeConfig;
 
@@ -109,51 +121,41 @@ fn traffics() -> [(&'static str, fn(Topology) -> Scenario, bool); 3] {
     ]
 }
 
-type Outcome = (SimReport, TelemetryReport, RunInfo);
+/// What every leg reports: the full [`SimReport`], the full
+/// [`TelemetryReport`], the drain's end cycle, and the cycles the
+/// fast path skipped.
+type Outcome = (SimReport, TelemetryReport, u64, u64);
 
-fn loft_at(scenario: &Scenario, topo: Topology, threads: usize, ff: bool) -> Outcome {
-    let cfg = LoftConfig {
-        threads,
-        frame_size: 64,
-        nonspec_buffer: 64,
-        ..LoftConfig::on(topo)
-    };
-    run_loft_telemetry_info(scenario, cfg, run(), SEED, ff, || {})
-}
-
-fn gsf_at(scenario: &Scenario, topo: Topology, threads: usize, ff: bool) -> Outcome {
-    let cfg = GsfConfig {
-        threads,
-        frame_size: 200,
-        ..GsfConfig::on(topo)
-    };
-    run_gsf_telemetry_info(scenario, cfg, run(), SEED, ff, || {})
-}
-
-fn wormhole_at(scenario: &Scenario, topo: Topology, threads: usize, ff: bool) -> Outcome {
-    let cfg = WormholeConfig {
-        threads,
-        ..WormholeConfig::on(topo)
-    };
-    run_wormhole_telemetry_info(scenario, cfg, run(), SEED, ff, || {})
-}
-
-fn check_equivalence(net: &str, at: impl Fn(&Scenario, Topology, usize, bool) -> Outcome) {
+/// Runs the equivalence matrix for one network. `checkpoint` warms a
+/// single-shard cell up once (fast-forward off) and freezes it;
+/// `fork_leg` forks it with fast-forward on or off; `scratch` runs a
+/// multi-shard ff-on leg from scratch. The checkpoint type is opaque
+/// here — each network instantiates its own.
+fn check_equivalence<K>(
+    net: &str,
+    checkpoint: impl Fn(&Scenario, Topology) -> K,
+    fork_leg: impl Fn(&K, bool) -> Outcome,
+    scratch: impl Fn(&Scenario, Topology, usize) -> Outcome,
+) {
     for topo in topologies() {
         for (traffic, build, must_skip) in traffics() {
             let scenario = build(topo);
             let ctx = format!("{net}/{topo:?}/{traffic}");
-            let (base_report, base_telemetry, base_info) = at(&scenario, topo, 1, false);
+            let ckpt = checkpoint(&scenario, topo);
+            let (base_report, base_telemetry, base_end, base_skipped) = fork_leg(&ckpt, false);
             assert!(
                 base_report.flits_delivered > 0,
                 "{ctx}: oracle run delivered nothing — test is vacuous"
             );
             assert_eq!(
-                base_info.skipped_cycles, 0,
+                base_skipped, 0,
                 "{ctx}: fast-forward-off run skipped cycles"
             );
-            for threads in [1, 2, 4] {
-                let (report, telemetry, info) = at(&scenario, topo, threads, true);
+            let check = |report: SimReport,
+                         telemetry: TelemetryReport,
+                         end: u64,
+                         skipped: u64,
+                         threads: usize| {
                 assert_eq!(
                     report, base_report,
                     "{ctx}: SimReport diverged at {threads} shards with fast-forward on"
@@ -163,32 +165,105 @@ fn check_equivalence(net: &str, at: impl Fn(&Scenario, Topology, usize, bool) ->
                     "{ctx}: TelemetryReport diverged at {threads} shards with fast-forward on"
                 );
                 assert_eq!(
-                    info.end_cycle, base_info.end_cycle,
+                    end, base_end,
                     "{ctx}: drain terminated at a different cycle at {threads} shards"
                 );
                 if must_skip {
                     assert!(
-                        info.skipped_cycles > 0,
+                        skipped > 0,
                         "{ctx}: fast path never engaged at {threads} shards — \
                          quiescence-heavy workload should jump"
                     );
                 }
+            };
+            // The single-shard ff-on leg forks the oracle's warmup.
+            let (report, telemetry, end, skipped) = fork_leg(&ckpt, true);
+            check(report, telemetry, end, skipped, 1);
+            for threads in [2, 4] {
+                let (report, telemetry, end, skipped) = scratch(&scenario, topo, threads);
+                check(report, telemetry, end, skipped, threads);
             }
         }
     }
 }
 
+fn loft_cfg(topo: Topology, threads: usize) -> LoftConfig {
+    LoftConfig {
+        threads,
+        frame_size: 64,
+        nonspec_buffer: 64,
+        ..LoftConfig::on(topo)
+    }
+}
+
+fn gsf_cfg(topo: Topology, threads: usize) -> GsfConfig {
+    GsfConfig {
+        threads,
+        frame_size: 200,
+        ..GsfConfig::on(topo)
+    }
+}
+
+fn wormhole_cfg(topo: Topology, threads: usize) -> WormholeConfig {
+    WormholeConfig {
+        threads,
+        ..WormholeConfig::on(topo)
+    }
+}
+
 #[test]
 fn loft_fast_forward_is_equivalent() {
-    check_equivalence("loft", loft_at);
+    check_equivalence(
+        "loft",
+        |s, topo| checkpoint_loft_telemetry(s, loft_cfg(topo, 1), run(), SEED, false),
+        |c, ff| {
+            let (r, n, i) = c.fork().with_fast_forward(ff).resume();
+            (r, n.into_probe().finish(), i.end_cycle, i.skipped_cycles)
+        },
+        |s, topo, threads| {
+            let (r, t, i) =
+                run_loft_telemetry_info(s, loft_cfg(topo, threads), run(), SEED, true, || {});
+            (r, t, i.end_cycle, i.skipped_cycles)
+        },
+    );
 }
 
 #[test]
 fn gsf_fast_forward_is_equivalent() {
-    check_equivalence("gsf", gsf_at);
+    check_equivalence(
+        "gsf",
+        |s, topo| checkpoint_gsf_telemetry(s, gsf_cfg(topo, 1), run(), SEED, false),
+        |c, ff| {
+            let (r, n, i) = c.fork().with_fast_forward(ff).resume();
+            (r, n.into_probe().finish(), i.end_cycle, i.skipped_cycles)
+        },
+        |s, topo, threads| {
+            let (r, t, i) =
+                run_gsf_telemetry_info(s, gsf_cfg(topo, threads), run(), SEED, true, || {});
+            (r, t, i.end_cycle, i.skipped_cycles)
+        },
+    );
 }
 
 #[test]
 fn wormhole_fast_forward_is_equivalent() {
-    check_equivalence("wormhole", wormhole_at);
+    check_equivalence(
+        "wormhole",
+        |s, topo| checkpoint_wormhole_telemetry(s, wormhole_cfg(topo, 1), run(), SEED, false),
+        |c, ff| {
+            let (r, n, i) = c.fork().with_fast_forward(ff).resume();
+            (r, n.into_probe().finish(), i.end_cycle, i.skipped_cycles)
+        },
+        |s, topo, threads| {
+            let (r, t, i) = run_wormhole_telemetry_info(
+                s,
+                wormhole_cfg(topo, threads),
+                run(),
+                SEED,
+                true,
+                || {},
+            );
+            (r, t, i.end_cycle, i.skipped_cycles)
+        },
+    );
 }

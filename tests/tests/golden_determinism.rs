@@ -23,18 +23,28 @@
 //! to a tree without the probe plumbing — the zero-cost half of the
 //! telemetry layer's contract (`telemetry_invariance.rs` checks the
 //! telemetry-on half).
+//!
+//! The two single-shard legs (fast-forward on and off) fork one
+//! shared warmup [`noc_sim::Checkpoint`] instead of each re-running
+//! warmup, so every pin is also a checkpoint/fork oracle: a forked
+//! resume must land on the exact pinned bits, or forking perturbed
+//! the simulation. The checkpoint is captured with fast-forward off
+//! so the ff-off leg stays skip-free end to end; the multi-shard legs
+//! still run from scratch (the shard layout is part of network
+//! construction, so a 1-shard checkpoint cannot be forked into them).
 
 use loft::LoftConfig;
 use loft_bench::{
-    run_gsf, run_gsf_info, run_loft, run_loft_info, run_wormhole, run_wormhole_info, SEED,
+    checkpoint_gsf, checkpoint_loft, checkpoint_wormhole, run_gsf, run_loft, run_wormhole, SEED,
 };
 use noc_gsf::GsfConfig;
 use noc_sim::RunConfig;
 use noc_traffic::Scenario;
 use noc_wormhole::WormholeConfig;
 
-/// The shard counts every pin must reproduce exactly.
-const THREADS: [usize; 3] = [1, 2, 4];
+/// The multi-shard counts every pin must reproduce exactly from
+/// scratch (the single-shard legs run via the shared checkpoint).
+const SCRATCH_THREADS: [usize; 2] = [2, 4];
 
 /// Asserts a report matches its pinned flit count and the exact IEEE
 /// bit pattern of its average latency.
@@ -50,7 +60,7 @@ fn check(report: &noc_sim::SimReport, flits: u64, latency_bits: u64) {
 }
 
 fn check_loft(scenario: &Scenario, run: RunConfig, flits: u64, latency_bits: u64) {
-    for threads in THREADS {
+    for threads in SCRATCH_THREADS {
         let cfg = LoftConfig {
             threads,
             ..LoftConfig::default()
@@ -58,15 +68,22 @@ fn check_loft(scenario: &Scenario, run: RunConfig, flits: u64, latency_bits: u64
         let r = run_loft(scenario, cfg, run, SEED);
         check(&r, flits, latency_bits);
     }
-    // The default runners above run with quiescence fast-forward
-    // enabled; the fast path must reproduce the same pins as plain
-    // per-cycle stepping.
-    let (r, _) = run_loft_info(scenario, LoftConfig::default(), run, SEED, false, || {});
+    // Single-shard legs: one warmup, forked for both the plain
+    // per-cycle leg and the quiescence-fast-forward leg — the fast
+    // path and a forked resume must both land on the pinned bits.
+    let ckpt = checkpoint_loft(scenario, LoftConfig::default(), run, SEED, false);
+    let (r, _, info) = ckpt.fork().resume();
+    check(&r, flits, latency_bits);
+    assert_eq!(
+        info.skipped_cycles, 0,
+        "fast-forward-off leg skipped cycles"
+    );
+    let (r, _, _) = ckpt.fork().with_fast_forward(true).resume();
     check(&r, flits, latency_bits);
 }
 
 fn check_gsf(scenario: &Scenario, run: RunConfig, flits: u64, latency_bits: u64) {
-    for threads in THREADS {
+    for threads in SCRATCH_THREADS {
         let cfg = GsfConfig {
             threads,
             ..GsfConfig::default()
@@ -74,12 +91,19 @@ fn check_gsf(scenario: &Scenario, run: RunConfig, flits: u64, latency_bits: u64)
         let r = run_gsf(scenario, cfg, run, SEED);
         check(&r, flits, latency_bits);
     }
-    let (r, _) = run_gsf_info(scenario, GsfConfig::default(), run, SEED, false, || {});
+    let ckpt = checkpoint_gsf(scenario, GsfConfig::default(), run, SEED, false);
+    let (r, _, info) = ckpt.fork().resume();
+    check(&r, flits, latency_bits);
+    assert_eq!(
+        info.skipped_cycles, 0,
+        "fast-forward-off leg skipped cycles"
+    );
+    let (r, _, _) = ckpt.fork().with_fast_forward(true).resume();
     check(&r, flits, latency_bits);
 }
 
 fn check_wormhole(scenario: &Scenario, run: RunConfig, flits: u64, latency_bits: u64) {
-    for threads in THREADS {
+    for threads in SCRATCH_THREADS {
         let cfg = WormholeConfig {
             threads,
             ..WormholeConfig::default()
@@ -87,7 +111,14 @@ fn check_wormhole(scenario: &Scenario, run: RunConfig, flits: u64, latency_bits:
         let r = run_wormhole(scenario, cfg, run, SEED);
         check(&r, flits, latency_bits);
     }
-    let (r, _) = run_wormhole_info(scenario, WormholeConfig::default(), run, SEED, false, || {});
+    let ckpt = checkpoint_wormhole(scenario, WormholeConfig::default(), run, SEED, false);
+    let (r, _, info) = ckpt.fork().resume();
+    check(&r, flits, latency_bits);
+    assert_eq!(
+        info.skipped_cycles, 0,
+        "fast-forward-off leg skipped cycles"
+    );
+    let (r, _, _) = ckpt.fork().with_fast_forward(true).resume();
     check(&r, flits, latency_bits);
 }
 
